@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper at a reduced scale.
+By default they run on the SMOKE datasets (minutes, laptop CPU); set
+
+    REPRO_BENCH_SCALE=bench
+
+for the larger preset the experiment mains use (tens of minutes).  Each
+benchmark prints the paper-style table/series it regenerates and asserts the
+*shape* targets documented in DESIGN.md §5 — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.configs import BENCH, SMOKE, ExperimentScale
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    if name == "bench":
+        return BENCH
+    if name == "smoke":
+        return SMOKE
+    raise ValueError(f"REPRO_BENCH_SCALE must be 'smoke' or 'bench', got {name!r}")
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return _selected_scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are full training runs; repeating them for statistical
+    timing would multiply the suite's cost for no benefit.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,25 @@
+"""Fig. 5 — impact of the latent dimension D.
+
+Sweeps D and asserts the paper's trend: a clearly-too-small dimension is
+worse than the tuned one (performance improves with D before flattening).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_dimension_sweep(benchmark, scale):
+    dims = (4, 8, 16)
+    figures = run_once(
+        benchmark, lambda: fig5.run_fig5(scale, dimensions=dims, datasets=["ML-100K"])
+    )
+    figure = figures["ML-100K"]
+    print()
+    print(figure.render(title="Fig. 5 — RMSE vs embedding dimension D (ML-100K)"))
+
+    for series in ("ICS", "UCS"):
+        values = figure.series[series]
+        # the smallest dimension must not be the best choice
+        assert min(values[1:]) <= values[0] + 1e-9, f"D={dims[0]} was best for {series}"
+        assert all(v > 0 for v in values)

@@ -1,0 +1,24 @@
+"""Fig. 6 — impact of the reconstruction weighting factor λ.
+
+Sweeps λ ∈ {0, 0.01, 0.1, 1, 10} and asserts the paper's finding that the
+optimum sits around 1: turning the eVAE off (λ=0) is worse than λ=1, and the
+best sweep point is an interior value (never λ=0).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_lambda_sweep(benchmark, scale):
+    figures = run_once(benchmark, lambda: fig6.run_fig6(scale, datasets=["ML-100K"]))
+    figure = figures["ML-100K"]
+    print()
+    print(figure.render(title="Fig. 6 — RMSE vs lambda (ML-100K)"))
+
+    for series in ("ICS", "UCS"):
+        values = dict(zip(figure.x_values, figure.series[series]))
+        # λ=0 (no eVAE training signal) must not be optimal.
+        assert figure.best_x(series) != 0.0, f"lambda=0 was optimal for {series}"
+        # and λ=1 specifically improves on λ=0.
+        assert values[1.0] <= values[0.0] + 0.005

@@ -1,0 +1,32 @@
+"""Fig. 9 — training curves of the prediction and reconstruction losses.
+
+Trains AGNN per (dataset, cold scenario) and asserts the curves behave as in
+the paper: both losses drop rapidly from their initial values and the
+reconstruction converges within a few epochs ("stable and easy to train").
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_training_curves(benchmark, scale):
+    histories = run_once(benchmark, lambda: fig9.run_fig9(scale, datasets=["ML-100K", "Yelp"]))
+    print()
+    print(fig9.render(histories))
+
+    for key, history in histories.items():
+        prediction = history.curve("prediction")
+        reconstruction = history.curve("reconstruction")
+        assert len(prediction) >= 3, f"{key}: too few epochs recorded"
+
+        # Both curves end below where they started.
+        assert prediction[-1] < prediction[0], f"{key}: prediction loss did not decrease"
+        assert reconstruction[-1] < reconstruction[0], f"{key}: reconstruction loss did not decrease"
+
+        # The reconstruction loss converges early: most of its total drop
+        # happens in the first half of training.
+        total_drop = reconstruction[0] - min(reconstruction)
+        half = max(len(reconstruction) // 2, 1)
+        early_drop = reconstruction[0] - min(reconstruction[:half + 1])
+        assert early_drop >= 0.6 * total_drop, f"{key}: reconstruction converged late"

@@ -1,0 +1,25 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the statistics table and checks the structural properties that
+carry over from the paper's Table 1 at any scale: Yelp is the sparsest
+dataset and has the most users; all datasets use the 1–5 explicit scale.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_dataset_statistics(benchmark, scale):
+    stats = run_once(benchmark, lambda: table1.run_table1(scale))
+    print()
+    print(table1.render(stats))
+
+    assert set(stats) == {"ML-100K", "ML-1M", "Yelp"}
+    # Sparsity ordering of the paper's Table 1: Yelp ≫ ML-1M > ML-100K.
+    assert stats["Yelp"].sparsity > stats["ML-1M"].sparsity > stats["ML-100K"].sparsity
+    # Yelp outsizes ML-100K in users at every scale (23,549 vs 943 in the paper).
+    assert stats["Yelp"].num_users > stats["ML-100K"].num_users
+    for s in stats.values():
+        assert s.num_ratings > 0
+        assert 0.0 < s.sparsity < 1.0

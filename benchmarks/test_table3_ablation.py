@@ -1,0 +1,45 @@
+"""Table 3 — ablation study.
+
+Regenerates the ablation table and asserts the paper's robust qualitative
+findings.  At this reduced scale individual (variant, column) cells move by
+±0.01 RMSE between seeds, so the assertions aggregate over the two cold
+columns of the primary dataset (ML-100K) rather than compare single cells:
+
+* averaged over ICS+UCS, no ablation beats the full AGNN by more than 1%;
+* the plain VAE (reconstructing attributes instead of mapping them to
+  preference) is the clearest regression of the set on MovieLens data.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import table3
+
+TOLERANCE = 1.01  # an ablation may beat the trunk by at most 1% on average
+
+
+@pytest.mark.parametrize("dataset", ["ML-100K"])
+def test_table3_ablation(benchmark, scale, dataset):
+    tables = run_once(benchmark, lambda: table3.run_table3(scale, datasets=[dataset]))
+    print()
+    print(tables["rmse"].render(title=f"Table 3 (RMSE) — {dataset}"))
+    print(tables["mae"].render(title=f"Table 3 (MAE) — {dataset}"))
+
+    rmse = tables["rmse"]
+    columns = [f"{dataset}/ICS", f"{dataset}/UCS"]
+    mean = lambda variant: sum(rmse.get(variant, c) for c in columns) / len(columns)
+    full = mean("AGNN")
+
+    # No ablation clearly beats the full model on the cold columns.  The
+    # margin between single-component ablations and the trunk only clears
+    # run-to-run noise at BENCH scale and above.
+    if scale.name == "bench":
+        for variant in rmse.models:
+            if variant != "AGNN":
+                assert mean(variant) > full / TOLERANCE, (
+                    f"{variant} beat AGNN by >1% averaged over {columns}"
+                )
+
+    # The plain VAE never learns the attribute→preference mapping; its
+    # regression is large enough to assert at every scale.
+    assert mean("AGNN_VAE") > full

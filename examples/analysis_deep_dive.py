@@ -1,0 +1,72 @@
+"""Analysis deep dive: *why* does AGNN handle strict cold start?
+
+Fits AGNN on a strict-item-cold-start split and then opens the hood with the
+``repro.analysis`` toolkit:
+
+1. graph homophily — are attribute-graph neighbours actually taste-similar?
+2. eVAE quality — do generated preference embeddings carry node-specific
+   information (vs. a permutation control)?
+3. error slices — where does the model lose accuracy (rare attributes,
+   extreme ratings)?
+4. top-N view — does rating accuracy translate into ranking quality?
+
+Run:  python examples/analysis_deep_dive.py     (~2 min)
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.analysis import (
+    errors_by_rating_value,
+    evaluate_generated_embeddings,
+    neighbourhood_homophily,
+    rating_agreement,
+)
+from repro.core import AGNN, AGNNConfig
+from repro.data import MovieLensConfig, generate_movielens, item_cold_split
+from repro.graphs import build_attribute_graph, build_copurchase_graph
+from repro.ranking import PopularityRanker, evaluate_ranking
+from repro.train import TrainConfig
+
+dataset = generate_movielens(
+    MovieLensConfig(name="analysis", num_users=240, num_items=420, num_ratings=8_000, seed=7)
+)
+task = item_cold_split(dataset, 0.2, seed=0)
+print(task.describe(), "\n")
+
+# ---------------------------------------------------------- 1. homophily
+print("1) Graph homophily (true latent taste of items)")
+attribute_graph = build_attribute_graph(task, "item", pool_percent=5.0)
+factors = dataset.metadata["true_item_factors"]
+print(f"   attribute graph : {neighbourhood_homophily(attribute_graph, factors, k=8)}")
+copurchase_graph = build_copurchase_graph(task, "item", k=8)
+print(f"   co-purchase graph: {neighbourhood_homophily(copurchase_graph, factors, k=8)}")
+print(f"   rating agreement : {rating_agreement(task, attribute_graph, side='item', k=8)}")
+print("   → attribute neighbours are taste-similar even for items nobody rated.\n")
+
+# --------------------------------------------------------------- 2. train
+nn.init.seed(0)
+model = AGNN(AGNNConfig(embedding_dim=16, num_neighbors=8), rng_seed=0)
+model.fit(task, TrainConfig(epochs=25, batch_size=128, learning_rate=0.004, patience=3))
+print(f"2) Model: {model.evaluate()} after {model.history.num_epochs} epochs")
+
+report = evaluate_generated_embeddings(model, side="item")
+print(f"   eVAE diagnostics: {report}")
+print("   → beats-permuted > 50% means the generator is node-specific,\n"
+      "     not just emitting a population average.\n")
+
+# -------------------------------------------------------- 3. error slices
+print("3) Error slices")
+for piece in errors_by_rating_value(model, task):
+    if piece.count:
+        print(f"   {piece}")
+print("   → extreme stars carry the largest error (clipped 1-5 scale).\n")
+
+# --------------------------------------------------------- 4. ranking view
+print("4) Top-N view (strict cold items ranked among 49 negatives)")
+agnn_rank = evaluate_ranking(model, task, k=10, num_negatives=49, max_users=100)
+pop_rank = evaluate_ranking(PopularityRanker().fit(task), task, k=10, num_negatives=49, max_users=100)
+print(f"   AGNN       : {agnn_rank}")
+print(f"   Popularity : {pop_rank}")
+print("   → popularity cannot rank items that have no interactions;\n"
+      "     the attribute pathway can.")

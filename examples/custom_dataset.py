@@ -1,0 +1,100 @@
+"""Bring your own data: run AGNN on a hand-built dataset.
+
+Everything the models need is a :class:`RatingDataset` — attribute matrices,
+interactions, a rating scale.  This example builds a tiny bookstore domain
+from plain Python dicts using :class:`AttributeSchema`, then trains AGNN for
+strict item cold start on it.
+
+Run:  python examples/custom_dataset.py      (~20 s)
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import AGNN, AGNNConfig
+from repro.data import (
+    AttributeSchema,
+    CategoricalField,
+    MultiLabelField,
+    RatingDataset,
+    item_cold_split,
+)
+from repro.train import TrainConfig
+
+rng = np.random.default_rng(42)
+
+# ---------------------------------------------------------------- schemas
+reader_schema = AttributeSchema(
+    [
+        CategoricalField("age_group", 4),       # teen / young adult / adult / senior
+        CategoricalField("favourite_format", 3),  # paper / ebook / audio
+    ]
+)
+book_schema = AttributeSchema(
+    [
+        MultiLabelField("genre", 6),   # fantasy, scifi, mystery, romance, history, poetry
+        CategoricalField("author", 15),
+        CategoricalField("length", 3),  # short / medium / long
+    ]
+)
+
+# ---------------------------------------------------------------- entities
+NUM_READERS, NUM_BOOKS = 120, 150
+readers = [
+    {"age_group": rng.integers(0, 4), "favourite_format": rng.integers(0, 3)}
+    for _ in range(NUM_READERS)
+]
+books = [
+    {
+        "genre": rng.choice(6, size=rng.integers(1, 3), replace=False),
+        "author": rng.integers(0, 15),
+        "length": rng.integers(0, 3),
+    }
+    for _ in range(NUM_BOOKS)
+]
+reader_attrs = reader_schema.encode_many(readers)
+book_attrs = book_schema.encode_many(books)
+
+# ------------------------------------------------------------ interactions
+# Ratings follow a simple ground truth: age groups have genre preferences.
+genre_taste = rng.normal(0.0, 1.0, size=(4, 6))  # age_group × genre affinity
+user_ids, item_ids, ratings = [], [], []
+for u, reader in enumerate(readers):
+    for b in rng.choice(NUM_BOOKS, size=20, replace=False):
+        affinity = genre_taste[reader["age_group"], books[b]["genre"]].mean()
+        score = np.clip(np.round(3.4 + affinity + rng.normal(0, 0.5)), 1, 5)
+        user_ids.append(u)
+        item_ids.append(int(b))
+        ratings.append(float(score))
+
+dataset = RatingDataset(
+    name="bookstore",
+    user_attributes=reader_attrs,
+    item_attributes=book_attrs,
+    user_ids=np.array(user_ids),
+    item_ids=np.array(item_ids),
+    ratings=np.array(ratings),
+    user_schema=reader_schema,
+    item_schema=book_schema,
+)
+print(dataset.stats().as_row())
+
+# ------------------------------------------------------------------ train
+task = item_cold_split(dataset, 0.2, seed=0)
+print(task.describe())
+
+nn.init.seed(0)
+model = AGNN(AGNNConfig(embedding_dim=12, num_neighbors=6, pool_percent=10.0), rng_seed=0)
+model.fit(task, TrainConfig(epochs=15, batch_size=128, learning_rate=0.005, patience=3))
+result = model.evaluate()
+
+mean_rmse = float(np.sqrt(np.mean((task.train_global_mean - task.test_ratings) ** 2)))
+print(f"\nAGNN on never-seen books : {result}")
+print(f"global-mean baseline     : RMSE={mean_rmse:.4f}")
+
+# Decode one cold book back to human-readable attributes.
+cold_book = int(task.cold_items[0])
+decoded = book_schema.decode(book_attrs[cold_book])
+print(f"\ncold book {cold_book}: {decoded}")
+preds = model.predict(np.arange(5), np.full(5, cold_book))
+print("predicted ratings from readers 0-4:", np.round(preds, 2))

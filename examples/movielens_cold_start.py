@@ -1,0 +1,49 @@
+"""MovieLens strict cold start: AGNN vs. four representative baselines.
+
+Reproduces the flavour of the paper's Table 2 on one dataset: strict item
+cold start (ICS) and strict user cold start (UCS), with paired-significance
+markers against the best baseline (* p<0.01, † p<0.05).
+
+Run:  python examples/movielens_cold_start.py      (~3 min)
+"""
+
+from repro import nn
+from repro.baselines import make_baseline
+from repro.core import AGNN, AGNNConfig
+from repro.data import MovieLensConfig, generate_movielens, make_split
+from repro.experiments import format_table
+from repro.train import TrainConfig, significance_marker
+
+DATASET = MovieLensConfig(name="ML-100K-mini", num_users=240, num_items=420, num_ratings=8_000, seed=7)
+BASELINES = ["NFM", "GC-MC", "DropoutNet", "MetaEmb"]
+TRAIN = TrainConfig(epochs=25, batch_size=128, learning_rate=0.004, patience=3)
+EMBED = 16
+
+dataset = generate_movielens(DATASET)
+print(dataset.stats().as_row(), "\n")
+
+rows = []
+for scenario, label in (("item_cold", "ICS"), ("user_cold", "UCS")):
+    task = make_split(dataset, scenario, 0.2, seed=0)
+    results = {}
+    for name in BASELINES:
+        nn.init.seed(0)
+        model = make_baseline(name, embedding_dim=EMBED)
+        model.fit(task, TRAIN)
+        results[name] = model.evaluate()
+        print(f"[{label}] {name:<12} {results[name]}")
+
+    nn.init.seed(0)
+    agnn = AGNN(AGNNConfig(embedding_dim=EMBED, num_neighbors=8), rng_seed=0)
+    agnn.fit(task, TRAIN)
+    agnn_result = agnn.evaluate()
+    best = min(results, key=lambda n: results[n].rmse)
+    marker = significance_marker(agnn_result, results[best])
+    print(f"[{label}] {'AGNN':<12} {agnn_result} (vs best baseline {best}: '{marker or 'n.s.'}')\n")
+
+    for name in BASELINES:
+        rows.append([label, name, f"{results[name].rmse:.4f}", f"{results[name].mae:.4f}"])
+    rows.append([label, "AGNN", f"{agnn_result.rmse:.4f}{marker}", f"{agnn_result.mae:.4f}"])
+
+print(format_table(["scenario", "model", "RMSE", "MAE"], rows,
+                   title="Strict cold start on MovieLens-like data"))

@@ -1,0 +1,51 @@
+"""Quickstart: predict ratings for strict cold start items with AGNN.
+
+Generates a small MovieLens-like dataset, holds out 20% of the items with
+*all* their interactions (the strict cold start setting), trains AGNN, and
+scores it against the global-mean baseline.
+
+Run:  python examples/quickstart.py        (~30 s on a laptop CPU)
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import AGNN, AGNNConfig
+from repro.data import MovieLensConfig, generate_movielens, item_cold_split
+from repro.train import TrainConfig, rmse
+
+# 1. Data: a synthetic MovieLens-like dataset (users with gender/age/
+#    occupation, movies with categories/star/director/writer/country).
+config = MovieLensConfig(name="quickstart", num_users=180, num_items=320, num_ratings=3_600, seed=7)
+dataset = generate_movielens(config)
+print(f"dataset: {dataset.stats().as_row()}")
+
+# 2. Split: strict item cold start — 20% of items get ALL their ratings
+#    moved to the test set; they have attributes but zero interactions.
+task = item_cold_split(dataset, cold_fraction=0.2, seed=0)
+print(f"split:   {task.describe()}")
+task.assert_strict_cold()  # no cold item appears in training
+
+# 3. Model: AGNN with a laptop-sized embedding dimension.
+nn.init.seed(0)
+model = AGNN(AGNNConfig(embedding_dim=16, num_neighbors=8, pool_percent=5.0), rng_seed=0)
+model.fit(task, TrainConfig(epochs=20, batch_size=128, learning_rate=0.005, patience=3))
+
+# 4. Evaluate on ratings of never-seen items.
+result = model.evaluate()
+baseline = rmse(np.full(len(task.test_idx), task.train_global_mean), task.test_ratings)
+print(f"\nAGNN on strict cold items : {result}")
+print(f"global-mean baseline      : RMSE={baseline:.4f}")
+print(f"improvement               : {(baseline - result.rmse) / baseline:.1%}")
+
+# 5. Peek at one cold item: its preference embedding was *generated* by the
+#    eVAE from its attributes — it was never trained on any rating.
+cold_item = int(task.cold_items[0])
+generated = model.generated_preferences("item")[cold_item]
+print(f"\ncold item {cold_item}: eVAE-generated preference embedding")
+print(np.array2string(generated, precision=3, suppress_small=True))
+
+some_users = np.unique(task.test_users)[:5]
+predictions = model.predict(some_users, np.full(len(some_users), cold_item))
+for user, pred in zip(some_users, predictions):
+    print(f"  predicted rating of user {user:>3} for cold item {cold_item}: {pred:.2f}")

@@ -1,0 +1,67 @@
+"""Yelp-style cold start: social links as user attributes.
+
+The paper's Yelp setup has no user profile fields — each user's row of the
+social adjacency matrix *is* their attribute encoding.  This example shows
+that path end to end: a homophilous social graph is generated, new users
+arrive with friends but zero ratings, and AGNN predicts their ratings by
+building a user–user attribute graph from those social rows.
+
+Run:  python examples/yelp_social_cold_start.py     (~2 min)
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.baselines import make_baseline
+from repro.core import AGNN, AGNNConfig
+from repro.data import YelpConfig, generate_yelp, user_cold_split
+from repro.train import TrainConfig
+
+config = YelpConfig(name="yelp-mini", num_users=320, num_items=280, num_ratings=4_200, seed=11)
+dataset = generate_yelp(config)
+social = dataset.metadata["social_adjacency"]
+print(dataset.stats().as_row())
+print(f"social graph: {int(social.sum() / 2)} friendships, "
+      f"mean degree {social.sum(axis=1).mean():.1f}")
+
+# Strict user cold start: 20% of users keep their friends but lose all ratings.
+task = user_cold_split(dataset, 0.2, seed=0)
+print(f"{task.describe()}\n")
+
+cold = task.cold_users
+print(f"cold users still have friends: mean degree {social[cold].sum(axis=1).mean():.1f}")
+print("→ their social row is their attribute encoding; the attribute graph\n"
+      "  connects them to taste-similar warm users.\n")
+
+TRAIN = TrainConfig(epochs=25, batch_size=128, learning_rate=0.004, patience=3)
+
+nn.init.seed(0)
+agnn = AGNN(AGNNConfig(embedding_dim=16, num_neighbors=8), rng_seed=0)
+agnn.fit(task, TRAIN)
+agnn_result = agnn.evaluate()
+
+# DiffNet diffuses over the same social graph — the natural comparison.
+nn.init.seed(0)
+diffnet = make_baseline("DiffNet", embedding_dim=16)
+diffnet.fit(task, TRAIN)
+diffnet_result = diffnet.evaluate()
+
+# IGMC ignores side information entirely — the cautionary tale.
+nn.init.seed(0)
+igmc = make_baseline("IGMC", embedding_dim=16)
+igmc.fit(task, TRAIN)
+igmc_result = igmc.evaluate()
+
+print(f"AGNN    (attribute graph from social rows): {agnn_result}")
+print(f"DiffNet (diffusion over the social graph) : {diffnet_result}")
+print(f"IGMC    (interactions only, no attributes): {igmc_result}")
+
+# Show the mechanism: a cold user's sampled neighbourhood is taste-relevant.
+user = int(cold[0])
+neighbours = agnn._neighbours["user"][user]
+factors = dataset.metadata["true_user_factors"]
+normed = factors / np.linalg.norm(factors, axis=1, keepdims=True)
+neigh_sim = (normed[neighbours] @ normed[user]).mean()
+rand_sim = (normed @ normed[user]).mean()
+print(f"\ncold user {user}: mean taste-similarity to sampled graph neighbours "
+      f"{neigh_sim:.3f} vs population {rand_sim:.3f}")

@@ -1,0 +1,17 @@
+"""repro — a from-scratch reproduction of AGNN (Attribute Graph Neural Networks
+for Strict Cold Start Recommendation, Qian et al., TKDE 2020 / ICDE 2023).
+
+Subpackages
+-----------
+autograd    reverse-mode autodiff engine (numpy substrate)
+nn          neural-network layers and losses
+optim       SGD / Adam optimizers, clipping, schedules
+data        synthetic MovieLens-like and Yelp-like dataset generators, splits
+graphs      attribute-graph construction (proximities, candidate pools, kNN)
+core        the AGNN model: interaction layer, eVAE, gated-GNN, prediction head
+baselines   twelve comparison models from the paper's Table 2
+train       trainer, metrics, evaluation protocol, significance tests
+experiments runners that regenerate every table and figure of the paper
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,22 @@
+"""Post-hoc analysis tools: homophily, error slicing, embedding diagnostics."""
+
+from .embeddings import GenerationReport, evaluate_generated_embeddings
+from .errors import (
+    ErrorSlice,
+    cold_vs_warm_errors,
+    errors_by_popularity,
+    errors_by_rating_value,
+)
+from .homophily import HomophilyReport, neighbourhood_homophily, rating_agreement
+
+__all__ = [
+    "HomophilyReport",
+    "neighbourhood_homophily",
+    "rating_agreement",
+    "ErrorSlice",
+    "errors_by_popularity",
+    "errors_by_rating_value",
+    "cold_vs_warm_errors",
+    "GenerationReport",
+    "evaluate_generated_embeddings",
+]

@@ -1,0 +1,17 @@
+"""Reverse-mode autodiff engine: the numerical substrate for every model here."""
+
+from . import ops
+from .grad_mode import is_grad_enabled, no_grad, set_grad_enabled
+from .gradcheck import gradcheck, numerical_gradient
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "ops",
+    "no_grad",
+    "set_grad_enabled",
+    "is_grad_enabled",
+    "gradcheck",
+    "numerical_gradient",
+]

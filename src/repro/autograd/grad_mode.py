@@ -1,0 +1,44 @@
+"""Global gradient-recording mode.
+
+The engine records a backward graph only while gradients are enabled.  Inference
+code (evaluation loops, graph construction from learned embeddings) wraps itself
+in :func:`no_grad` to avoid building graphs it will never backpropagate through.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+__all__ = ["is_grad_enabled", "no_grad", "set_grad_enabled"]
+
+
+class _GradMode(threading.local):
+    """Thread-local flag so concurrent evaluators do not race on the mode."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record the backward graph."""
+    return _mode.enabled
+
+
+@contextlib.contextmanager
+def set_grad_enabled(enabled: bool):
+    """Context manager forcing gradient recording on or off."""
+    previous = _mode.enabled
+    _mode.enabled = enabled
+    try:
+        yield
+    finally:
+        _mode.enabled = previous
+
+
+def no_grad():
+    """Context manager disabling gradient recording, like ``torch.no_grad``."""
+    return set_grad_enabled(False)

@@ -1,0 +1,438 @@
+"""Differentiable primitives for the autograd engine.
+
+Every function takes Tensors (or array-likes, which are promoted) and returns a
+Tensor whose backward closure scatters gradients to its parents.  Gradients of
+broadcast operands are reduced with ``_unbroadcast`` so ``(B, D) + (D,)`` and
+friends behave exactly as in numpy.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast, as_tensor
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "power", "matmul",
+    "exp", "log", "sqrt", "square", "absolute",
+    "sigmoid", "tanh", "relu", "leaky_relu", "softplus", "clip",
+    "sum", "mean", "reshape", "transpose", "getitem",
+    "concatenate", "stack", "embedding", "softmax", "log_softmax",
+    "maximum", "where", "norm", "broadcast_to",
+]
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad, b.shape))
+
+    return Tensor._result(out_data, (a, b), backward, "add")
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(-grad, b.shape))
+
+    return Tensor._result(out_data, (a, b), backward, "sub")
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    return Tensor._result(out_data, (a, b), backward, "mul")
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad / b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
+
+    return Tensor._result(out_data, (a, b), backward, "div")
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(-grad)
+
+    return Tensor._result(-a.data, (a,), backward, "neg")
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise power with a *constant* exponent."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+    out_data = a.data ** exponent
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor._result(out_data, (a,), backward, "power")
+
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a_data, b_data = a.data, b.data
+        if a.requires_grad:
+            if b_data.ndim == 1:
+                grad_a = np.outer(grad, b_data) if a_data.ndim == 2 else grad * b_data
+            elif a_data.ndim == 1:
+                grad_a = grad @ b_data.T
+            else:
+                grad_a = grad @ np.swapaxes(b_data, -1, -2)
+                grad_a = _unbroadcast(grad_a, a_data.shape)
+            a.accumulate_grad(grad_a.reshape(a_data.shape))
+        if b.requires_grad:
+            if a_data.ndim == 1:
+                grad_b = np.outer(a_data, grad) if b_data.ndim == 2 else grad * a_data
+            elif b_data.ndim == 1:
+                grad_b = a_data.T @ grad if a_data.ndim == 2 else (grad[..., None] * a_data).sum(
+                    axis=tuple(range(a_data.ndim - 1))
+                )
+            else:
+                grad_b = np.swapaxes(a_data, -1, -2) @ grad
+                grad_b = _unbroadcast(grad_b, b_data.shape)
+            b.accumulate_grad(grad_b.reshape(b_data.shape))
+
+    return Tensor._result(out_data, (a, b), backward, "matmul")
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * out_data)
+
+    return Tensor._result(out_data, (a,), backward, "exp")
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad / a.data)
+
+    return Tensor._result(np.log(a.data), (a,), backward, "log")
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * 0.5 / out_data)
+
+    return Tensor._result(out_data, (a,), backward, "sqrt")
+
+
+def square(a) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * 2.0 * a.data)
+
+    return Tensor._result(a.data ** 2, (a,), backward, "square")
+
+
+def absolute(a) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * np.sign(a.data))
+
+    return Tensor._result(np.abs(a.data), (a,), backward, "abs")
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    # Numerically stable logistic: exp only ever sees non-positive arguments.
+    x = a.data
+    out_data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
+                        np.exp(np.clip(x, None, 0)) / (1.0 + np.exp(np.clip(x, None, 0))))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * out_data * (1.0 - out_data))
+
+    return Tensor._result(out_data, (a,), backward, "sigmoid")
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * (1.0 - out_data ** 2))
+
+    return Tensor._result(out_data, (a,), backward, "tanh")
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return Tensor._result(a.data * mask, (a,), backward, "relu")
+
+
+def leaky_relu(a, slope: float = 0.01) -> Tensor:
+    a = as_tensor(a)
+    factor = np.where(a.data > 0, 1.0, slope)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * factor)
+
+    return Tensor._result(a.data * factor, (a,), backward, "leaky_relu")
+
+
+def softplus(a) -> Tensor:
+    a = as_tensor(a)
+    x = a.data
+    out_data = np.maximum(x, 0) + np.log1p(np.exp(-np.abs(x)))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            sig = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+            a.accumulate_grad(grad * sig)
+
+    return Tensor._result(out_data, (a,), backward, "softplus")
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    a = as_tensor(a)
+    mask = (a.data >= low) & (a.data <= high)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return Tensor._result(np.clip(a.data, low, high), (a,), backward, "clip")
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        g = grad
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+        a.accumulate_grad(np.broadcast_to(g, a.shape).copy())
+
+    return Tensor._result(out_data, (a,), backward, "sum")
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([a.data.shape[ax] for ax in axes]))
+    return mul(sum(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+def reshape(a, shape: tuple) -> Tensor:
+    a = as_tensor(a)
+    original = a.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad.reshape(original))
+
+    return Tensor._result(a.data.reshape(shape), (a,), backward, "reshape")
+
+
+def transpose(a, axes: Optional[tuple] = None) -> Tensor:
+    a = as_tensor(a)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad.transpose(inverse) if inverse is not None else grad.T)
+
+    return Tensor._result(a.data.transpose(axes), (a,), backward, "transpose")
+
+
+def getitem(a, index) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, grad)
+            a.accumulate_grad(full)
+
+    return Tensor._result(out_data, (a,), backward, "getitem")
+
+
+def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor.accumulate_grad(grad[tuple(slicer)])
+
+    return Tensor._result(out_data, tuple(tensors), backward, "concatenate")
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor.accumulate_grad(piece)
+
+    return Tensor._result(out_data, tuple(tensors), backward, "stack")
+
+
+def embedding(weight, indices) -> Tensor:
+    """Row gather ``weight[indices]`` with scatter-add backward.
+
+    ``indices`` may be any integer array shape; the result has shape
+    ``indices.shape + (embedding_dim,)``.
+    """
+    weight = as_tensor(weight)
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+            weight.accumulate_grad(full)
+
+    return Tensor._result(out_data, (weight,), backward, "embedding")
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            a.accumulate_grad(out_data * (grad - dot))
+
+    return Tensor._result(out_data, (a,), backward, "softmax")
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            soft = np.exp(out_data)
+            a.accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._result(out_data, (a,), backward, "log_softmax")
+
+
+def maximum(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    a_wins = a.data >= b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * a_wins, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * ~a_wins, b.shape))
+
+    return Tensor._result(np.maximum(a.data, b.data), (a, b), backward, "maximum")
+
+
+def where(condition, a, b) -> Tensor:
+    cond = np.asarray(condition, dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * ~cond, b.shape))
+
+    return Tensor._result(np.where(cond, a.data, b.data), (a, b), backward, "where")
+
+
+def broadcast_to(a, shape: tuple) -> Tensor:
+    """Explicit broadcast; the adjoint sums over the broadcast axes."""
+    a = as_tensor(a)
+    original = a.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, original))
+
+    return Tensor._result(np.broadcast_to(a.data, shape).copy(), (a,), backward, "broadcast_to")
+
+
+def norm(a, axis=None, keepdims: bool = False, eps: float = 1e-12) -> Tensor:
+    """Euclidean norm, smoothed with ``eps`` so the gradient exists at zero."""
+    a = as_tensor(a)
+    return sqrt(add(sum(square(a), axis=axis, keepdims=keepdims), eps))

@@ -1,0 +1,298 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+A :class:`Tensor` wraps an ``np.ndarray`` and, while gradients are enabled,
+remembers the operation that produced it.  Calling :meth:`Tensor.backward` on a
+scalar output walks the recorded graph in reverse topological order and
+accumulates ``.grad`` on every leaf that requires gradients.
+
+The engine is intentionally small — dense float64 arrays, a closure per op —
+but it is a complete substrate: every model in this repository (AGNN, the
+twelve baselines, the eVAE) trains through it, and ``repro.autograd.gradcheck``
+verifies each primitive against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .grad_mode import is_grad_enabled
+
+__all__ = ["Tensor", "as_tensor"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting may prepend axes and stretch size-1 axes; the adjoint of a
+    broadcast is a sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping needed for reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op_name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: tuple = (),
+        op_name: str = "leaf",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents = _parents
+        self.op_name = op_name
+
+    # ------------------------------------------------------------------ info
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new Tensor sharing data but cut from the backward graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------- construction
+    @staticmethod
+    def _result(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op_name: str,
+    ) -> "Tensor":
+        """Build an op result, recording the graph only when useful."""
+        parents = tuple(parents)
+        needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs_grad, _parents=parents if needs_grad else (), op_name=op_name)
+        if needs_grad:
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------ backward
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient needs a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad``, allocating on first use."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    # ------------------------------------------------------------------ operators
+    # Implemented in repro.autograd.ops and bound at import time (see ops.py);
+    # the arithmetic dunders below delegate there.
+    def __add__(self, other):
+        from . import ops
+
+        return ops.add(self, other)
+
+    def __radd__(self, other):
+        from . import ops
+
+        return ops.add(other, self)
+
+    def __sub__(self, other):
+        from . import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from . import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from . import ops
+
+        return ops.mul(self, other)
+
+    def __rmul__(self, other):
+        from . import ops
+
+        return ops.mul(other, self)
+
+    def __truediv__(self, other):
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from . import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):
+        from . import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent):
+        from . import ops
+
+        return ops.power(self, exponent)
+
+    def __matmul__(self, other):
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from . import ops
+
+        return ops.getitem(self, index)
+
+    # Named methods mirroring the functional API for fluent code.
+    def sum(self, axis=None, keepdims=False):
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes=None):
+        from . import ops
+
+        return ops.transpose(self, axes)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def exp(self):
+        from . import ops
+
+        return ops.exp(self)
+
+    def log(self):
+        from . import ops
+
+        return ops.log(self)
+
+    def sqrt(self):
+        from . import ops
+
+        return ops.sqrt(self)
+
+    def square(self):
+        from . import ops
+
+        return ops.square(self)
+
+    def abs(self):
+        from . import ops
+
+        return ops.absolute(self)
+
+    def sigmoid(self):
+        from . import ops
+
+        return ops.sigmoid(self)
+
+    def tanh(self):
+        from . import ops
+
+        return ops.tanh(self)
+
+    def relu(self):
+        from . import ops
+
+        return ops.relu(self)
+
+    def leaky_relu(self, slope: float = 0.01):
+        from . import ops
+
+        return ops.leaky_relu(self, slope)
+
+    def clip(self, low: float, high: float):
+        from . import ops
+
+        return ops.clip(self, low, high)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a Tensor without copying when it already is one."""
+    return value if isinstance(value, Tensor) else Tensor(value)

@@ -1,0 +1,49 @@
+"""The twelve baselines of the paper's Table 2, reimplemented on our substrate."""
+
+from .base import BiasedScorer, FeatureProjector, GraphBaseline, pad_neighbour_lists
+from .danser import DANSER
+from .diffnet import DiffNet
+from .dropoutnet import DropoutNet
+from .gcmc import GCMC
+from .hers import HERS
+from .igmc import IGMC
+from .llae import LLAE
+from .metaemb import MetaEmb
+from .metahin import MetaHIN
+from .mf import BiasedMF, MFConfig
+from .nfm import NFM
+from .registry import (
+    BASELINES,
+    NORMAL_COLD_BASELINES,
+    STRICT_COLD_BASELINES,
+    WARM_START_BASELINES,
+    make_baseline,
+)
+from .srmgcnn import SRMGCNN
+from .stargcn import STARGCN
+
+__all__ = [
+    "NFM",
+    "DiffNet",
+    "DANSER",
+    "SRMGCNN",
+    "GCMC",
+    "STARGCN",
+    "MetaHIN",
+    "IGMC",
+    "DropoutNet",
+    "LLAE",
+    "HERS",
+    "MetaEmb",
+    "BiasedMF",
+    "MFConfig",
+    "BiasedScorer",
+    "FeatureProjector",
+    "GraphBaseline",
+    "pad_neighbour_lists",
+    "BASELINES",
+    "WARM_START_BASELINES",
+    "NORMAL_COLD_BASELINES",
+    "STRICT_COLD_BASELINES",
+    "make_baseline",
+]

@@ -1,0 +1,95 @@
+"""Shared building blocks for the baseline reimplementations.
+
+Every baseline keeps the property the paper's analysis hinges on (what graph
+it reads, where attributes enter, what breaks under strict cold start) while
+sharing this repository's substrate: the same attribute encodings, the same
+training loop, the same prediction protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from ..data.splits import RecommendationTask
+from ..nn import Bias, Embedding, Linear, Module
+from ..train.recommender import Recommender
+
+__all__ = ["FeatureProjector", "BiasedScorer", "GraphBaseline", "pad_neighbour_lists"]
+
+
+class FeatureProjector(Module):
+    """Project a multi-hot attribute row to a dense D-dim feature embedding."""
+
+    def __init__(self, attr_dim: int, embedding_dim: int) -> None:
+        super().__init__()
+        self.proj = Linear(attr_dim, embedding_dim)
+
+    def forward(self, attributes: np.ndarray, ids: Optional[np.ndarray] = None) -> Tensor:
+        rows = attributes if ids is None else attributes[np.asarray(ids, dtype=np.int64)]
+        return ops.leaky_relu(self.proj(Tensor(rows)), 0.01)
+
+
+class BiasedScorer(Module):
+    """μ + b_u + b_i + p·q — the scoring tail shared by most baselines."""
+
+    def __init__(self, num_users: int, num_items: int, global_mean: float) -> None:
+        super().__init__()
+        self.user_bias = Bias(num_users)
+        self.item_bias = Bias(num_items)
+        self.global_mean = float(global_mean)
+
+    def forward(self, user_repr: Tensor, item_repr: Tensor, users: np.ndarray, items: np.ndarray) -> Tensor:
+        dot = ops.sum(ops.mul(user_repr, item_repr), axis=1)
+        biases = ops.add(self.user_bias(users), self.item_bias(items))
+        return ops.add(ops.add(dot, biases), self.global_mean)
+
+
+def pad_neighbour_lists(lists: List[List[int]], pad_value: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Turn ragged adjacency lists into an (n, k) id matrix + 0/1 mask.
+
+    Rows longer than ``k`` are truncated; empty rows are all padding with an
+    all-zero mask (the cold-node case for interaction graphs).
+    """
+    n = len(lists)
+    ids = np.full((n, k), pad_value, dtype=np.int64)
+    mask = np.zeros((n, k))
+    for row, neigh in enumerate(lists):
+        take = min(len(neigh), k)
+        if take:
+            ids[row, :take] = neigh[:take]
+            mask[row, :take] = 1.0
+    return ids, mask
+
+
+class GraphBaseline(Recommender):
+    """Convenience parent holding the state almost all baselines need."""
+
+    def __init__(self, embedding_dim: int = 16) -> None:
+        super().__init__()
+        self.embedding_dim = embedding_dim
+        self._built = False
+
+    def _common_setup(self, task: RecommendationTask) -> None:
+        dataset = task.dataset
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        self.user_attrs = dataset.user_attributes
+        self.item_attrs = dataset.item_attributes
+
+    def masked_mean(self, embedded: Tensor, mask: np.ndarray) -> Tensor:
+        """Mean over axis 1 of (B, k, D) with a 0/1 (B, k) mask; zero rows → 0."""
+        weights = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        return ops.sum(ops.mul(embedded, Tensor(weights[:, :, None])), axis=1)
+
+    def _free_plus_feature(
+        self,
+        ids: np.ndarray,
+        free: Embedding,
+        projector: FeatureProjector,
+        attrs: np.ndarray,
+    ) -> Tensor:
+        """The ubiquitous ``free embedding + projected attributes`` node repr."""
+        return ops.add(free(ids), projector(attrs, ids))

@@ -1,0 +1,85 @@
+"""DropoutNet — addressing cold start via input dropout (Volkovs et al., NeurIPS 2017).
+
+Two towers map [preference input ; content] to latent vectors whose dot
+product approximates the *pre-trained* preference model's scores.  During
+training the preference input is randomly zeroed (the dropout), teaching the
+towers to fall back to content alone — which is exactly the input a strict
+cold start node presents at test time.  Its ceiling is the quality of the
+pre-trained MF embeddings, the dependence the paper points out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from ..data.splits import RecommendationTask
+from ..nn import MLP
+from ..nn.functional import mse_loss
+from .base import BiasedScorer, GraphBaseline
+from .mf import BiasedMF, MFConfig
+
+__all__ = ["DropoutNet"]
+
+
+class DropoutNet(GraphBaseline):
+    name = "DropoutNet"
+
+    def __init__(self, embedding_dim: int = 16, dropout_rate: float = 0.5, mf_epochs: int = 20) -> None:
+        super().__init__(embedding_dim)
+        self.dropout_rate = dropout_rate
+        self.mf_epochs = mf_epochs
+        self._rng = np.random.default_rng(0)
+
+    def prepare(self, task: RecommendationTask) -> None:
+        # Pre-train the preference model on training interactions.
+        self._mf = BiasedMF(MFConfig(factors=self.embedding_dim, epochs=self.mf_epochs)).fit(task)
+        self._user_pref = self._mf.user_factors.copy()
+        self._item_pref = self._mf.item_factors.copy()
+        # SCS nodes have no trainable preference: zero input, always.
+        cold_users = np.setdiff1d(np.arange(self.num_users if self._built else task.dataset.num_users),
+                                  np.unique(task.train_users))
+        cold_items = np.setdiff1d(np.arange(task.dataset.num_items), np.unique(task.train_items))
+        self._user_pref[cold_users] = 0.0
+        self._item_pref[cold_items] = 0.0
+        if not self._built:
+            self._common_setup(task)
+            d = self.embedding_dim
+            self.user_tower = MLP([d + self.user_attrs.shape[1], 2 * d, d], activation="leaky_relu")
+            self.item_tower = MLP([d + self.item_attrs.shape[1], 2 * d, d], activation="leaky_relu")
+            self.scorer = BiasedScorer(self.num_users, self.num_items, task.train_global_mean)
+            self._built = True
+
+    def _tower(self, side: str, ids: np.ndarray, drop: bool) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if side == "user":
+            pref, attrs, tower = self._user_pref[ids], self.user_attrs[ids], self.user_tower
+        else:
+            pref, attrs, tower = self._item_pref[ids], self.item_attrs[ids], self.item_tower
+        if drop:
+            keep = (self._rng.random(len(ids)) >= self.dropout_rate).astype(np.float64)
+            pref = pref * keep[:, None]
+        return tower(Tensor(np.concatenate([pref, attrs], axis=1)))
+
+    def _forward(self, users: np.ndarray, items: np.ndarray, drop: bool) -> Tensor:
+        p = self._tower("user", users, drop)
+        q = self._tower("item", items, drop)
+        return self.scorer(p, q, users, items)
+
+    def batch_loss(
+        self, users: np.ndarray, items: np.ndarray, ratings: np.ndarray
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        # DropoutNet's objective: reproduce the preference model's scores with
+        # randomly dropped preference inputs; we also regress the true rating
+        # so the biases calibrate.
+        target = self._mf.predict(users, items)
+        prediction = self._forward(users, items, drop=True)
+        loss_mf = mse_loss(prediction, target)
+        loss_rating = mse_loss(prediction, ratings)
+        total = ops.add(loss_mf, loss_rating)
+        return total, {"prediction": loss_rating.item(), "mf_match": loss_mf.item(), "total": total.item()}
+
+    def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        return self._forward(users, items, drop=False).data

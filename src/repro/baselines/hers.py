@@ -1,0 +1,79 @@
+"""HERS — heterogeneous relations for sparse/cold-start recommendation (Hu et al., AAAI 2019).
+
+HERS represents a node by aggregating its user–user / item–item relational
+neighbourhood (influential contexts).  Crucially — and this is the limitation
+the paper's motivation section calls out — the new node's *own attributes*
+never enter its representation: a strict cold start node is purely the mean
+of its neighbours, so HERS tends to recommend whatever is popular among
+neighbours.  Relations come from social links when the dataset has them,
+otherwise from common attributes (the paper's adaptation for MovieLens).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from ..data.splits import RecommendationTask
+from ..graphs import build_knn_graph, social_adjacency
+from ..nn import Embedding, Linear
+from ..nn.functional import mse_loss
+from .base import BiasedScorer, GraphBaseline
+
+__all__ = ["HERS"]
+
+
+class HERS(GraphBaseline):
+    name = "HERS"
+
+    def __init__(self, embedding_dim: int = 16, num_neighbors: int = 10) -> None:
+        super().__init__(embedding_dim)
+        self.num_neighbors = num_neighbors
+
+    def prepare(self, task: RecommendationTask) -> None:
+        if not self._built:
+            self._common_setup(task)
+            d = self.embedding_dim
+            self.user_emb = Embedding(self.num_users, d)
+            self.item_emb = Embedding(self.num_items, d)
+            self.user_mix = Linear(2 * d, d)
+            self.item_mix = Linear(2 * d, d)
+            self.scorer = BiasedScorer(self.num_users, self.num_items, task.train_global_mean)
+            self._built = True
+        if task.dataset.metadata.get("social_adjacency") is not None:
+            social = social_adjacency(task)  # row-normalised
+            # Take top-k strongest social neighbours per user.
+            order = np.argsort(-social, axis=1)[:, : self.num_neighbors]
+            self._user_neigh = order
+        else:
+            self._user_neigh = build_knn_graph(task, "user", self.num_neighbors).neighbours(self.num_neighbors)
+        # Item–item relations from common attributes (tags are unavailable).
+        self._item_neigh = build_knn_graph(task, "item", self.num_neighbors).neighbours(self.num_neighbors)
+
+    def _repr(self, side: str, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if side == "user":
+            emb, neigh_matrix, mix = self.user_emb, self._user_neigh, self.user_mix
+        else:
+            emb, neigh_matrix, mix = self.item_emb, self._item_neigh, self.item_mix
+        own = emb(ids)
+        neigh_ids = neigh_matrix[ids]
+        batch, k = neigh_ids.shape
+        neighbours = emb(neigh_ids.reshape(-1)).reshape(batch, k, self.embedding_dim)
+        context = ops.mean(neighbours, axis=1)
+        # Own free embedding + relational context; NO attribute term anywhere.
+        return ops.leaky_relu(mix(ops.concatenate([own, context], axis=1)), 0.01)
+
+    def _forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self.scorer(self._repr("user", users), self._repr("item", items), users, items)
+
+    def batch_loss(
+        self, users: np.ndarray, items: np.ndarray, ratings: np.ndarray
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        loss = mse_loss(self._forward(users, items), ratings)
+        return loss, {"prediction": loss.item(), "total": loss.item()}
+
+    def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        return self._forward(users, items).data

@@ -1,0 +1,97 @@
+"""MetaEmb — meta-learned id-embedding generator (Pan et al., SIGIR 2019).
+
+A base recommender learns free id embeddings; alongside it, a *generator*
+maps a node's attributes to a synthetic id embedding and is trained with the
+recommendation loss computed *through the generated embedding* — the
+meta-objective ("learning to learn id embeddings").  At strict cold start the
+generator simply manufactures the missing embedding from attributes.  This is
+the strongest SCS baseline in Table 2; its weakness, per the paper, is that
+the generator never exploits neighbourhood structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad, ops
+from ..data.splits import RecommendationTask
+from ..nn import MLP, Embedding
+from ..nn.functional import mse_loss
+from .base import BiasedScorer, FeatureProjector, GraphBaseline
+
+__all__ = ["MetaEmb"]
+
+
+class MetaEmb(GraphBaseline):
+    name = "MetaEmb"
+
+    def __init__(self, embedding_dim: int = 16, meta_weight: float = 0.5) -> None:
+        super().__init__(embedding_dim)
+        self.meta_weight = meta_weight
+
+    def prepare(self, task: RecommendationTask) -> None:
+        if self._built:
+            self._refresh_cold(task)
+            return
+        self._common_setup(task)
+        d = self.embedding_dim
+        self.user_emb = Embedding(self.num_users, d)
+        self.item_emb = Embedding(self.num_items, d)
+        # The base recommender keeps its non-ID features (as in the original
+        # CTR model); the generator only manufactures the missing ID part.
+        self.user_proj = FeatureProjector(self.user_attrs.shape[1], d)
+        self.item_proj = FeatureProjector(self.item_attrs.shape[1], d)
+        self.user_generator = MLP([self.user_attrs.shape[1], 2 * d, d], activation="leaky_relu")
+        self.item_generator = MLP([self.item_attrs.shape[1], 2 * d, d], activation="leaky_relu")
+        self.scorer = BiasedScorer(self.num_users, self.num_items, task.train_global_mean)
+        self._built = True
+        self._refresh_cold(task)
+
+    def _refresh_cold(self, task: RecommendationTask) -> None:
+        self._cold_users = np.setdiff1d(np.arange(task.dataset.num_users), np.unique(task.train_users))
+        self._cold_items = np.setdiff1d(np.arange(task.dataset.num_items), np.unique(task.train_items))
+
+    def _generated(self, side: str, ids: np.ndarray) -> Tensor:
+        if side == "user":
+            return self.user_generator(Tensor(self.user_attrs[ids]))
+        return self.item_generator(Tensor(self.item_attrs[ids]))
+
+    def _repr(self, side: str, ids: np.ndarray, id_part: Tensor) -> Tensor:
+        proj = self.user_proj if side == "user" else self.item_proj
+        attrs = self.user_attrs if side == "user" else self.item_attrs
+        return ops.add(id_part, proj(attrs, ids))
+
+    def batch_loss(
+        self, users: np.ndarray, items: np.ndarray, ratings: np.ndarray
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        # Base loss through the real ID embeddings.
+        p = self._repr("user", users, self.user_emb(users))
+        q = self._repr("item", items, self.item_emb(items))
+        base = mse_loss(self.scorer(p, q, users, items), ratings)
+        # Meta loss: the same prediction but THROUGH the generated ID
+        # embeddings, so the generator learns embeddings that *work*, not just
+        # ones that imitate (this is the cold-start phase of MetaEmb training).
+        p_gen = self._repr("user", users, self._generated("user", users))
+        q_gen = self._repr("item", items, self._generated("item", items))
+        meta = mse_loss(self.scorer(p_gen, q_gen, users, items), ratings)
+        total = ops.add(base, ops.mul(meta, self.meta_weight))
+        return total, {"prediction": base.item(), "meta": meta.item(), "total": total.item()}
+
+    def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        with no_grad():
+            p_id = self.user_emb.weight.data[users].copy()
+            q_id = self.item_emb.weight.data[items].copy()
+            # Swap in generated ID embeddings for cold ids.
+            cold_u = np.isin(users, self._cold_users)
+            if cold_u.any():
+                p_id[cold_u] = self._generated("user", users[cold_u]).data
+            cold_i = np.isin(items, self._cold_items)
+            if cold_i.any():
+                q_id[cold_i] = self._generated("item", items[cold_i]).data
+            p = self._repr("user", users, Tensor(p_id))
+            q = self._repr("item", items, Tensor(q_id))
+            return self.scorer(p, q, users, items).data

@@ -1,0 +1,59 @@
+"""Baseline registry: the paper's Table 2 line-up, grouped as in Sec. 4.1.2."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..train.recommender import Recommender
+from .danser import DANSER
+from .diffnet import DiffNet
+from .dropoutnet import DropoutNet
+from .gcmc import GCMC
+from .hers import HERS
+from .igmc import IGMC
+from .llae import LLAE
+from .metaemb import MetaEmb
+from .metahin import MetaHIN
+from .nfm import NFM
+from .srmgcnn import SRMGCNN
+from .stargcn import STARGCN
+
+__all__ = [
+    "WARM_START_BASELINES",
+    "NORMAL_COLD_BASELINES",
+    "STRICT_COLD_BASELINES",
+    "BASELINES",
+    "make_baseline",
+]
+
+#: designed for warm start (paper's first group)
+WARM_START_BASELINES: List[str] = ["NFM", "DiffNet", "DANSER", "sRMGCNN", "GC-MC"]
+#: developed for normal cold start (second group)
+NORMAL_COLD_BASELINES: List[str] = ["STAR-GCN", "MetaHIN", "IGMC"]
+#: can deal with strict cold start (third group)
+STRICT_COLD_BASELINES: List[str] = ["DropoutNet", "LLAE", "HERS", "MetaEmb"]
+
+BASELINES: Dict[str, Callable[..., Recommender]] = {
+    "NFM": NFM,
+    "DiffNet": DiffNet,
+    "DANSER": DANSER,
+    "sRMGCNN": SRMGCNN,
+    "GC-MC": GCMC,
+    "STAR-GCN": STARGCN,
+    "MetaHIN": MetaHIN,
+    "IGMC": IGMC,
+    "DropoutNet": DropoutNet,
+    "LLAE": LLAE,
+    "HERS": HERS,
+    "MetaEmb": MetaEmb,
+}
+
+
+def make_baseline(name: str, embedding_dim: int = 16, **kwargs) -> Recommender:
+    """Instantiate a baseline by its paper name."""
+    if name not in BASELINES:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINES)}")
+    cls = BASELINES[name]
+    if name == "LLAE":  # LLAE is linear & closed-form: no embedding dimension
+        return cls(**kwargs)
+    return cls(embedding_dim=embedding_dim, **kwargs)

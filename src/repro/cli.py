@@ -1,0 +1,134 @@
+"""Command-line interface: train and evaluate any model on any scenario.
+
+Examples:
+
+    python -m repro.cli run --model AGNN --dataset ML-100K --scenario item_cold
+    python -m repro.cli run --model DropoutNet --scenario user_cold --scale smoke --json
+    python -m repro.cli run --model AGNN --seeds 0 1 2 --scenario item_cold
+    python -m repro.cli list-models
+    python -m repro.cli datasets --scale bench
+
+The heavy lifting lives in ``repro.experiments``; this is a thin, scriptable
+front end that prints either human-readable text or machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable
+
+from .baselines import BASELINES, make_baseline
+from .core import ALL_VARIANTS, AGNN, agnn_variant
+from .experiments.configs import get_scale
+from .experiments.replicates import run_replicates
+from .experiments.runner import run_model
+from .train import Recommender, TrainConfig
+
+__all__ = ["main", "build_parser", "available_models", "model_factory"]
+
+
+def available_models() -> list[str]:
+    """All runnable model names: AGNN variants + the twelve baselines."""
+    return sorted(set(ALL_VARIANTS) | set(BASELINES))
+
+
+def model_factory(name: str, scale) -> Callable[[], Recommender]:
+    """Factory for any model name, configured at the given scale."""
+    if name in ALL_VARIANTS:
+        return lambda: agnn_variant(name, scale.agnn, seed=scale.seed)
+    if name in BASELINES:
+        return lambda: make_baseline(name, embedding_dim=scale.baseline_dim)
+    raise KeyError(f"unknown model {name!r}; see `repro.cli list-models`")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="train + evaluate one model")
+    run.add_argument("--model", required=True, help="model name (see list-models)")
+    run.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    run.add_argument("--scenario", default="item_cold", choices=["warm", "item_cold", "user_cold"])
+    run.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    run.add_argument("--seeds", type=int, nargs="+", default=None,
+                     help="run several seeds and report mean±std")
+    run.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
+    run.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    commands.add_parser("list-models", help="list every runnable model name")
+
+    datasets = commands.add_parser("datasets", help="show Table-1 statistics at a scale")
+    datasets.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    return parser
+
+
+def _command_run(args) -> int:
+    scale = get_scale(args.scale)
+    train_config = scale.train
+    if args.epochs is not None:
+        train_config = TrainConfig(
+            epochs=args.epochs,
+            batch_size=train_config.batch_size,
+            learning_rate=train_config.learning_rate,
+            patience=train_config.patience,
+        )
+    dataset = scale.datasets[args.dataset]()
+    factory = model_factory(args.model, scale)
+
+    if args.seeds:
+        result = run_replicates(factory, dataset, args.scenario, scale,
+                                seeds=args.seeds, train_config=train_config)
+        payload = {
+            "model": result.model_name,
+            "dataset": args.dataset,
+            "scenario": args.scenario,
+            "seeds": list(args.seeds),
+            "rmse_mean": result.rmse_mean,
+            "rmse_std": result.rmse_std,
+            "mae_mean": result.mae_mean,
+        }
+        text = f"{args.dataset}/{args.scenario}: {result}"
+    else:
+        fit = run_model(factory, dataset, args.scenario, scale, train_config=train_config)
+        payload = {
+            "model": fit.model_name,
+            "dataset": args.dataset,
+            "scenario": args.scenario,
+            "rmse": fit.result.rmse,
+            "mae": fit.result.mae,
+            "epochs_trained": fit.history.num_epochs,
+        }
+        text = f"{args.dataset}/{args.scenario} {fit.model_name}: {fit.result}"
+
+    print(json.dumps(payload, indent=2) if args.json else text)
+    return 0
+
+
+def _command_list_models(_args) -> int:
+    for name in available_models():
+        kind = "AGNN variant" if name in ALL_VARIANTS else "baseline"
+        print(f"{name:<14} {kind}")
+    return 0
+
+
+def _command_datasets(args) -> int:
+    from .experiments import table1
+
+    print(table1.render(table1.run_table1(get_scale(args.scale))))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "list-models": _command_list_models,
+        "datasets": _command_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

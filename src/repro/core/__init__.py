@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the AGNN model and its components."""
+
+from .cold_modules import (
+    ColdStartStrategy,
+    CorruptionStrategy,
+    DAEStrategy,
+    EVAEStrategy,
+    NullStrategy,
+    make_cold_module,
+)
+from .config import AGNNConfig
+from .evae import ExtendedVAE
+from .gated_gnn import GatedGNN, GATAggregator, GCNAggregator, IdentityAggregator, make_aggregator
+from .interaction import AttributeInteraction, NodeEncoder
+from .model import AGNN
+from .prediction import PredictionHead
+from .variants import ABLATION_VARIANTS, ALL_VARIANTS, REPLACEMENT_VARIANTS, agnn_variant
+
+__all__ = [
+    "AGNN",
+    "AGNNConfig",
+    "AttributeInteraction",
+    "NodeEncoder",
+    "ExtendedVAE",
+    "GatedGNN",
+    "GCNAggregator",
+    "GATAggregator",
+    "IdentityAggregator",
+    "make_aggregator",
+    "PredictionHead",
+    "ColdStartStrategy",
+    "EVAEStrategy",
+    "DAEStrategy",
+    "CorruptionStrategy",
+    "NullStrategy",
+    "make_cold_module",
+    "agnn_variant",
+    "ABLATION_VARIANTS",
+    "REPLACEMENT_VARIANTS",
+    "ALL_VARIANTS",
+]

@@ -1,0 +1,174 @@
+"""Strategies for generating missing preference embeddings of cold nodes.
+
+The paper's contribution is the eVAE (Sec. 3.3.3); the replacement study
+(Table 4) swaps it for the mechanisms of STAR-GCN (mask), DropoutNet
+(dropout) and LLAE (denoising auto-encoder).  Each strategy answers two
+questions:
+
+* during training — how are warm nodes' preference embeddings corrupted /
+  regularised so the model learns to cope with missing preference?
+* at inference — what preference embedding does a strict cold start node get?
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from ..nn import Linear, Module
+from ..nn.functional import mse_loss
+from .evae import ExtendedVAE
+
+__all__ = ["ColdStartStrategy", "EVAEStrategy", "DAEStrategy", "CorruptionStrategy", "NullStrategy", "make_cold_module"]
+
+
+class ColdStartStrategy(Module):
+    """Interface for cold-start preference generation."""
+
+    #: whether fit should add this strategy's reconstruction loss
+    has_reconstruction_loss: bool = False
+    #: whether this strategy corrupts preference rows during training
+    corrupts_preference: bool = False
+
+    def reconstruction_loss(self, attr_embed: Tensor, preference: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def generate(self, attr_embed: Tensor) -> Optional[np.ndarray]:
+        """Inference-time preference rows for cold nodes (None → zeros)."""
+        return None
+
+    def corruption_mask(self, batch_size: int, rng: np.random.Generator) -> Optional[np.ndarray]:
+        """0/1 mask over batch nodes (0 = preference zeroed), or None."""
+        return None
+
+
+class EVAEStrategy(ColdStartStrategy):
+    """The paper's eVAE (``use_approximation=False`` → plain VAE ablation)."""
+
+    has_reconstruction_loss = True
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        hidden_dim: int,
+        latent_dim: int,
+        leaky_slope: float,
+        use_approximation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.vae = ExtendedVAE(embedding_dim, hidden_dim, latent_dim, leaky_slope, rng=rng)
+        self.use_approximation = use_approximation
+
+    def reconstruction_loss(self, attr_embed: Tensor, preference: Tensor) -> Tensor:
+        loss, _ = self.vae.loss(
+            attr_embed,
+            preference_target=preference if self.use_approximation else None,
+            use_approximation=self.use_approximation,
+        )
+        # KL/NLL sum over the embedding dimensions; normalise so λ = 1 keeps
+        # the reconstruction on the same per-example scale as the (mean
+        # squared) prediction loss regardless of D.
+        return ops.mul(loss, 1.0 / self.vae.embedding_dim)
+
+    def generate(self, attr_embed: Tensor) -> np.ndarray:
+        return self.vae.generate(attr_embed).data
+
+
+class DAEStrategy(ColdStartStrategy):
+    """LLAE-style denoising auto-encoder: attribute embedding → preference.
+
+    A linear encoder/decoder trained to map (noised) attribute embeddings onto
+    the preference embeddings, mirroring LLAE's low-rank reconstruction but
+    operating in our embedding space (the AGNN_LLAE / AGNN_LLAE+ variants).
+    """
+
+    has_reconstruction_loss = True
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        hidden_dim: int,
+        noise_std: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.encoder = Linear(embedding_dim, hidden_dim)
+        self.decoder = Linear(hidden_dim, embedding_dim)
+        self.noise_std = noise_std
+        self._rng = rng or np.random.default_rng(0)
+
+    def _map(self, attr_embed: Tensor, noisy: bool) -> Tensor:
+        x = attr_embed
+        if noisy and self.noise_std > 0:
+            x = ops.add(x, Tensor(self._rng.normal(0.0, self.noise_std, size=x.shape)))
+        return self.decoder(self.encoder(x))
+
+    def reconstruction_loss(self, attr_embed: Tensor, preference: Tensor) -> Tensor:
+        return mse_loss(self._map(attr_embed, noisy=True), preference)
+
+    def generate(self, attr_embed: Tensor) -> np.ndarray:
+        return self._map(attr_embed, noisy=False).data
+
+
+class CorruptionStrategy(ColdStartStrategy):
+    """STAR-GCN mask / DropoutNet dropout: zero some preference rows in training.
+
+    With ``reconstruct=True`` (mask) a decoder is expected to rebuild the
+    zeroed embeddings downstream — AGNN_mask wires that up in the model; with
+    ``reconstruct=False`` this is pure dropout (AGNN_drop).  Cold nodes are
+    served the zero embedding at inference, which is exactly the input the
+    model saw for corrupted nodes during training.
+    """
+
+    corrupts_preference = True
+
+    def __init__(self, rate: float, reconstruct: bool, embedding_dim: int) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.reconstruct = reconstruct
+        if reconstruct:
+            self.decoder = Linear(embedding_dim, embedding_dim)
+        self.has_reconstruction_loss = reconstruct
+
+    def corruption_mask(self, batch_size: int, rng: np.random.Generator) -> np.ndarray:
+        return (rng.random(batch_size) >= self.rate).astype(np.float64)
+
+    def decode_loss(self, aggregated: Tensor, original: Tensor) -> Tensor:
+        """Mask-style reconstruction: rebuild the uncorrupted node embedding."""
+        if not self.reconstruct:
+            raise RuntimeError("decode_loss is only defined for the mask variant")
+        return mse_loss(self.decoder(aggregated), original.detach())
+
+
+class NullStrategy(ColdStartStrategy):
+    """AGNN_-eVAE: nothing generates preference; cold nodes get zeros."""
+
+
+def make_cold_module(
+    kind: str,
+    embedding_dim: int,
+    hidden_dim: int,
+    latent_dim: int,
+    leaky_slope: float,
+    mask_rate: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[ColdStartStrategy, bool]:
+    """Build the strategy for ``kind``; returns (strategy, uses_evae_loss)."""
+    if kind == "evae":
+        return EVAEStrategy(embedding_dim, hidden_dim, latent_dim, leaky_slope, True, rng), True
+    if kind == "vae":
+        return EVAEStrategy(embedding_dim, hidden_dim, latent_dim, leaky_slope, False, rng), True
+    if kind == "dae":
+        return DAEStrategy(embedding_dim, hidden_dim, rng=rng), True
+    if kind == "mask":
+        return CorruptionStrategy(mask_rate, reconstruct=True, embedding_dim=embedding_dim), False
+    if kind == "dropout":
+        return CorruptionStrategy(mask_rate, reconstruct=False, embedding_dim=embedding_dim), False
+    if kind == "none":
+        return NullStrategy(), False
+    raise ValueError(f"unknown cold module {kind!r}; choose evae/vae/dae/mask/dropout/none")

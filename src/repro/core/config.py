@@ -1,0 +1,73 @@
+"""AGNN hyper-parameters and variant switches.
+
+The defaults follow the paper's Sec. 4.1.4: embedding dimension ``D = 40``,
+candidate-pool threshold ``p = 5`` (percent), reconstruction weight
+``λ = 1``, LeakyReLU slope 0.01, |N_u| = |N_i| = 10 dynamic neighbours.
+
+The variant switches exist so the ablation (Table 3) and replacement
+(Table 4) studies are plain configuration changes — see
+``repro.core.variants`` for the named factories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal, Optional
+
+__all__ = ["AGNNConfig"]
+
+GraphStrategy = Literal["dynamic", "knn", "copurchase"]
+Aggregator = Literal["gated", "gcn", "gat", "none"]
+ColdModule = Literal["evae", "vae", "dae", "mask", "dropout", "none"]
+
+
+@dataclass(frozen=True)
+class AGNNConfig:
+    """All AGNN hyper-parameters in one place."""
+
+    embedding_dim: int = 40
+    num_neighbors: int = 10
+    pool_percent: float = 5.0
+    recon_weight: float = 1.0  # λ in Eq. 15
+    leaky_slope: float = 0.01
+    vae_hidden: Optional[int] = None  # default: embedding_dim
+    vae_latent: Optional[int] = None  # default: embedding_dim
+    prediction_hidden: Optional[int] = None  # default: embedding_dim
+
+    # Graph construction (Sec. 3.3.1 / Table 4 replacements)
+    graph_strategy: GraphStrategy = "dynamic"
+    use_attribute_proximity: bool = True  # AGNN_PP turns this off
+    use_preference_proximity: bool = True  # AGNN_AP turns this off
+    knn_k: int = 10  # fixed-graph strategies
+
+    # Neighbourhood aggregation (Sec. 3.3.4 / Tables 3-4)
+    aggregator: Aggregator = "gated"
+    use_aggregate_gate: bool = True  # AGNN_-agate turns this off
+    use_filter_gate: bool = True  # AGNN_-fgate turns this off
+
+    # Cold-start preference generation (Sec. 3.3.3 / Tables 3-4)
+    cold_module: ColdModule = "evae"
+    mask_rate: float = 0.2  # AGNN_mask / AGNN_drop corruption rate
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim < 1:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_neighbors < 1:
+            raise ValueError("num_neighbors must be positive")
+        if not 0.0 < self.pool_percent <= 100.0:
+            raise ValueError("pool_percent must be in (0, 100]")
+        if self.recon_weight < 0.0:
+            raise ValueError("recon_weight must be non-negative")
+        if not 0.0 <= self.mask_rate < 1.0:
+            raise ValueError("mask_rate must be in [0, 1)")
+
+    @property
+    def hidden(self) -> int:
+        return self.vae_hidden or self.embedding_dim
+
+    @property
+    def latent(self) -> int:
+        return self.vae_latent or self.embedding_dim
+
+    def with_overrides(self, **kwargs) -> "AGNNConfig":
+        return replace(self, **kwargs)

@@ -1,0 +1,265 @@
+"""The AGNN model (paper Sec. 3), assembled from the layer modules.
+
+Pipeline per (user, item) pair:
+
+1. **input layer** — user–user and item–item attribute graphs built from
+   proximities over *training* data (``repro.graphs``); neighbourhoods are
+   re-sampled from the candidate pools every epoch (dynamic strategy);
+2. **attribute interaction layer** — node embedding ``p_u = W[m_u; x_u] + b``
+   with Bi-Interaction attribute pooling;
+3. **eVAE** — trained to map attribute embeddings onto preference embeddings;
+   at inference it *generates* ``m_u`` for strict cold start nodes;
+4. **gated-GNN** — per-dimension gated aggregation over the sampled
+   neighbourhood;
+5. **prediction layer** — MLP + inner product + biases.
+
+Loss: ``L = L_pred + λ (L_recon_user + L_recon_item)`` (Eq. 15).
+
+Every ablation/replacement of Tables 3–4 is a configuration of this class —
+see ``repro.core.variants``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad, ops
+from ..data.splits import RecommendationTask
+from ..graphs import (
+    NeighborGraph,
+    build_attribute_graph,
+    build_copurchase_graph,
+    build_knn_graph,
+)
+from ..nn.functional import mse_loss
+from ..train.recommender import Recommender
+from .cold_modules import CorruptionStrategy, make_cold_module
+from .config import AGNNConfig
+from .gated_gnn import make_aggregator
+from .interaction import NodeEncoder
+from .prediction import PredictionHead
+
+__all__ = ["AGNN"]
+
+
+class AGNN(Recommender):
+    """Attribute Graph Neural Network for strict cold start rating prediction."""
+
+    name = "AGNN"
+
+    def __init__(self, config: AGNNConfig = AGNNConfig(), rng_seed: int = 0) -> None:
+        super().__init__()
+        self.config = config
+        self._rng = np.random.default_rng(rng_seed)
+        self._built = False
+        # Per-task state, created in prepare():
+        self._graphs: Dict[str, NeighborGraph] = {}
+        self._neighbours: Dict[str, np.ndarray] = {}
+        self._attributes: Dict[str, np.ndarray] = {}
+        self._inference_pref: Dict[str, Optional[np.ndarray]] = {"user": None, "item": None}
+        self._cold_nodes: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ setup
+    def _build(self, task: RecommendationTask) -> None:
+        """Instantiate all sub-modules once the dataset shapes are known."""
+        cfg = self.config
+        dataset = task.dataset
+        self.user_encoder = NodeEncoder(
+            dataset.num_users, dataset.user_attributes.shape[1], cfg.embedding_dim, cfg.leaky_slope
+        )
+        self.item_encoder = NodeEncoder(
+            dataset.num_items, dataset.item_attributes.shape[1], cfg.embedding_dim, cfg.leaky_slope
+        )
+        self.user_aggregator = make_aggregator(
+            cfg.aggregator, cfg.embedding_dim, cfg.leaky_slope, cfg.use_aggregate_gate, cfg.use_filter_gate
+        )
+        self.item_aggregator = make_aggregator(
+            cfg.aggregator, cfg.embedding_dim, cfg.leaky_slope, cfg.use_aggregate_gate, cfg.use_filter_gate
+        )
+        user_cold, _ = make_cold_module(
+            cfg.cold_module, cfg.embedding_dim, cfg.hidden, cfg.latent, cfg.leaky_slope, cfg.mask_rate, self._rng
+        )
+        item_cold, _ = make_cold_module(
+            cfg.cold_module, cfg.embedding_dim, cfg.hidden, cfg.latent, cfg.leaky_slope, cfg.mask_rate, self._rng
+        )
+        self.user_cold = user_cold
+        self.item_cold = item_cold
+        self.head = PredictionHead(
+            cfg.embedding_dim,
+            dataset.num_users,
+            dataset.num_items,
+            global_mean=task.train_global_mean,
+            hidden_dim=cfg.prediction_hidden,
+        )
+        self._built = True
+
+    def _build_graph(self, task: RecommendationTask, side: str) -> NeighborGraph:
+        cfg = self.config
+        if cfg.graph_strategy == "dynamic":
+            return build_attribute_graph(
+                task,
+                side,
+                pool_percent=cfg.pool_percent,
+                use_attribute=cfg.use_attribute_proximity,
+                use_preference=cfg.use_preference_proximity,
+                min_pool=cfg.num_neighbors,
+            )
+        if cfg.graph_strategy == "knn":
+            return build_knn_graph(task, side, k=cfg.knn_k)
+        if cfg.graph_strategy == "copurchase":
+            return build_copurchase_graph(task, side, k=cfg.knn_k)
+        raise ValueError(f"unknown graph strategy {cfg.graph_strategy!r}")
+
+    def prepare(self, task: RecommendationTask) -> None:
+        if not self._built:
+            self._build(task)
+        self._attributes = {
+            "user": task.dataset.user_attributes,
+            "item": task.dataset.item_attributes,
+        }
+        self._graphs = {
+            "user": self._build_graph(task, "user"),
+            "item": self._build_graph(task, "item"),
+        }
+        # Initial neighbourhoods (re-sampled per epoch for dynamic graphs).
+        self._neighbours = {
+            side: graph.neighbours(self.config.num_neighbors, self._rng) for side, graph in self._graphs.items()
+        }
+        # Nodes with zero training interactions need generated preference.
+        train_user_set = np.zeros(task.dataset.num_users, dtype=bool)
+        train_user_set[task.train_users] = True
+        train_item_set = np.zeros(task.dataset.num_items, dtype=bool)
+        train_item_set[task.train_items] = True
+        self._cold_nodes = {
+            "user": np.flatnonzero(~train_user_set),
+            "item": np.flatnonzero(~train_item_set),
+        }
+        self._inference_pref = {"user": None, "item": None}
+
+    def begin_epoch(self, epoch: int, rng: np.random.Generator) -> None:
+        """Dynamic graph construction: fresh neighbourhood sample each round."""
+        self._neighbours = {
+            side: graph.neighbours(self.config.num_neighbors, rng) for side, graph in self._graphs.items()
+        }
+        self._inference_pref = {"user": None, "item": None}
+
+    def _invalidate_inference_cache(self) -> None:
+        """Weights were restored (early stopping): regenerate cold preferences."""
+        self._inference_pref = {"user": None, "item": None}
+
+    # ------------------------------------------------------------------ encoding
+    def _encoder(self, side: str) -> NodeEncoder:
+        return self.user_encoder if side == "user" else self.item_encoder
+
+    def _aggregator(self, side: str):
+        return self.user_aggregator if side == "user" else self.item_aggregator
+
+    def _cold_module(self, side: str):
+        return self.user_cold if side == "user" else self.item_cold
+
+    def _encode_side(
+        self,
+        side: str,
+        ids: np.ndarray,
+        preference_override: Optional[np.ndarray] = None,
+        corruption_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Return (p̃ after aggregation, p before aggregation) for node ids."""
+        encoder = self._encoder(side)
+        attributes = self._attributes[side]
+        target = encoder.node_embedding(ids, attributes, preference_override, corruption_mask)
+        neighbour_ids = self._neighbours[side][np.asarray(ids, dtype=np.int64)]  # (B, k)
+        batch, k = neighbour_ids.shape
+        flat = encoder.node_embedding(neighbour_ids.reshape(-1), attributes, preference_override)
+        neighbours = flat.reshape(batch, k, self.config.embedding_dim)
+        aggregated = self._aggregator(side)(target, neighbours)
+        return aggregated, target
+
+    # ------------------------------------------------------------------ training
+    def batch_loss(
+        self, users: np.ndarray, items: np.ndarray, ratings: np.ndarray
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        cfg = self.config
+        parts: Dict[str, float] = {}
+
+        user_mask = self.user_cold.corruption_mask(len(users), self._rng)
+        item_mask = self.item_cold.corruption_mask(len(items), self._rng)
+        p_tilde, p_raw = self._encode_side("user", users, corruption_mask=user_mask)
+        q_tilde, q_raw = self._encode_side("item", items, corruption_mask=item_mask)
+
+        prediction = self.head(p_tilde, q_tilde, users, items)
+        pred_loss = mse_loss(prediction, ratings)
+        parts["prediction"] = pred_loss.item()
+        total = pred_loss
+
+        recon = self._reconstruction_loss(users, items, p_tilde, q_tilde, p_raw, q_raw)
+        if recon is not None:
+            parts["reconstruction"] = recon.item()
+            total = ops.add(total, ops.mul(recon, cfg.recon_weight))
+        parts["total"] = total.item()
+        return total, parts
+
+    def _reconstruction_loss(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        p_tilde: Tensor,
+        q_tilde: Tensor,
+        p_raw: Tensor,
+        q_raw: Tensor,
+    ) -> Optional[Tensor]:
+        """Sum the cold-start strategies' losses over both sides, if any."""
+        terms = []
+        for side, ids in (("user", users), ("item", items)):
+            module = self._cold_module(side)
+            if isinstance(module, CorruptionStrategy) and module.reconstruct:
+                aggregated, raw = (p_tilde, p_raw) if side == "user" else (q_tilde, q_raw)
+                terms.append(module.decode_loss(aggregated, raw))
+            elif module.has_reconstruction_loss:
+                unique = np.unique(ids)
+                encoder = self._encoder(side)
+                # Detach the attribute embedding: the eVAE *reads* it to learn
+                # the attribute→preference map; letting reconstruction
+                # gradients reshape the attribute-interaction weights trades
+                # predictive attribute embeddings for reconstructable ones.
+                attr_embed = encoder.attribute_embedding(unique, self._attributes[side]).detach()
+                preference = encoder.preference(unique)
+                terms.append(module.reconstruction_loss(attr_embed, preference))
+        if not terms:
+            return None
+        total = terms[0]
+        for term in terms[1:]:
+            total = ops.add(total, term)
+        return total
+
+    # ------------------------------------------------------------------ inference
+    def _inference_preferences(self, side: str) -> np.ndarray:
+        """Full (n, D) preference matrix with cold rows generated/zeroed."""
+        cached = self._inference_pref[side]
+        if cached is not None:
+            return cached
+        encoder = self._encoder(side)
+        matrix = encoder.preference.weight.data.copy()
+        cold = self._cold_nodes[side]
+        if len(cold):
+            with no_grad():
+                attr_embed = encoder.attribute_embedding(cold, self._attributes[side])
+                generated = self._cold_module(side).generate(attr_embed)
+            matrix[cold] = generated if generated is not None else 0.0
+        self._inference_pref[side] = matrix
+        return matrix
+
+    def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        if not self._built:
+            raise RuntimeError("AGNN must be fitted before predicting")
+        p_tilde, _ = self._encode_side("user", users, preference_override=self._inference_preferences("user"))
+        q_tilde, _ = self._encode_side("item", items, preference_override=self._inference_preferences("item"))
+        return self.head(p_tilde, q_tilde, users, items).data
+
+    def generated_preferences(self, side: str) -> np.ndarray:
+        """Public accessor: inference preference matrix (examples/diagnostics)."""
+        if side not in ("user", "item"):
+            raise ValueError("side must be 'user' or 'item'")
+        return self._inference_preferences(side)

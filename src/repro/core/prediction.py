@@ -1,0 +1,48 @@
+"""Prediction layer (paper Sec. 3.3.5, Eq. 14).
+
+    R̂_ui = MLP([p̃_u ; q̃_i]) + p̃_u · q̃_i + b_u + b_i + μ
+
+with a one-hidden-layer MLP for the non-linear interaction, the classic inner
+product, per-user/per-item biases and the global mean μ (fixed from training
+data, as in biased MF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from ..nn import MLP, Bias, Module
+
+__all__ = ["PredictionHead"]
+
+
+class PredictionHead(Module):
+    def __init__(
+        self,
+        embedding_dim: int,
+        num_users: int,
+        num_items: int,
+        global_mean: float,
+        hidden_dim: int | None = None,
+    ) -> None:
+        super().__init__()
+        hidden = hidden_dim or embedding_dim
+        self.mlp = MLP([2 * embedding_dim, hidden, 1], activation="leaky_relu")
+        self.user_bias = Bias(num_users)
+        self.item_bias = Bias(num_items)
+        self.global_mean = float(global_mean)
+
+    def forward(
+        self,
+        user_repr: Tensor,
+        item_repr: Tensor,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
+        """Predicted ratings, shape (B,)."""
+        batch = user_repr.shape[0]
+        nonlinear = self.mlp(ops.concatenate([user_repr, item_repr], axis=1)).reshape(batch)
+        dot = ops.sum(ops.mul(user_repr, item_repr), axis=1)
+        biases = ops.add(self.user_bias(users), self.item_bias(items))
+        return ops.add(ops.add(ops.add(nonlinear, dot), biases), self.global_mean)

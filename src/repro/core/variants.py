@@ -1,0 +1,67 @@
+"""Named AGNN variants for the ablation (Table 3) and replacement (Table 4) studies.
+
+Each factory returns a fresh, fully configured model whose ``name`` matches
+the paper's notation.  All variants are pure configurations of :class:`AGNN`;
+nothing is forked, so any improvement to the trunk benefits every study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .config import AGNNConfig
+from .model import AGNN
+
+__all__ = ["agnn_variant", "ABLATION_VARIANTS", "REPLACEMENT_VARIANTS", "ALL_VARIANTS"]
+
+
+def _named(name: str, **overrides) -> Callable[[AGNNConfig, int], AGNN]:
+    def factory(config: AGNNConfig = AGNNConfig(), seed: int = 0) -> AGNN:
+        model = AGNN(config.with_overrides(**overrides), rng_seed=seed)
+        model.name = name
+        return model
+
+    factory.__name__ = f"make_{name}"
+    factory.__doc__ = f"Build the {name} variant ({overrides or 'full model'})."
+    return factory
+
+
+#: Table 3 — remove one component at a time.
+ABLATION_VARIANTS: Dict[str, Callable[..., AGNN]] = {
+    "AGNN": _named("AGNN"),
+    # Graph proximity ablations: build the graph from one proximity only.
+    "AGNN_PP": _named("AGNN_PP", use_attribute_proximity=False, use_preference_proximity=True),
+    "AGNN_AP": _named("AGNN_AP", use_attribute_proximity=True, use_preference_proximity=False),
+    # Gate ablations.
+    "AGNN_-gGNN": _named("AGNN_-gGNN", aggregator="none"),
+    "AGNN_-agate": _named("AGNN_-agate", use_aggregate_gate=False),
+    "AGNN_-fgate": _named("AGNN_-fgate", use_filter_gate=False),
+    # eVAE ablations.
+    "AGNN_-eVAE": _named("AGNN_-eVAE", cold_module="none"),
+    "AGNN_VAE": _named("AGNN_VAE", cold_module="vae"),
+}
+
+#: Table 4 — replace a component with a baseline's mechanism.
+REPLACEMENT_VARIANTS: Dict[str, Callable[..., AGNN]] = {
+    "AGNN": _named("AGNN"),
+    # Graph construction replacements.
+    "AGNN_knn": _named("AGNN_knn", graph_strategy="knn"),
+    "AGNN_cop": _named("AGNN_cop", graph_strategy="copurchase"),
+    # Aggregator replacements.
+    "AGNN_GCN": _named("AGNN_GCN", aggregator="gcn"),
+    "AGNN_GAT": _named("AGNN_GAT", aggregator="gat"),
+    # Cold-start mechanism replacements.
+    "AGNN_mask": _named("AGNN_mask", cold_module="mask"),
+    "AGNN_drop": _named("AGNN_drop", cold_module="dropout"),
+    "AGNN_LLAE": _named("AGNN_LLAE", cold_module="dae", aggregator="none"),
+    "AGNN_LLAE+": _named("AGNN_LLAE+", cold_module="dae"),
+}
+
+ALL_VARIANTS: Dict[str, Callable[..., AGNN]] = {**ABLATION_VARIANTS, **REPLACEMENT_VARIANTS}
+
+
+def agnn_variant(name: str, config: AGNNConfig = AGNNConfig(), seed: int = 0) -> AGNN:
+    """Build a variant by its paper name (e.g. ``"AGNN_-fgate"``)."""
+    if name not in ALL_VARIANTS:
+        raise KeyError(f"unknown variant {name!r}; available: {sorted(ALL_VARIANTS)}")
+    return ALL_VARIANTS[name](config, seed)

@@ -1,0 +1,40 @@
+"""Dataset substrate: schemas, synthetic generators, and scenario splits."""
+
+from .dataset import DatasetStats, RatingDataset
+from .generator import LatentModel, quantise_ratings, sample_interactions
+from .movielens import ML_100K, ML_1M, MovieLensConfig, generate_movielens
+from .normal_cold import normal_item_cold_split, normal_user_cold_split
+from .schema import AttributeSchema, CategoricalField, MultiLabelField
+from .splits import (
+    RecommendationTask,
+    item_cold_split,
+    make_split,
+    user_cold_split,
+    warm_split,
+)
+from .yelp import YELP, YelpConfig, generate_yelp
+
+__all__ = [
+    "AttributeSchema",
+    "CategoricalField",
+    "MultiLabelField",
+    "RatingDataset",
+    "DatasetStats",
+    "LatentModel",
+    "sample_interactions",
+    "quantise_ratings",
+    "MovieLensConfig",
+    "ML_100K",
+    "ML_1M",
+    "generate_movielens",
+    "YelpConfig",
+    "YELP",
+    "generate_yelp",
+    "RecommendationTask",
+    "warm_split",
+    "item_cold_split",
+    "user_cold_split",
+    "make_split",
+    "normal_item_cold_split",
+    "normal_user_cold_split",
+]

@@ -1,0 +1,125 @@
+"""The RatingDataset container shared by every model and experiment.
+
+Holds the user/item attribute matrices (multi-hot, per the paper's Sec. 3.1),
+the explicit interactions ``(user, item, rating)``, the rating scale, and the
+ground-truth latent factors of the synthetic generator (kept only for
+diagnostics — models never see them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .schema import AttributeSchema
+
+__all__ = ["RatingDataset", "DatasetStats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The row of the paper's Table 1 for one dataset."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_ratings: int
+    sparsity: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<10} {self.num_users:>8,} {self.num_items:>8,} "
+            f"{self.num_ratings:>10,} {self.sparsity:>8.2%}"
+        )
+
+
+@dataclass
+class RatingDataset:
+    """Explicit-feedback rating data with user and item attributes."""
+
+    name: str
+    user_attributes: np.ndarray  # (M, K_u) multi-hot
+    item_attributes: np.ndarray  # (N, K_i) multi-hot
+    user_ids: np.ndarray  # (R,) int
+    item_ids: np.ndarray  # (R,) int
+    ratings: np.ndarray  # (R,) float, within rating_scale
+    rating_scale: tuple = (1.0, 5.0)
+    user_schema: Optional[AttributeSchema] = None
+    item_schema: Optional[AttributeSchema] = None
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.user_attributes = np.asarray(self.user_attributes, dtype=np.float64)
+        self.item_attributes = np.asarray(self.item_attributes, dtype=np.float64)
+        self.user_ids = np.asarray(self.user_ids, dtype=np.int64)
+        self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
+        self.ratings = np.asarray(self.ratings, dtype=np.float64)
+        if not (len(self.user_ids) == len(self.item_ids) == len(self.ratings)):
+            raise ValueError("user_ids, item_ids and ratings must have equal length")
+        if len(self.user_ids) and self.user_ids.max() >= self.num_users:
+            raise ValueError("interaction references a user beyond the attribute matrix")
+        if len(self.item_ids) and self.item_ids.max() >= self.num_items:
+            raise ValueError("interaction references an item beyond the attribute matrix")
+        low, high = self.rating_scale
+        if len(self.ratings) and (self.ratings.min() < low or self.ratings.max() > high):
+            raise ValueError(f"ratings outside scale {self.rating_scale}")
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def num_users(self) -> int:
+        return self.user_attributes.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        return self.item_attributes.shape[0]
+
+    @property
+    def num_ratings(self) -> int:
+        return len(self.ratings)
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of the user–item matrix with no interaction."""
+        cells = self.num_users * self.num_items
+        return 1.0 - self.num_ratings / cells if cells else 1.0
+
+    @property
+    def global_mean(self) -> float:
+        return float(self.ratings.mean()) if self.num_ratings else 0.0
+
+    def stats(self) -> DatasetStats:
+        return DatasetStats(
+            name=self.name,
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_ratings=self.num_ratings,
+            sparsity=self.sparsity,
+        )
+
+    # ------------------------------------------------------------------ views
+    def interactions_of_users(self, users: np.ndarray) -> np.ndarray:
+        """Indices of interactions whose user is in ``users``."""
+        mask = np.isin(self.user_ids, users)
+        return np.flatnonzero(mask)
+
+    def interactions_of_items(self, items: np.ndarray) -> np.ndarray:
+        mask = np.isin(self.item_ids, items)
+        return np.flatnonzero(mask)
+
+    def rating_matrix(self) -> np.ndarray:
+        """Dense user–item rating matrix R (0 = unobserved). Small datasets only."""
+        matrix = np.zeros((self.num_users, self.num_items))
+        matrix[self.user_ids, self.item_ids] = self.ratings
+        return matrix
+
+    def user_histories(self) -> Dict[int, np.ndarray]:
+        """Map user id -> array of interaction indices, for samplers."""
+        order = np.argsort(self.user_ids, kind="stable")
+        histories: Dict[int, np.ndarray] = {}
+        boundaries = np.flatnonzero(np.diff(self.user_ids[order])) + 1
+        for chunk in np.split(order, boundaries):
+            if len(chunk):
+                histories[int(self.user_ids[chunk[0]])] = chunk
+        return histories

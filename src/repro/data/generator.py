@@ -1,0 +1,152 @@
+"""Shared machinery for the synthetic dataset generators.
+
+The paper's premise is that user/item attributes carry preference signal
+("animation is the mainstream entertainment among teenage children").  The
+generator makes that link explicit: every attribute *value* owns a latent
+vector; a node's preference factors are a blend of its attribute latents and
+idiosyncratic noise, controlled by ``attribute_signal``.  Ratings are produced
+by the classic biased matrix-factorisation model
+
+    r_ui = mu + b_u + b_i + u·v + eps,
+
+then clipped to the rating scale and quantised to half-star precision.  With
+``attribute_signal`` near 1 a model that reads attributes can in principle
+recover most of the preference structure — the regime the paper evaluates;
+with 0 attributes are pure noise and no cold-start method can win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .schema import AttributeSchema
+
+__all__ = ["LatentModel", "sample_interactions", "quantise_ratings"]
+
+
+@dataclass
+class LatentModel:
+    """Latent factors for one side (users or items) derived from attributes."""
+
+    factors: np.ndarray  # (n, d) preference/property factors
+    biases: np.ndarray  # (n,)
+    attribute_latents: np.ndarray  # (K, d) one latent per multi-hot column
+
+    @classmethod
+    def from_attributes(
+        cls,
+        attributes: np.ndarray,
+        latent_dim: int,
+        attribute_signal: float,
+        rng: np.random.Generator,
+        bias_std: float = 0.35,
+    ) -> "LatentModel":
+        """Blend attribute-value latents with node-specific noise.
+
+        ``attribute_signal`` in [0, 1]: weight of the attribute-driven part of
+        the factors; the remainder is i.i.d. noise, so strict-cold-start
+        predictability degrades smoothly as the signal drops.
+        """
+        if not 0.0 <= attribute_signal <= 1.0:
+            raise ValueError(f"attribute_signal must be in [0, 1], got {attribute_signal}")
+        attributes = np.asarray(attributes, dtype=np.float64)
+        n, k = attributes.shape
+        attribute_latents = rng.normal(0.0, 1.0, size=(k, latent_dim))
+        counts = np.maximum(attributes.sum(axis=1, keepdims=True), 1.0)
+        from_attributes = (attributes @ attribute_latents) / np.sqrt(counts)
+        noise = rng.normal(0.0, 1.0, size=(n, latent_dim))
+        factors = attribute_signal * from_attributes + (1.0 - attribute_signal) * noise
+        # Normalise scale so the rating model's dot products stay comparable
+        # across signal settings.
+        factors /= max(np.std(factors), 1e-8)
+        biases = rng.normal(0.0, bias_std, size=n)
+        return cls(factors=factors, biases=biases, attribute_latents=attribute_latents)
+
+
+def quantise_ratings(raw: np.ndarray, scale: Tuple[float, float], step: float = 1.0) -> np.ndarray:
+    """Clip to the rating scale and round to the nearest ``step`` (stars)."""
+    low, high = scale
+    clipped = np.clip(raw, low, high)
+    return np.round(clipped / step) * step
+
+
+def sample_interactions(
+    users: LatentModel,
+    items: LatentModel,
+    num_ratings: int,
+    rng: np.random.Generator,
+    global_mean: float = 3.6,
+    affinity_weight: float = 0.9,
+    noise_std: float = 0.55,
+    popularity_exponent: float = 1.0,
+    activity_sigma: float = 0.9,
+    selection_bias: float = 0.5,
+    scale: Tuple[float, float] = (1.0, 5.0),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw ``(user_ids, item_ids, ratings)`` without duplicate pairs.
+
+    Users are assigned activity levels from a lognormal distribution and items
+    a Zipf-like popularity; each user then rates a propensity-weighted sample
+    of items, where propensity mixes popularity with latent affinity (people
+    watch what they expect to like, scaled by ``selection_bias``).  This
+    reproduces the long-tailed degree distributions of MovieLens/Yelp.
+
+    Affinity is normalised by √d so its standard deviation is ≈1 regardless
+    of the latent dimension; observed ratings then have std ≈1.1–1.2 on the
+    1–5 scale, matching the real MovieLens/Yelp distributions.
+    """
+    num_users = len(users.factors)
+    num_items = len(items.factors)
+    if num_ratings > num_users * num_items:
+        raise ValueError("cannot draw more unique interactions than matrix cells")
+    latent_dim = users.factors.shape[1]
+    affinity_norm = np.sqrt(latent_dim)
+
+    activity = rng.lognormal(mean=0.0, sigma=activity_sigma, size=num_users)
+    activity /= activity.sum()
+    per_user = np.maximum(rng.multinomial(num_ratings, activity), 1)
+    # multinomial + the floor of 1 can overshoot; trim the heaviest users.
+    while per_user.sum() > num_ratings:
+        per_user[np.argmax(per_user)] -= 1
+    per_user = np.minimum(per_user, num_items)
+
+    ranks = rng.permutation(num_items) + 1
+    popularity_logit = -popularity_exponent * np.log(ranks.astype(np.float64))
+
+    user_ids: list[np.ndarray] = []
+    item_ids: list[np.ndarray] = []
+    for u in range(num_users):
+        count = int(per_user[u])
+        if count == 0:
+            continue
+        affinity = items.factors @ users.factors[u] / affinity_norm
+        logits = popularity_logit + selection_bias * affinity
+        logits -= logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        chosen = rng.choice(num_items, size=count, replace=False, p=probs)
+        user_ids.append(np.full(count, u, dtype=np.int64))
+        item_ids.append(chosen.astype(np.int64))
+
+    uid = np.concatenate(user_ids)
+    iid = np.concatenate(item_ids)
+
+    affinity = np.einsum("ij,ij->i", users.factors[uid], items.factors[iid]) / affinity_norm
+    raw = (
+        global_mean
+        + users.biases[uid]
+        + items.biases[iid]
+        + affinity_weight * affinity
+        + rng.normal(0.0, noise_std, size=len(uid))
+    )
+    ratings = quantise_ratings(raw, scale)
+    return uid, iid, ratings
+
+
+def schema_dim_check(schema: AttributeSchema, attributes: np.ndarray) -> None:
+    """Assert the attribute matrix matches the schema width."""
+    if attributes.shape[1] != schema.dim:
+        raise ValueError(f"attribute matrix width {attributes.shape[1]} != schema dim {schema.dim}")

@@ -1,0 +1,129 @@
+"""Attribute schemas and multi-hot encodings (paper Sec. 3.1).
+
+Each user/item carries a set of attributes from different fields; every field
+value gets a separated one-hot block and the blocks are concatenated into one
+multi-hot encoding ``a ∈ R^K``:
+
+    a_u = [0,1 | 1,0,...,0 | 0,1,0,...,0]
+           gender   age       occupation
+
+``CategoricalField`` holds exactly one active value; ``MultiLabelField`` holds
+any subset (movie categories, Yelp social links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["CategoricalField", "MultiLabelField", "AttributeSchema"]
+
+FieldValue = Union[int, Sequence[int]]
+
+
+@dataclass(frozen=True)
+class CategoricalField:
+    """A field with exactly one active value per node, e.g. gender or state."""
+
+    name: str
+    num_values: int
+
+    def __post_init__(self) -> None:
+        if self.num_values < 1:
+            raise ValueError(f"field {self.name!r} needs at least one value")
+
+    def encode(self, value: FieldValue, out: np.ndarray) -> None:
+        value = int(value)
+        if not 0 <= value < self.num_values:
+            raise ValueError(f"value {value} out of range for field {self.name!r} ({self.num_values} values)")
+        out[value] = 1.0
+
+
+@dataclass(frozen=True)
+class MultiLabelField:
+    """A field where a node may hold several values, e.g. movie categories."""
+
+    name: str
+    num_values: int
+
+    def __post_init__(self) -> None:
+        if self.num_values < 1:
+            raise ValueError(f"field {self.name!r} needs at least one value")
+
+    def encode(self, value: FieldValue, out: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(value, dtype=np.int64))
+        if values.size and (values.min() < 0 or values.max() >= self.num_values):
+            raise ValueError(f"values {values} out of range for field {self.name!r} ({self.num_values} values)")
+        out[values] = 1.0
+
+
+Field = Union[CategoricalField, MultiLabelField]
+
+
+@dataclass
+class AttributeSchema:
+    """An ordered list of fields, plus the bookkeeping to encode/decode them."""
+
+    fields: List[Field]
+    _offsets: List[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in schema: {names}")
+        offsets = [0]
+        for f in self.fields:
+            offsets.append(offsets[-1] + f.num_values)
+        self._offsets = offsets
+
+    @property
+    def dim(self) -> int:
+        """Total multi-hot dimensionality K."""
+        return self._offsets[-1]
+
+    @property
+    def num_fields(self) -> int:
+        return len(self.fields)
+
+    @property
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def field_slice(self, name: str) -> slice:
+        """The columns of the encoding occupied by field ``name``."""
+        for f, start, stop in zip(self.fields, self._offsets[:-1], self._offsets[1:]):
+            if f.name == name:
+                return slice(start, stop)
+        raise KeyError(f"no field named {name!r}")
+
+    def field_slices(self) -> Dict[str, slice]:
+        return {f.name: self.field_slice(f.name) for f in self.fields}
+
+    def encode(self, values: Dict[str, FieldValue]) -> np.ndarray:
+        """Encode one node's attribute values into a multi-hot row."""
+        row = np.zeros(self.dim)
+        for f, start in zip(self.fields, self._offsets[:-1]):
+            if f.name not in values:
+                raise KeyError(f"missing value for field {f.name!r}")
+            f.encode(values[f.name], row[start : start + f.num_values])
+        return row
+
+    def encode_many(self, rows: Sequence[Dict[str, FieldValue]]) -> np.ndarray:
+        """Encode a batch of nodes into an ``(n, K)`` multi-hot matrix."""
+        out = np.zeros((len(rows), self.dim))
+        for i, values in enumerate(rows):
+            out[i] = self.encode(values)
+        return out
+
+    def decode(self, row: np.ndarray) -> Dict[str, Tuple[int, ...]]:
+        """Return, per field, the tuple of active value indices in ``row``."""
+        row = np.asarray(row)
+        if row.shape != (self.dim,):
+            raise ValueError(f"row has shape {row.shape}, expected ({self.dim},)")
+        result: Dict[str, Tuple[int, ...]] = {}
+        for f, start in zip(self.fields, self._offsets[:-1]):
+            block = row[start : start + f.num_values]
+            result[f.name] = tuple(int(i) for i in np.flatnonzero(block))
+        return result

@@ -1,0 +1,171 @@
+"""Train/test splitters for the paper's three evaluation scenarios (Sec. 4.1.4).
+
+* **warm start (WS)** — 20% of interactions held out at random; every test
+  user/item keeps at least one training interaction.
+* **strict item cold start (ICS)** — 20% of *items* held out with *all* their
+  interactions; at test time these items have attributes but zero links.
+* **strict user cold start (UCS)** — symmetric on users.
+
+A :class:`RecommendationTask` bundles the dataset with one split and is the
+only object models see: its train views are all a model may fit on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from .dataset import RatingDataset
+
+__all__ = ["RecommendationTask", "warm_split", "item_cold_split", "user_cold_split", "make_split"]
+
+Scenario = Literal["warm", "item_cold", "user_cold"]
+
+
+@dataclass
+class RecommendationTask:
+    """A dataset plus one train/test split of its interactions."""
+
+    dataset: RatingDataset
+    scenario: Scenario
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+    cold_users: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    cold_items: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        self.train_idx = np.asarray(self.train_idx, dtype=np.int64)
+        self.test_idx = np.asarray(self.test_idx, dtype=np.int64)
+        overlap = np.intersect1d(self.train_idx, self.test_idx)
+        if len(overlap):
+            raise ValueError(f"{len(overlap)} interactions appear in both train and test")
+
+    # ------------------------------------------------------------- train views
+    @property
+    def train_users(self) -> np.ndarray:
+        return self.dataset.user_ids[self.train_idx]
+
+    @property
+    def train_items(self) -> np.ndarray:
+        return self.dataset.item_ids[self.train_idx]
+
+    @property
+    def train_ratings(self) -> np.ndarray:
+        return self.dataset.ratings[self.train_idx]
+
+    @property
+    def test_users(self) -> np.ndarray:
+        return self.dataset.user_ids[self.test_idx]
+
+    @property
+    def test_items(self) -> np.ndarray:
+        return self.dataset.item_ids[self.test_idx]
+
+    @property
+    def test_ratings(self) -> np.ndarray:
+        return self.dataset.ratings[self.test_idx]
+
+    @property
+    def train_global_mean(self) -> float:
+        return float(self.train_ratings.mean()) if len(self.train_idx) else 0.0
+
+    def train_rating_matrix(self) -> np.ndarray:
+        """Dense rating matrix built from training interactions only."""
+        matrix = np.zeros((self.dataset.num_users, self.dataset.num_items))
+        matrix[self.train_users, self.train_items] = self.train_ratings
+        return matrix
+
+    def assert_strict_cold(self) -> None:
+        """Verify the defining invariant of strict cold start: no train links."""
+        if len(self.cold_items) and np.isin(self.train_items, self.cold_items).any():
+            raise AssertionError("a strict cold start item has training interactions")
+        if len(self.cold_users) and np.isin(self.train_users, self.cold_users).any():
+            raise AssertionError("a strict cold start user has training interactions")
+
+    def describe(self) -> str:
+        return (
+            f"{self.dataset.name} [{self.scenario}] "
+            f"train={len(self.train_idx):,} test={len(self.test_idx):,} "
+            f"cold_users={len(self.cold_users)} cold_items={len(self.cold_items)}"
+        )
+
+
+def warm_split(dataset: RatingDataset, test_fraction: float = 0.2, seed: int = 0) -> RecommendationTask:
+    """Random interaction split; test rows with an unseen user/item fall back to train."""
+    _check_fraction(test_fraction)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.num_ratings)
+    cut = int(round(dataset.num_ratings * test_fraction))
+    test = order[:cut]
+    train = order[cut:]
+
+    # A warm-start test row must reference a user and item seen in training.
+    train_users = set(dataset.user_ids[train].tolist())
+    train_items = set(dataset.item_ids[train].tolist())
+    keep = np.array(
+        [dataset.user_ids[i] in train_users and dataset.item_ids[i] in train_items for i in test],
+        dtype=bool,
+    )
+    train = np.concatenate([train, test[~keep]])
+    test = test[keep]
+    return RecommendationTask(dataset=dataset, scenario="warm", train_idx=np.sort(train), test_idx=np.sort(test))
+
+
+def item_cold_split(dataset: RatingDataset, cold_fraction: float = 0.2, seed: int = 0) -> RecommendationTask:
+    """Hold out ``cold_fraction`` of items with *all* their interactions."""
+    _check_fraction(cold_fraction)
+    rng = np.random.default_rng(seed)
+    items = rng.permutation(dataset.num_items)
+    cold_items = np.sort(items[: int(round(dataset.num_items * cold_fraction))])
+    in_test = np.isin(dataset.item_ids, cold_items)
+    test = np.flatnonzero(in_test)
+    train = np.flatnonzero(~in_test)
+
+    # Keep test rows only for users that remain warm, matching the paper's
+    # "predict (warm) users' ratings on new items".
+    train_users = np.unique(dataset.user_ids[train])
+    test = test[np.isin(dataset.user_ids[test], train_users)]
+    task = RecommendationTask(
+        dataset=dataset, scenario="item_cold", train_idx=train, test_idx=test, cold_items=cold_items
+    )
+    task.assert_strict_cold()
+    return task
+
+
+def user_cold_split(dataset: RatingDataset, cold_fraction: float = 0.2, seed: int = 0) -> RecommendationTask:
+    """Hold out ``cold_fraction`` of users with *all* their interactions."""
+    _check_fraction(cold_fraction)
+    rng = np.random.default_rng(seed)
+    users = rng.permutation(dataset.num_users)
+    cold_users = np.sort(users[: int(round(dataset.num_users * cold_fraction))])
+    in_test = np.isin(dataset.user_ids, cold_users)
+    test = np.flatnonzero(in_test)
+    train = np.flatnonzero(~in_test)
+
+    train_items = np.unique(dataset.item_ids[train])
+    test = test[np.isin(dataset.item_ids[test], train_items)]
+    task = RecommendationTask(
+        dataset=dataset, scenario="user_cold", train_idx=train, test_idx=test, cold_users=cold_users
+    )
+    task.assert_strict_cold()
+    return task
+
+
+def make_split(
+    dataset: RatingDataset,
+    scenario: Scenario,
+    fraction: float = 0.2,
+    seed: int = 0,
+) -> RecommendationTask:
+    """Dispatch on scenario name — used by the experiment runners."""
+    splitters = {"warm": warm_split, "item_cold": item_cold_split, "user_cold": user_cold_split}
+    if scenario not in splitters:
+        raise ValueError(f"unknown scenario {scenario!r}; choose from {sorted(splitters)}")
+    return splitters[scenario](dataset, fraction, seed)
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")

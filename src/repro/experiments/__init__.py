@@ -1,0 +1,71 @@
+"""Experiment runners — one module per table/figure of the paper.
+
+| ID      | Module   | What it regenerates                               |
+|---------|----------|---------------------------------------------------|
+| Table 1 | table1   | dataset statistics                                |
+| Table 2 | table2   | AGNN vs. 12 baselines, ICS/UCS/WS × 3 datasets    |
+| Table 3 | table3   | ablation study                                    |
+| Table 4 | table4   | replacement study                                 |
+| Fig. 5  | fig5     | RMSE vs. embedding dimension D                    |
+| Fig. 6  | fig6     | RMSE vs. reconstruction weight λ                  |
+| Fig. 7  | fig7     | RMSE vs. candidate-pool threshold p               |
+| Fig. 8  | fig8     | RMSE vs. strict-cold-start ratio, vs. 3 baselines |
+| Fig. 9  | fig9     | training loss curves                              |
+
+Each module exposes ``run_*(scale)`` returning structured results and a
+``main(scale)`` that prints the paper-style table.  Scales live in
+``repro.experiments.configs`` (PAPER / BENCH / SMOKE).
+"""
+
+from . import ext_ranking, ext_support, fig5, fig6, fig7, fig8, fig9, table1, table2, table3, table4
+from .configs import BENCH, PAPER, SMOKE, ExperimentScale, get_scale
+from .replicates import ReplicateResult, compare_replicates, run_replicates
+from .reporting import FigureSeries, ResultTable, format_table
+from .runner import FitResult, run_agnn, run_model
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ExperimentScale",
+    "PAPER",
+    "BENCH",
+    "SMOKE",
+    "get_scale",
+    "ResultTable",
+    "FigureSeries",
+    "format_table",
+    "FitResult",
+    "run_model",
+    "run_agnn",
+]
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "table2": table2.main,
+    "table3": table3.main,
+    "table4": table4.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    # Extensions beyond the paper's evaluation (DESIGN.md §7):
+    "ext_ranking": ext_ranking.main,
+    "ext_support": ext_support.main,
+}
+
+__all__ += [
+    "ext_ranking",
+    "ext_support",
+    "ReplicateResult",
+    "run_replicates",
+    "compare_replicates",
+    "EXPERIMENTS",
+]

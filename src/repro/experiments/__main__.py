@@ -1,0 +1,38 @@
+"""CLI: ``python -m repro.experiments <experiment...> [--scale bench]``.
+
+Examples:
+    python -m repro.experiments table2
+    python -m repro.experiments fig5 fig6 --scale smoke
+    python -m repro.experiments all --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+from .configs import get_scale
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments", description=__doc__)
+    parser.add_argument("experiments", nargs="+", choices=[*EXPERIMENTS, "all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", default="bench", choices=["paper", "bench", "smoke"],
+                        help="experiment scale (default: bench)")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    scale = get_scale(args.scale)
+    for name in names:
+        print(f"=== {name} (scale={scale.name}) ===")
+        start = time.time()
+        EXPERIMENTS[name](scale)
+        print(f"=== {name} done in {time.time() - start:.1f}s ===\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Fig. 5 — impact of the latent vector dimension D.
+
+The paper sweeps D ∈ {10, 20, 30, 40, 50}: performance improves with D on
+the MovieLens datasets (more latent factors) and overfits past ~40 on Yelp.
+At reduced scale we sweep proportionally smaller dimensions; the shape target
+is "RMSE improves with D, then flattens or reverses".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .configs import BENCH, PAPER, ExperimentScale
+from .reporting import FigureSeries
+from .sweep import sweep_agnn_parameter
+
+__all__ = ["run_fig5", "main", "PAPER_DIMENSIONS", "BENCH_DIMENSIONS"]
+
+PAPER_DIMENSIONS = (10, 20, 30, 40, 50)
+BENCH_DIMENSIONS = (4, 8, 16, 24, 32)
+
+
+def run_fig5(
+    scale: ExperimentScale = BENCH,
+    dimensions: Optional[Sequence[int]] = None,
+    datasets: Optional[List[str]] = None,
+    verbose: bool = False,
+) -> Dict[str, FigureSeries]:
+    if dimensions is None:
+        dimensions = PAPER_DIMENSIONS if scale is PAPER else BENCH_DIMENSIONS
+    return sweep_agnn_parameter(
+        scale,
+        x_label="D",
+        x_values=list(dimensions),
+        configure=lambda cfg, d: cfg.with_overrides(embedding_dim=int(d)),
+        datasets=datasets,
+        verbose=verbose,
+    )
+
+
+def main(scale: ExperimentScale = BENCH, **kwargs) -> Dict[str, FigureSeries]:
+    figures = run_fig5(scale, verbose=True, **kwargs)
+    for dataset_name, figure in figures.items():
+        print(figure.render(title=f"Fig. 5: impact of dimension D on {dataset_name} (RMSE)"))
+        print()
+    return figures
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Fig. 7 — impact of the neighbour candidate set threshold p.
+
+p is the percentage of most-proximal nodes admitted to a node's candidate
+pool (Sec. 3.3.1).  The paper sweeps p ∈ {1, 5, 10, 15, 20} and finds the
+curves "rather steady": because sampling is proximity-weighted, top-ranked
+candidates dominate regardless of how large the pool grows.  The shape
+target is therefore *flatness* — the max−min RMSE gap across p stays small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .configs import BENCH, ExperimentScale
+from .reporting import FigureSeries
+from .sweep import sweep_agnn_parameter
+
+__all__ = ["run_fig7", "main", "THRESHOLD_VALUES"]
+
+THRESHOLD_VALUES = (1.0, 5.0, 10.0, 15.0, 20.0)
+
+
+def run_fig7(
+    scale: ExperimentScale = BENCH,
+    thresholds: Sequence[float] = THRESHOLD_VALUES,
+    datasets: Optional[List[str]] = None,
+    verbose: bool = False,
+) -> Dict[str, FigureSeries]:
+    return sweep_agnn_parameter(
+        scale,
+        x_label="p",
+        x_values=list(thresholds),
+        configure=lambda cfg, p: cfg.with_overrides(pool_percent=float(p)),
+        datasets=datasets,
+        verbose=verbose,
+    )
+
+
+def main(scale: ExperimentScale = BENCH, **kwargs) -> Dict[str, FigureSeries]:
+    figures = run_fig7(scale, verbose=True, **kwargs)
+    for dataset_name, figure in figures.items():
+        print(figure.render(title=f"Fig. 7: impact of candidate threshold p on {dataset_name} (RMSE)"))
+        print()
+    return figures
+
+
+if __name__ == "__main__":
+    main()

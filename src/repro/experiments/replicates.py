@@ -1,0 +1,95 @@
+"""Multi-seed replication: mean ± std and cross-seed significance.
+
+Single-seed comparisons can flip on close columns; this module reruns any
+(model, dataset, scenario) cell across several split/init seeds and
+aggregates — the honest way to report the reproduction's close calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..data import RatingDataset
+from ..data.splits import Scenario
+from ..nn import init as nn_init
+from ..train import Recommender, TrainConfig
+from .configs import ExperimentScale
+from .runner import run_model
+
+__all__ = ["ReplicateResult", "run_replicates", "compare_replicates"]
+
+
+@dataclass(frozen=True)
+class ReplicateResult:
+    """RMSE/MAE across seeds for one (model, dataset, scenario) cell."""
+
+    model_name: str
+    rmse_values: np.ndarray
+    mae_values: np.ndarray
+
+    @property
+    def rmse_mean(self) -> float:
+        return float(self.rmse_values.mean())
+
+    @property
+    def rmse_std(self) -> float:
+        return float(self.rmse_values.std(ddof=1)) if len(self.rmse_values) > 1 else 0.0
+
+    @property
+    def mae_mean(self) -> float:
+        return float(self.mae_values.mean())
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.rmse_values)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model_name}: RMSE {self.rmse_mean:.4f}±{self.rmse_std:.4f} "
+            f"MAE {self.mae_mean:.4f} ({self.num_seeds} seeds)"
+        )
+
+
+def run_replicates(
+    model_factory: Callable[[], Recommender],
+    dataset: RatingDataset,
+    scenario: Scenario,
+    scale: ExperimentScale,
+    seeds: Sequence[int] = (0, 1, 2),
+    train_config: TrainConfig | None = None,
+) -> ReplicateResult:
+    """Fit/evaluate the model once per seed (seed drives split AND init)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    rmses: List[float] = []
+    maes: List[float] = []
+    name = "model"
+    for seed in seeds:
+        seeded_scale = scale.with_overrides(seed=seed)
+        fit = run_model(
+            model_factory, dataset, scenario, seeded_scale, split_seed=seed, train_config=train_config
+        )
+        name = fit.model_name
+        rmses.append(fit.result.rmse)
+        maes.append(fit.result.mae)
+    return ReplicateResult(
+        model_name=name,
+        rmse_values=np.asarray(rmses),
+        mae_values=np.asarray(maes),
+    )
+
+
+def compare_replicates(ours: ReplicateResult, baseline: ReplicateResult) -> Dict[str, float]:
+    """Paired-across-seeds comparison: mean difference and one-sided p-value."""
+    if ours.num_seeds != baseline.num_seeds:
+        raise ValueError("both results need the same seed count for a paired test")
+    diff = ours.rmse_values - baseline.rmse_values
+    if np.allclose(diff, 0) or ours.num_seeds < 2:
+        return {"mean_difference": float(diff.mean()), "p_value": 1.0}
+    t_stat, p_two = stats.ttest_rel(ours.rmse_values, baseline.rmse_values)
+    p_one = p_two / 2.0 if t_stat < 0 else 1.0 - p_two / 2.0
+    return {"mean_difference": float(diff.mean()), "p_value": float(p_one)}

@@ -1,0 +1,80 @@
+"""Markdown rendering of experiment results — the EXPERIMENTS.md generator.
+
+Every experiment runner returns structured objects (ResultTable,
+FigureSeries, TrainHistory); this module renders them as GitHub-flavoured
+markdown so a full paper-vs-measured report can be regenerated from code:
+
+    python -m repro.experiments.report --scale smoke > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..train.history import TrainHistory
+from .reporting import FigureSeries, ResultTable
+
+__all__ = ["markdown_table", "result_table_markdown", "figure_markdown", "history_markdown"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A plain GitHub markdown table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    rule = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(str(c) for c in row) + " |" for row in rows]
+    return "\n".join([head, rule, *body])
+
+
+def result_table_markdown(
+    table: ResultTable,
+    ours: Optional[str] = None,
+    bold_best: bool = True,
+) -> str:
+    """Render a ResultTable, bolding each column's best value like the paper."""
+    best: Dict[str, float] = {}
+    if bold_best:
+        for column in table.columns:
+            try:
+                best[column] = table.best_in_column(column, exclude=["LLAE"])[1]
+            except ValueError:
+                continue
+
+    rows = []
+    for model in table.models:
+        row = [model]
+        for column in table.columns:
+            if column not in table.values.get(model, {}):
+                row.append("—")
+                continue
+            value = table.values[model][column]
+            marker = table.markers.get((model, column), "")
+            cell = f"{value:.4f}{marker}"
+            if bold_best and column in best and value == best[column]:
+                cell = f"**{cell}**"
+            row.append(cell)
+        rows.append(row)
+    if ours is not None and ours in table.values:
+        improvements = table.improvement_row(ours)
+        rows.append(
+            ["*Improvement*"]
+            + [f"{improvements[c]:+.2f}%" if c in improvements else "—" for c in table.columns]
+        )
+    return markdown_table(["model", *table.columns], rows)
+
+
+def figure_markdown(figure: FigureSeries) -> str:
+    """Render a FigureSeries as a markdown table (x values as columns)."""
+    headers = [figure.x_label, *[f"{x:g}" for x in figure.x_values]]
+    rows = [[name, *[f"{v:.4f}" for v in values]] for name, values in figure.series.items()]
+    return markdown_table(headers, rows)
+
+
+def history_markdown(history: TrainHistory, losses: Sequence[str] = ("prediction", "reconstruction")) -> str:
+    """Render selected loss curves epoch by epoch."""
+    epochs = list(range(1, history.num_epochs + 1))
+    headers = ["loss", *[str(e) for e in epochs]]
+    rows = []
+    for name in losses:
+        if name in history.losses:
+            rows.append([name, *[f"{v:.3f}" for v in history.curve(name)]])
+    return markdown_table(headers, rows)

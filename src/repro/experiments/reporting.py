@@ -1,0 +1,113 @@
+"""Formatting helpers: paper-style result tables and figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ResultTable", "FigureSeries", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Plain-text aligned table, the output medium of every experiment main."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ResultTable:
+    """(model × column) table of metric values, like the paper's Tables 2–4."""
+
+    columns: List[str]
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    markers: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def set(self, model: str, column: str, value: float, marker: str = "") -> None:
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}; columns: {self.columns}")
+        self.values.setdefault(model, {})[column] = float(value)
+        if marker:
+            self.markers[(model, column)] = marker
+
+    def get(self, model: str, column: str) -> float:
+        return self.values[model][column]
+
+    @property
+    def models(self) -> List[str]:
+        return list(self.values)
+
+    def best_in_column(self, column: str, exclude: Sequence[str] = ()) -> Tuple[str, float]:
+        """(model, value) with the smallest value (RMSE/MAE: lower is better)."""
+        candidates = [(m, vals[column]) for m, vals in self.values.items()
+                      if column in vals and m not in exclude]
+        if not candidates:
+            raise ValueError(f"no values recorded in column {column!r}")
+        return min(candidates, key=lambda pair: pair[1])
+
+    def improvement_row(self, ours: str, exclude: Sequence[str] = ()) -> Dict[str, float]:
+        """Percent improvement of ``ours`` over the best other model per column."""
+        improvements = {}
+        for column in self.columns:
+            if ours not in self.values or column not in self.values[ours]:
+                continue
+            _, best = self.best_in_column(column, exclude=(ours, *exclude))
+            our_value = self.values[ours][column]
+            improvements[column] = (best - our_value) / best * 100.0
+        return improvements
+
+    def render(self, title: Optional[str] = None, ours: Optional[str] = None) -> str:
+        headers = ["model", *self.columns]
+        rows = []
+        for model in self.values:
+            row = [model]
+            for column in self.columns:
+                if column in self.values[model]:
+                    marker = self.markers.get((model, column), "")
+                    row.append(f"{self.values[model][column]:.4f}{marker}")
+                else:
+                    row.append("-")
+            rows.append(row)
+        if ours is not None and ours in self.values:
+            imp = self.improvement_row(ours)
+            rows.append(["Improvement", *[f"{imp[c]:+.2f}%" if c in imp else "-" for c in self.columns]])
+        return format_table(headers, rows, title=title)
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: shared x values, one named series per line."""
+
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        values = [float(v) for v in values]
+        if len(values) != len(self.x_values):
+            raise ValueError(f"series {name!r} has {len(values)} points, expected {len(self.x_values)}")
+        self.series[name] = values
+
+    def best_x(self, name: str) -> float:
+        """x value minimising the series (for 'optimum at λ≈1'-style checks)."""
+        values = self.series[name]
+        return self.x_values[min(range(len(values)), key=values.__getitem__)]
+
+    def render(self, title: Optional[str] = None) -> str:
+        headers = [self.x_label, *[f"{x:g}" for x in self.x_values]]
+        rows = [[name, *[f"{v:.4f}" for v in values]] for name, values in self.series.items()]
+        return format_table(headers, rows, title=title)

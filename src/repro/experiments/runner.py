@@ -1,0 +1,83 @@
+"""Shared experiment plumbing: fit a model on a scenario, collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core import AGNN, AGNNConfig
+from ..data import RatingDataset, make_split
+from ..data.splits import RecommendationTask, Scenario
+from ..nn import init as nn_init
+from ..train import EvalResult, Recommender, TrainConfig, TrainHistory
+from .configs import ExperimentScale
+
+__all__ = ["FitResult", "run_model", "run_agnn", "scenario_columns", "SCENARIO_LABELS"]
+
+#: paper's column abbreviations
+SCENARIO_LABELS: Dict[Scenario, str] = {"item_cold": "ICS", "user_cold": "UCS", "warm": "WS"}
+
+
+@dataclass
+class FitResult:
+    """One (model, dataset, scenario) cell: the evaluation + training history."""
+
+    model_name: str
+    dataset_name: str
+    scenario: Scenario
+    result: EvalResult
+    history: TrainHistory
+
+
+def run_model(
+    model_factory: Callable[[], Recommender],
+    dataset: RatingDataset,
+    scenario: Scenario,
+    scale: ExperimentScale,
+    split_seed: Optional[int] = None,
+    train_config: Optional[TrainConfig] = None,
+) -> FitResult:
+    """Split, fit and evaluate one model on one scenario, reproducibly.
+
+    The init RNG is re-seeded per run so model comparisons differ only in the
+    model, never in initialisation luck from call ordering.
+    """
+    nn_init.seed(scale.seed)
+    task = make_split(dataset, scenario, scale.split_fraction, seed=split_seed if split_seed is not None else scale.seed)
+    model = model_factory()
+    history = model.fit(task, train_config or scale.train)
+    result = model.evaluate()
+    return FitResult(
+        model_name=model.name,
+        dataset_name=dataset.name,
+        scenario=scenario,
+        result=result,
+        history=history,
+    )
+
+
+def run_agnn(
+    dataset: RatingDataset,
+    scenario: Scenario,
+    scale: ExperimentScale,
+    config: Optional[AGNNConfig] = None,
+    split_seed: Optional[int] = None,
+    train_config: Optional[TrainConfig] = None,
+) -> FitResult:
+    """Convenience wrapper: fit the full AGNN at this scale."""
+    agnn_config = config or scale.agnn
+    return run_model(
+        lambda: AGNN(agnn_config, rng_seed=scale.seed),
+        dataset,
+        scenario,
+        scale,
+        split_seed=split_seed,
+        train_config=train_config,
+    )
+
+
+def scenario_columns(dataset_names, scenarios) -> list:
+    """Column labels like 'ML-100K/ICS', matching the paper's table layout."""
+    return [f"{d}/{SCENARIO_LABELS[s]}" for d in dataset_names for s in scenarios]

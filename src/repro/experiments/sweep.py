@@ -1,0 +1,48 @@
+"""Shared hyper-parameter sweep machinery for Figs. 5–7."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import AGNNConfig
+from ..data.splits import Scenario
+from .configs import ExperimentScale
+from .reporting import FigureSeries
+from .runner import SCENARIO_LABELS, run_agnn
+
+__all__ = ["sweep_agnn_parameter"]
+
+SWEEP_SCENARIOS: Tuple[Scenario, ...] = ("item_cold", "user_cold")
+
+
+def sweep_agnn_parameter(
+    scale: ExperimentScale,
+    x_label: str,
+    x_values: Sequence[float],
+    configure: Callable[[AGNNConfig, float], AGNNConfig],
+    datasets: Optional[List[str]] = None,
+    scenarios: Tuple[Scenario, ...] = SWEEP_SCENARIOS,
+    verbose: bool = False,
+) -> Dict[str, FigureSeries]:
+    """Run AGNN across ``x_values``, returning one FigureSeries per dataset.
+
+    ``configure(base_config, x)`` produces the AGNN config for each sweep
+    point; each dataset's series has one line per scenario (ICS/UCS RMSE),
+    mirroring the paper's per-dataset sub-figures.
+    """
+    dataset_names = datasets or list(scale.datasets)
+    figures: Dict[str, FigureSeries] = {}
+    for dataset_name in dataset_names:
+        dataset = scale.datasets[dataset_name]()
+        figure = FigureSeries(x_label=x_label, x_values=[float(x) for x in x_values])
+        for scenario in scenarios:
+            values = []
+            for x in x_values:
+                config = configure(scale.agnn, x)
+                fit = run_agnn(dataset, scenario, scale, config=config)
+                values.append(fit.result.rmse)
+                if verbose:
+                    print(f"  {dataset_name:<10} {SCENARIO_LABELS[scenario]} {x_label}={x:g} RMSE={fit.result.rmse:.4f}")
+            figure.add(SCENARIO_LABELS[scenario], values)
+        figures[dataset_name] = figure
+    return figures

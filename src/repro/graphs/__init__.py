@@ -1,0 +1,35 @@
+"""Graph substrate: proximities, attribute graphs, bipartite helpers."""
+
+from .bipartite import normalised_bipartite, social_adjacency, user_item_lists
+from .construction import (
+    DynamicNeighborGraph,
+    FixedNeighborGraph,
+    NeighborGraph,
+    build_attribute_graph,
+    build_copurchase_graph,
+    build_knn_graph,
+)
+from .proximity import (
+    attribute_proximity,
+    combined_proximity,
+    cosine_distance_matrix,
+    min_max_normalise,
+    preference_proximity,
+)
+
+__all__ = [
+    "NeighborGraph",
+    "DynamicNeighborGraph",
+    "FixedNeighborGraph",
+    "build_attribute_graph",
+    "build_knn_graph",
+    "build_copurchase_graph",
+    "attribute_proximity",
+    "preference_proximity",
+    "combined_proximity",
+    "cosine_distance_matrix",
+    "min_max_normalise",
+    "normalised_bipartite",
+    "user_item_lists",
+    "social_adjacency",
+]

@@ -1,0 +1,116 @@
+"""Serialisation: save/load datasets and model weights as ``.npz`` archives.
+
+Datasets round-trip fully through numpy archives (attributes, interactions,
+schemas); model weights round-trip through the ``state_dict`` mechanism.
+Schemas are encoded as JSON strings so no pickle is involved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .data.dataset import RatingDataset
+from .data.schema import AttributeSchema, CategoricalField, MultiLabelField
+from .nn.module import Module
+
+__all__ = ["save_dataset", "load_dataset", "save_model", "load_model_into"]
+
+PathLike = Union[str, Path]
+
+_FIELD_KINDS = {"categorical": CategoricalField, "multilabel": MultiLabelField}
+
+
+def _schema_to_json(schema: AttributeSchema | None) -> str:
+    if schema is None:
+        return ""
+    fields = [
+        {
+            "kind": "categorical" if isinstance(f, CategoricalField) else "multilabel",
+            "name": f.name,
+            "num_values": f.num_values,
+        }
+        for f in schema.fields
+    ]
+    return json.dumps(fields)
+
+
+def _schema_from_json(payload: str) -> AttributeSchema | None:
+    if not payload:
+        return None
+    fields = [
+        _FIELD_KINDS[entry["kind"]](entry["name"], entry["num_values"])
+        for entry in json.loads(payload)
+    ]
+    return AttributeSchema(fields)
+
+
+def save_dataset(dataset: RatingDataset, path: PathLike) -> Path:
+    """Write a dataset to ``path`` (``.npz``). Metadata arrays are included;
+    non-array metadata (e.g. generator configs) is dropped."""
+    path = Path(path)
+    extra = {
+        f"meta_{key}": value
+        for key, value in dataset.metadata.items()
+        if isinstance(value, np.ndarray)
+    }
+    np.savez_compressed(
+        path,
+        name=np.array(dataset.name),
+        user_attributes=dataset.user_attributes,
+        item_attributes=dataset.item_attributes,
+        user_ids=dataset.user_ids,
+        item_ids=dataset.item_ids,
+        ratings=dataset.ratings,
+        rating_scale=np.array(dataset.rating_scale),
+        user_schema=np.array(_schema_to_json(dataset.user_schema)),
+        item_schema=np.array(_schema_to_json(dataset.item_schema)),
+        **extra,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_dataset(path: PathLike) -> RatingDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        metadata = {
+            key[len("meta_") :]: archive[key] for key in archive.files if key.startswith("meta_")
+        }
+        return RatingDataset(
+            name=str(archive["name"]),
+            user_attributes=archive["user_attributes"],
+            item_attributes=archive["item_attributes"],
+            user_ids=archive["user_ids"],
+            item_ids=archive["item_ids"],
+            ratings=archive["ratings"],
+            rating_scale=tuple(archive["rating_scale"]),
+            user_schema=_schema_from_json(str(archive["user_schema"])),
+            item_schema=_schema_from_json(str(archive["item_schema"])),
+            metadata=metadata,
+        )
+
+
+def save_model(model: Module, path: PathLike) -> Path:
+    """Write a model's parameters to ``path`` (``.npz``), keyed by dotted name.
+
+    Dots are not legal npz keys everywhere, so they are escaped as ``__``.
+    """
+    path = Path(path)
+    state = {name.replace(".", "__"): value for name, value in model.state_dict().items()}
+    np.savez_compressed(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model_into(model: Module, path: PathLike) -> Module:
+    """Load parameters saved by :func:`save_model` into a *built* model.
+
+    The model must already have its architecture constructed (for lazily
+    built models like AGNN, call ``prepare``/``fit`` on a task first).
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        state = {key.replace("__", "."): archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,27 @@
+"""Neural-network layer library built on ``repro.autograd``."""
+
+from . import functional, init
+from .activations import LeakyReLU, ReLU, Sigmoid, Softplus, Tanh
+from .containers import ModuleList, Sequential
+from .layers import Bias, Dropout, Embedding, Linear
+from .mlp import MLP
+from .module import Module, Parameter
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "Bias",
+    "Sequential",
+    "ModuleList",
+    "MLP",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "functional",
+    "init",
+]

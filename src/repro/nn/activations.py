@@ -1,0 +1,39 @@
+"""Activation modules wrapping the functional ops."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor, ops
+from .module import Module
+
+__all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh", "Softplus"]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class LeakyReLU(Module):
+    """LeakyReLU with the paper's default slope of 0.01 (Sec. 4.1.4)."""
+
+    def __init__(self, slope: float = 0.01) -> None:
+        super().__init__()
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.leaky_relu(x, self.slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Softplus(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softplus(x)

@@ -1,0 +1,60 @@
+"""Module containers: Sequential and ModuleList."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items = list(modules)
+        for i, module in enumerate(self._items):
+            self.register_module(str(i), module)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class ModuleList(Module):
+    """A list of sub-modules that participates in parameter traversal."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container; call its items directly")
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

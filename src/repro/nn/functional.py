@@ -1,0 +1,72 @@
+"""Functional losses and tensor helpers used across models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+
+__all__ = [
+    "mse_loss",
+    "sum_squared_error",
+    "mae_loss",
+    "l2_distance",
+    "gaussian_kl",
+    "gaussian_nll",
+    "cosine_similarity_matrix",
+]
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return ops.mean(ops.square(ops.sub(pred, target)))
+
+
+def sum_squared_error(pred: Tensor, target) -> Tensor:
+    """Sum of squared errors — the paper's L_pred (Eq. 16)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return ops.sum(ops.square(ops.sub(pred, target)))
+
+
+def mae_loss(pred: Tensor, target) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return ops.mean(ops.absolute(ops.sub(pred, target)))
+
+
+def l2_distance(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Row-wise Euclidean distance ‖a − b‖₂ — the eVAE approximation term."""
+    return ops.norm(ops.sub(a, b), axis=axis)
+
+
+def gaussian_kl(mu: Tensor, log_var: Tensor) -> Tensor:
+    """KL( N(mu, diag(exp(log_var))) ‖ N(0, I) ), summed over dims, mean over batch.
+
+    Standard closed form: -0.5 * sum(1 + log_var - mu^2 - exp(log_var)).
+    """
+    inner = ops.sub(ops.add(1.0, log_var), ops.add(ops.square(mu), ops.exp(log_var)))
+    per_example = ops.mul(ops.sum(inner, axis=-1), -0.5)
+    return ops.mean(per_example)
+
+
+def gaussian_nll(x: Tensor, x_recon: Tensor) -> Tensor:
+    """Negative log-likelihood of ``x`` under a unit-variance Gaussian at ``x_recon``.
+
+    Up to constants this is 0.5‖x − x'‖², which implements the eVAE's
+    ``-E[log p_θ(x'|z)]`` term for real-valued attribute embeddings.
+    """
+    per_example = ops.mul(ops.sum(ops.square(ops.sub(x, x_recon)), axis=-1), 0.5)
+    return ops.mean(per_example)
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Dense cosine similarity between the rows of ``a`` and rows of ``b``.
+
+    Pure numpy (no autograd) — used by graph construction, which operates on
+    detached embeddings/encodings.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_norm = a / np.maximum(np.linalg.norm(a, axis=1, keepdims=True), eps)
+    b_norm = b / np.maximum(np.linalg.norm(b, axis=1, keepdims=True), eps)
+    return a_norm @ b_norm.T

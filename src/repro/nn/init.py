@@ -1,0 +1,51 @@
+"""Weight initialisation schemes.
+
+Each function returns a fresh numpy array; callers wrap it in a Parameter.
+A module-level default RNG keeps initialisation reproducible when the caller
+seeds it via :func:`seed`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seed", "get_rng", "xavier_uniform", "xavier_normal", "kaiming_uniform", "normal", "zeros", "uniform"]
+
+_rng = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Re-seed the initialisation RNG (tests and experiments call this)."""
+    global _rng
+    _rng = np.random.default_rng(value)
+
+
+def get_rng() -> np.random.Generator:
+    return _rng
+
+
+def xavier_uniform(fan_in: int, fan_out: int, shape: tuple | None = None) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng.uniform(-limit, limit, size=shape or (fan_in, fan_out))
+
+
+def xavier_normal(fan_in: int, fan_out: int, shape: tuple | None = None) -> np.ndarray:
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return _rng.normal(0.0, std, size=shape or (fan_in, fan_out))
+
+
+def kaiming_uniform(fan_in: int, shape: tuple) -> np.ndarray:
+    limit = np.sqrt(6.0 / fan_in)
+    return _rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple, std: float = 0.01) -> np.ndarray:
+    return _rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple, low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    return _rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,85 @@
+"""Core layers: Linear, Embedding, Dropout, Bias.
+
+These are the building blocks shared by AGNN and all baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Embedding", "Dropout", "Bias"]
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Xavier-uniform weights."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(in_features, out_features))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense rows.
+
+    This is the paper's ``M`` / ``N`` preference-embedding matrices (Sec. 3.3.2)
+    as well as the per-attribute-value embeddings used by Bi-Interaction.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, std: float = 0.05) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=std))
+
+    def forward(self, indices) -> Tensor:
+        return ops.embedding(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity during evaluation."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return ops.mul(x, Tensor(mask))
+
+
+class Bias(Module):
+    """A bare learnable bias vector (used for per-user/per-item rating biases)."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__()
+        self.value = Parameter(init.zeros((size,)))
+
+    def forward(self, indices) -> Tensor:
+        return ops.getitem(self.value, np.asarray(indices, dtype=np.int64))

@@ -1,0 +1,57 @@
+"""Multi-layer perceptron built from Linear layers and a chosen activation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..autograd import Tensor
+from .activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from .containers import Sequential
+from .layers import Dropout, Linear
+from .module import Module
+
+__all__ = ["MLP"]
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+}
+
+
+class MLP(Module):
+    """Fully-connected stack: ``dims[0] -> dims[1] -> ... -> dims[-1]``.
+
+    Activation is applied between layers; the output layer is linear unless
+    ``final_activation`` is set.  This implements the one-hidden-layer MLP in
+    the paper's prediction head (Eq. 14) and the eVAE encoder/decoder nets.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        activation: str = "leaky_relu",
+        final_activation: str | None = None,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}; choose from {sorted(_ACTIVATIONS)}")
+        layers: list[Module] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out))
+            is_last = i == len(dims) - 2
+            if not is_last:
+                layers.append(_ACTIVATIONS[activation]())
+                if dropout > 0.0:
+                    layers.append(Dropout(dropout))
+            elif final_activation is not None:
+                layers.append(_ACTIVATIONS[final_activation]())
+        self.net = Sequential(*layers)
+        self.dims = tuple(dims)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,8 @@
+"""Optimizers and training-time gradient utilities."""
+
+from .adam import Adam, AdamW
+from .base import Optimizer
+from .sgd import SGD
+from .utils import ExponentialDecay, StepDecay, clip_grad_norm
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "ExponentialDecay", "StepDecay"]

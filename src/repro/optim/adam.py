@@ -1,0 +1,68 @@
+"""Adam and AdamW — the paper trains AGNN with Adam (Sec. 4.1.4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .base import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.0005,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def _grad_with_decay(self, param: Parameter) -> np.ndarray:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+    def _update(self, param: Parameter) -> None:
+        grad = self._grad_with_decay(param)
+        key = id(param)
+        m = self._m.setdefault(key, np.zeros_like(param.data))
+        v = self._v.setdefault(key, np.zeros_like(param.data))
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad ** 2
+        m_hat = m / (1.0 - self.beta1 ** t)
+        v_hat = v / (1.0 - self.beta2 ** t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _grad_with_decay(self, param: Parameter) -> np.ndarray:
+        return param.grad
+
+    def _update(self, param: Parameter) -> None:
+        if self.weight_decay:
+            param.data -= self.lr * self.weight_decay * param.data
+        super()._update(param)

@@ -1,0 +1,39 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Holds a parameter list and applies per-step updates from gradients."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.params:
+            if param.grad is not None:
+                self._update(param)
+
+    def _update(self, param: Parameter) -> None:
+        raise NotImplementedError
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count

@@ -1,0 +1,61 @@
+"""Gradient clipping and learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .base import Optimizer
+
+__all__ = ["clip_grad_norm", "ExponentialDecay", "StepDecay"]
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm so callers can log it.
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class ExponentialDecay:
+    """Multiply the optimizer's lr by ``gamma`` each time ``step`` is called."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        self._epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** self._epoch
+        return self.optimizer.lr
+
+
+class StepDecay:
+    """Drop the lr by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, every: int = 10, factor: float = 0.5) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.optimizer = optimizer
+        self.every = every
+        self.factor = factor
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        self._epoch += 1
+        self.optimizer.lr = self.base_lr * self.factor ** (self._epoch // self.every)
+        return self.optimizer.lr

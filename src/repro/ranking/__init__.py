@@ -1,0 +1,31 @@
+"""Implicit-feedback / top-N ranking extension.
+
+The paper evaluates rating prediction; its problem definition also covers
+binary implicit feedback.  This subpackage adds the machinery to evaluate
+any fitted recommender as a top-N ranker under strict cold start, plus the
+classic interaction-only ranking baselines for contrast.
+"""
+
+from .bpr import BPRMF, BPRConfig, PopularityRanker
+from .evaluation import evaluate_ranking, rank_items_for_user, relevant_items
+from .metrics import (
+    RankingResult,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+__all__ = [
+    "hit_rate_at_k",
+    "ndcg_at_k",
+    "recall_at_k",
+    "precision_at_k",
+    "RankingResult",
+    "evaluate_ranking",
+    "rank_items_for_user",
+    "relevant_items",
+    "BPRMF",
+    "BPRConfig",
+    "PopularityRanker",
+]

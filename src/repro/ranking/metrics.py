@@ -1,0 +1,103 @@
+"""Top-N ranking metrics for the implicit-feedback extension.
+
+The paper's problem definition (Sec. 3.1) notes that **R** may hold "binary
+entries for implicit feedbacks such as click or not"; its evaluation sticks
+to explicit ratings.  This extension completes the implicit side: models
+rank the catalogue per user and are scored with the standard top-N metrics.
+
+All metrics operate on *ranked item id lists* against a set of held-out
+relevant items, averaged over users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Set
+
+import numpy as np
+
+__all__ = ["hit_rate_at_k", "ndcg_at_k", "recall_at_k", "precision_at_k", "RankingResult"]
+
+
+def _validate(ranked: Sequence[int], relevant: Set[int], k: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if not relevant:
+        raise ValueError("relevant set must not be empty")
+    if len(ranked) < k:
+        raise ValueError(f"ranking has {len(ranked)} items, need at least k={k}")
+
+
+def hit_rate_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """1 if any relevant item appears in the top k, else 0."""
+    _validate(ranked, relevant, k)
+    return 1.0 if any(item in relevant for item in ranked[:k]) else 0.0
+
+
+def recall_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Fraction of relevant items retrieved in the top k."""
+    _validate(ranked, relevant, k)
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / len(relevant)
+
+
+def precision_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Fraction of the top k that is relevant."""
+    _validate(ranked, relevant, k)
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / k
+
+
+def ndcg_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Normalised discounted cumulative gain with binary relevance."""
+    _validate(ranked, relevant, k)
+    dcg = sum(1.0 / np.log2(i + 2) for i, item in enumerate(ranked[:k]) if item in relevant)
+    ideal_hits = min(len(relevant), k)
+    idcg = sum(1.0 / np.log2(i + 2) for i in range(ideal_hits))
+    return dcg / idcg
+
+
+@dataclass(frozen=True)
+class RankingResult:
+    """Mean top-N metrics over a user population."""
+
+    hit_rate: float
+    ndcg: float
+    recall: float
+    precision: float
+    k: int
+    num_users: int
+
+    @classmethod
+    def from_rankings(
+        cls,
+        rankings: Dict[int, Sequence[int]],
+        relevant: Dict[int, Set[int]],
+        k: int = 10,
+    ) -> "RankingResult":
+        """Aggregate per-user metrics; users without relevant items are skipped."""
+        hrs, ndcgs, recalls, precisions = [], [], [], []
+        for user, ranked in rankings.items():
+            rel = relevant.get(user)
+            if not rel:
+                continue
+            hrs.append(hit_rate_at_k(ranked, rel, k))
+            ndcgs.append(ndcg_at_k(ranked, rel, k))
+            recalls.append(recall_at_k(ranked, rel, k))
+            precisions.append(precision_at_k(ranked, rel, k))
+        if not hrs:
+            raise ValueError("no user had relevant items to score")
+        return cls(
+            hit_rate=float(np.mean(hrs)),
+            ndcg=float(np.mean(ndcgs)),
+            recall=float(np.mean(recalls)),
+            precision=float(np.mean(precisions)),
+            k=k,
+            num_users=len(hrs),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"HR@{self.k}={self.hit_rate:.4f} NDCG@{self.k}={self.ndcg:.4f} "
+            f"Recall@{self.k}={self.recall:.4f} ({self.num_users} users)"
+        )

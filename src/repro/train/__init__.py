@@ -1,0 +1,33 @@
+"""Training framework: Recommender base, metrics, history, significance."""
+
+from .history import TrainHistory
+from .metrics import EvalResult, mae, rmse
+from .recommender import Recommender, TrainConfig
+from .significance import SignificanceReport, paired_significance, significance_marker
+from .cross_validation import (
+    CrossValidationResult,
+    cross_validate,
+    kfold_cold_nodes,
+    kfold_interactions,
+)
+from .tuning import GridSearchResult, TrialResult, grid_search, validation_task
+
+__all__ = [
+    "Recommender",
+    "TrainConfig",
+    "TrainHistory",
+    "EvalResult",
+    "rmse",
+    "mae",
+    "SignificanceReport",
+    "paired_significance",
+    "significance_marker",
+    "grid_search",
+    "GridSearchResult",
+    "TrialResult",
+    "validation_task",
+    "CrossValidationResult",
+    "cross_validate",
+    "kfold_interactions",
+    "kfold_cold_nodes",
+]

@@ -1,0 +1,42 @@
+"""Per-epoch training history — feeds the paper's Fig. 9 loss curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["TrainHistory"]
+
+
+@dataclass
+class TrainHistory:
+    """Loss components recorded once per epoch.
+
+    ``losses['prediction']`` and ``losses['reconstruction']`` are the two
+    curves Fig. 9 plots; models may record any additional named components.
+    """
+
+    losses: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, epoch_losses: Dict[str, float]) -> None:
+        for name, value in epoch_losses.items():
+            self.losses.setdefault(name, []).append(float(value))
+
+    @property
+    def num_epochs(self) -> int:
+        return max((len(v) for v in self.losses.values()), default=0)
+
+    def curve(self, name: str) -> List[float]:
+        if name not in self.losses:
+            raise KeyError(f"no loss named {name!r}; recorded: {sorted(self.losses)}")
+        return list(self.losses[name])
+
+    def final(self, name: str) -> float:
+        curve = self.curve(name)
+        if not curve:
+            raise ValueError(f"loss {name!r} has no recorded epochs")
+        return curve[-1]
+
+    def summary(self) -> str:
+        parts = [f"{name}={values[-1]:.4f}" for name, values in self.losses.items() if values]
+        return f"epochs={self.num_epochs} " + " ".join(parts)

@@ -1,0 +1,55 @@
+"""Evaluation metrics (paper Sec. 4.1.3): RMSE and MAE."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["rmse", "mae", "EvalResult"]
+
+
+def rmse(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Rooted mean square error (Eq. 17)."""
+    predicted, actual = _aligned(predicted, actual)
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+def mae(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Mean absolute error (Eq. 18)."""
+    predicted, actual = _aligned(predicted, actual)
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def _aligned(predicted, actual) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted, dtype=np.float64).reshape(-1)
+    actual = np.asarray(actual, dtype=np.float64).reshape(-1)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    if predicted.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    return predicted, actual
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """RMSE + MAE on one test set, with the raw errors kept for t-tests."""
+
+    rmse: float
+    mae: float
+    squared_errors: np.ndarray
+    absolute_errors: np.ndarray
+
+    @classmethod
+    def from_predictions(cls, predicted: np.ndarray, actual: np.ndarray) -> "EvalResult":
+        predicted, actual = _aligned(predicted, actual)
+        diff = predicted - actual
+        return cls(
+            rmse=float(np.sqrt(np.mean(diff**2))),
+            mae=float(np.mean(np.abs(diff))),
+            squared_errors=diff**2,
+            absolute_errors=np.abs(diff),
+        )
+
+    def __str__(self) -> str:
+        return f"RMSE={self.rmse:.4f} MAE={self.mae:.4f}"

@@ -1,0 +1,193 @@
+"""The Recommender interface and the shared mini-batch fit loop.
+
+Every model in this repository — AGNN, its ablation variants, and the twelve
+baselines — subclasses :class:`Recommender`.  A model implements
+
+* ``prepare(task)``     : build graphs/caches from *training* data only;
+* ``batch_loss(...)``   : differentiable loss for one mini-batch; and
+* ``predict_scores(...)``: raw rating predictions for (user, item) pairs,
+
+and inherits ``fit`` / ``predict`` / ``evaluate``.  Predictions are clipped to
+the dataset's rating scale, as is standard for rating prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..data.splits import RecommendationTask
+from ..nn import Module
+from ..optim import Adam, clip_grad_norm
+from .history import TrainHistory
+from .metrics import EvalResult
+
+__all__ = ["TrainConfig", "Recommender"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Optimisation settings; the defaults follow the paper (Sec. 4.1.4).
+
+    ``validation_fraction`` of the training interactions is held out to drive
+    early stopping: training stops once validation RMSE has not improved for
+    ``patience`` consecutive epochs, and the best-validation weights are
+    restored.  Set ``patience=None`` to train for exactly ``epochs`` epochs.
+    Early stopping makes the model comparisons robust to each architecture's
+    convergence speed (some baselines overfit badly past their optimum).
+    """
+
+    epochs: int = 10
+    batch_size: int = 128
+    learning_rate: float = 0.0005
+    weight_decay: float = 0.0
+    grad_clip: Optional[float] = 5.0
+    validation_fraction: float = 0.1
+    patience: Optional[int] = 3
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError("patience must be at least 1")
+
+
+class Recommender(Module):
+    """Base class: shared training loop + prediction/evaluation protocol."""
+
+    name: str = "recommender"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.task: Optional[RecommendationTask] = None
+        self.history = TrainHistory()
+        self._rating_scale: Tuple[float, float] = (1.0, 5.0)
+
+    # ------------------------------------------------------------------ hooks
+    def prepare(self, task: RecommendationTask) -> None:
+        """Build per-task state (graphs, encodings). Training data only."""
+
+    def begin_epoch(self, epoch: int, rng: np.random.Generator) -> None:
+        """Per-epoch hook; AGNN resamples its dynamic neighbourhoods here."""
+
+    def batch_loss(
+        self, users: np.ndarray, items: np.ndarray, ratings: np.ndarray
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        """Return (total loss tensor, {loss component name: value}) for a batch."""
+        raise NotImplementedError
+
+    def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Raw (unclipped) predictions; called inside ``no_grad``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ training
+    def fit(self, task: RecommendationTask, config: TrainConfig = TrainConfig()) -> TrainHistory:
+        """Mini-batch training on ``task``'s training interactions."""
+        self.task = task
+        self._rating_scale = task.dataset.rating_scale
+        self.history = TrainHistory()
+        self.prepare(task)
+        params = list(self.parameters())
+        optimizer = Adam(params, lr=config.learning_rate, weight_decay=config.weight_decay) if params else None
+
+        rng = np.random.default_rng(config.seed)
+        users_all = task.train_users
+        items_all = task.train_items
+        ratings_all = task.train_ratings
+        n = len(users_all)
+        if n == 0:
+            raise ValueError("task has no training interactions")
+
+        # Hold out a validation slice of the training interactions for early
+        # stopping.  Graphs were already built from the full training set in
+        # prepare(); only the SGD supervision excludes the validation rows.
+        use_validation = config.validation_fraction > 0 and config.patience is not None and n >= 20
+        if use_validation:
+            order0 = rng.permutation(n)
+            n_val = max(int(n * config.validation_fraction), 1)
+            val_rows, fit_rows = order0[:n_val], order0[n_val:]
+        else:
+            val_rows, fit_rows = np.empty(0, dtype=np.int64), np.arange(n)
+
+        best_val = np.inf
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        epochs_since_best = 0
+
+        self.train()
+        for epoch in range(config.epochs):
+            self.begin_epoch(epoch, rng)
+            order = rng.permutation(len(fit_rows))
+            sums: Dict[str, float] = {}
+            weight = 0
+            for start in range(0, len(fit_rows), config.batch_size):
+                batch = fit_rows[order[start : start + config.batch_size]]
+                if optimizer is not None:
+                    optimizer.zero_grad()
+                loss, parts = self.batch_loss(users_all[batch], items_all[batch], ratings_all[batch])
+                if optimizer is not None:
+                    loss.backward()
+                    if config.grad_clip is not None:
+                        clip_grad_norm(params, config.grad_clip)
+                    optimizer.step()
+                for name, value in parts.items():
+                    sums[name] = sums.get(name, 0.0) + value * len(batch)
+                weight += len(batch)
+            epoch_losses = {name: value / weight for name, value in sums.items()}
+
+            if use_validation:
+                predictions = self.predict(users_all[val_rows], items_all[val_rows])
+                val_rmse = float(np.sqrt(np.mean((predictions - ratings_all[val_rows]) ** 2)))
+                epoch_losses["val_rmse"] = val_rmse
+                self.train()
+                if val_rmse < best_val - 1e-5:
+                    best_val = val_rmse
+                    best_state = self.state_dict()
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+            self.history.record(epoch_losses)
+            if config.verbose:
+                tail = " ".join(f"{k}={v:.4f}" for k, v in epoch_losses.items())
+                print(f"[{self.name}] epoch {epoch + 1}/{config.epochs} {tail}")
+            if use_validation and epochs_since_best >= config.patience:
+                break
+        if best_state is not None:
+            self.load_state_dict(best_state)
+            self._invalidate_inference_cache()
+        self.eval()
+        return self.history
+
+    def _invalidate_inference_cache(self) -> None:
+        """Hook for models that cache derived inference state (AGNN overrides)."""
+
+    # ------------------------------------------------------------------ inference
+    def predict(self, users: np.ndarray, items: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """Clipped rating predictions for aligned (user, item) arrays."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must align")
+        was_training = self.training
+        self.eval()
+        chunks = []
+        with no_grad():
+            for start in range(0, len(users), batch_size):
+                stop = start + batch_size
+                chunks.append(np.asarray(self.predict_scores(users[start:stop], items[start:stop])))
+        if was_training:
+            self.train()
+        low, high = self._rating_scale
+        return np.clip(np.concatenate(chunks) if chunks else np.empty(0), low, high)
+
+    def evaluate(self, task: Optional[RecommendationTask] = None) -> EvalResult:
+        """Score on the task's test split."""
+        task = task or self.task
+        if task is None:
+            raise RuntimeError("evaluate() needs a task; fit first or pass one")
+        predictions = self.predict(task.test_users, task.test_items)
+        return EvalResult.from_predictions(predictions, task.test_ratings)

@@ -1,0 +1,68 @@
+"""Statistical significance between two models' test errors.
+
+The paper marks improvements at p < 0.01 (*) and p < 0.05 (†).  We use a
+paired t-test over per-example errors, which is the standard test for rating
+prediction (same test pairs, two systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from .metrics import EvalResult
+
+__all__ = ["SignificanceReport", "paired_significance", "significance_marker"]
+
+
+@dataclass(frozen=True)
+class SignificanceReport:
+    t_statistic: float
+    p_value: float
+
+    @property
+    def significant_01(self) -> bool:
+        return self.p_value < 0.01
+
+    @property
+    def significant_05(self) -> bool:
+        return self.p_value < 0.05
+
+    def marker(self) -> str:
+        """The paper's notation: '*' for p<0.01, '†' for p<0.05, '' otherwise."""
+        if self.significant_01:
+            return "*"
+        if self.significant_05:
+            return "†"
+        return ""
+
+
+def paired_significance(
+    ours: EvalResult, baseline: EvalResult, metric: str = "squared"
+) -> SignificanceReport:
+    """Paired t-test on per-example errors (squared → RMSE, absolute → MAE).
+
+    One-sided: tests whether our errors are *smaller* than the baseline's.
+    """
+    if metric == "squared":
+        a, b = ours.squared_errors, baseline.squared_errors
+    elif metric == "absolute":
+        a, b = ours.absolute_errors, baseline.absolute_errors
+    else:
+        raise ValueError(f"metric must be 'squared' or 'absolute', got {metric!r}")
+    if a.shape != b.shape:
+        raise ValueError("paired test needs aligned error vectors (same test set)")
+    diff = a - b
+    if np.allclose(diff, 0):
+        return SignificanceReport(t_statistic=0.0, p_value=1.0)
+    t_stat, p_two_sided = stats.ttest_rel(a, b)
+    # Convert to one-sided "ours < baseline".
+    p_one = p_two_sided / 2.0 if t_stat < 0 else 1.0 - p_two_sided / 2.0
+    return SignificanceReport(t_statistic=float(t_stat), p_value=float(p_one))
+
+
+def significance_marker(ours: EvalResult, baseline: EvalResult) -> str:
+    """Marker for the RMSE comparison, per the paper's Table 2 convention."""
+    return paired_significance(ours, baseline, metric="squared").marker()

@@ -1,0 +1,60 @@
+"""The gradcheck utility itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, numerical_gradient, ops
+from repro.autograd.tensor import _unbroadcast
+
+
+class TestGradcheck:
+    def test_passes_on_correct_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert gradcheck(lambda v: ops.mul(v, 2.0), [x])
+
+    def test_fails_on_wrong_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def broken(v):
+            out = ops.mul(v, 2.0)
+            # sabotage: replace backward with a wrong one
+            original = out._backward
+
+            def bad(grad):
+                v.accumulate_grad(grad * 3.0)
+
+            out._backward = bad
+            return out
+
+        with pytest.raises(AssertionError):
+            gradcheck(broken, [x])
+
+    def test_skips_non_grad_inputs(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        c = Tensor(rng.normal(size=(3,)))  # constant
+        assert gradcheck(lambda a, b: ops.mul(a, b), [x, c])
+
+    def test_numerical_gradient_of_square(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        num = numerical_gradient(lambda v: ops.square(v), [x], wrt=0)
+        np.testing.assert_allclose(num, [2.0, 4.0], atol=1e-4)
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self, rng):
+        g = rng.normal(size=(3, 4))
+        np.testing.assert_array_equal(_unbroadcast(g, (3, 4)), g)
+
+    def test_sums_prepended_axes(self, rng):
+        g = np.ones((5, 3))
+        np.testing.assert_array_equal(_unbroadcast(g, (3,)), np.full(3, 5.0))
+
+    def test_sums_size_one_axes(self, rng):
+        g = np.ones((3, 4))
+        np.testing.assert_array_equal(_unbroadcast(g, (3, 1)), np.full((3, 1), 4.0))
+
+    def test_combination(self):
+        g = np.ones((2, 3, 4))
+        out = _unbroadcast(g, (1, 4))
+        assert out.shape == (1, 4)
+        np.testing.assert_array_equal(out, np.full((1, 4), 6.0))

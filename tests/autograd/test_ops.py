@@ -1,0 +1,237 @@
+"""Gradient checks for every differentiable primitive against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, ops
+
+
+def t(shape, rng, positive=False, scale=1.0):
+    data = rng.normal(size=shape) * scale
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestElementwiseGradients:
+    def test_add(self, rng):
+        gradcheck(ops.add, [t((3, 4), rng), t((3, 4), rng)])
+
+    def test_add_broadcast_vector(self, rng):
+        gradcheck(ops.add, [t((3, 4), rng), t((4,), rng)])
+
+    def test_add_broadcast_scalar_shape(self, rng):
+        gradcheck(ops.add, [t((3, 4), rng), t((1, 4), rng)])
+
+    def test_sub(self, rng):
+        gradcheck(ops.sub, [t((2, 5), rng), t((2, 5), rng)])
+
+    def test_mul_broadcast(self, rng):
+        gradcheck(ops.mul, [t((3, 4), rng), t((3, 1), rng)])
+
+    def test_div(self, rng):
+        gradcheck(ops.div, [t((3, 3), rng), t((3, 3), rng, positive=True)])
+
+    def test_neg(self, rng):
+        gradcheck(ops.neg, [t((4,), rng)])
+
+    def test_power(self, rng):
+        gradcheck(lambda x: ops.power(x, 3.0), [t((3,), rng, positive=True)])
+
+    def test_exp(self, rng):
+        gradcheck(ops.exp, [t((3, 2), rng)])
+
+    def test_log(self, rng):
+        gradcheck(ops.log, [t((3, 2), rng, positive=True)])
+
+    def test_sqrt(self, rng):
+        gradcheck(ops.sqrt, [t((3, 2), rng, positive=True)])
+
+    def test_square(self, rng):
+        gradcheck(ops.square, [t((3, 2), rng)])
+
+    def test_abs_away_from_zero(self, rng):
+        gradcheck(ops.absolute, [t((3, 2), rng, positive=True)])
+
+    def test_sigmoid(self, rng):
+        gradcheck(ops.sigmoid, [t((3, 4), rng)])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = ops.sigmoid(Tensor([-1000.0, 1000.0]))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh(self, rng):
+        gradcheck(ops.tanh, [t((3, 4), rng)])
+
+    def test_relu_away_from_kink(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)) + np.sign(rng.normal(size=(4, 4))) * 0.5, requires_grad=True)
+        gradcheck(ops.relu, [x])
+
+    def test_leaky_relu(self, rng):
+        x = Tensor(np.array([[-2.0, -0.5], [0.5, 2.0]]), requires_grad=True)
+        gradcheck(lambda v: ops.leaky_relu(v, 0.01), [x])
+
+    def test_softplus(self, rng):
+        gradcheck(ops.softplus, [t((3, 3), rng)])
+
+    def test_clip_interior(self, rng):
+        x = Tensor(rng.uniform(-0.5, 0.5, size=(3, 3)), requires_grad=True)
+        gradcheck(lambda v: ops.clip(v, -1.0, 1.0), [x])
+
+    def test_clip_blocks_gradient_outside(self):
+        x = Tensor([-5.0, 0.0, 5.0], requires_grad=True)
+        ops.clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum(self, rng):
+        a = Tensor([1.0, 5.0, -2.0], requires_grad=True)
+        b = Tensor([2.0, 1.0, -3.0], requires_grad=True)
+        gradcheck(ops.maximum, [a, b])
+
+    def test_where(self, rng):
+        a, b = t((4,), rng), t((4,), rng)
+        gradcheck(lambda x, y: ops.where(np.array([True, False, True, False]), x, y), [a, b])
+
+
+class TestMatmulGradients:
+    def test_2d_2d(self, rng):
+        gradcheck(ops.matmul, [t((3, 4), rng), t((4, 5), rng)])
+
+    def test_2d_1d(self, rng):
+        gradcheck(ops.matmul, [t((3, 4), rng), t((4,), rng)])
+
+    def test_1d_2d(self, rng):
+        gradcheck(ops.matmul, [t((4,), rng), t((4, 3), rng)])
+
+    def test_3d_2d_broadcast(self, rng):
+        gradcheck(ops.matmul, [t((2, 3, 4), rng), t((4, 5), rng)])
+
+    def test_3d_3d(self, rng):
+        gradcheck(ops.matmul, [t((2, 3, 4), rng), t((2, 4, 5), rng)])
+
+
+class TestReductionsAndShapes:
+    def test_sum_all(self, rng):
+        gradcheck(lambda x: ops.sum(x), [t((3, 4), rng)])
+
+    def test_sum_axis(self, rng):
+        gradcheck(lambda x: ops.sum(x, axis=1), [t((3, 4), rng)])
+
+    def test_sum_axis_keepdims(self, rng):
+        gradcheck(lambda x: ops.sum(x, axis=0, keepdims=True), [t((3, 4), rng)])
+
+    def test_sum_negative_axis(self, rng):
+        gradcheck(lambda x: ops.sum(x, axis=-1), [t((2, 3, 4), rng)])
+
+    def test_sum_tuple_axes(self, rng):
+        gradcheck(lambda x: ops.sum(x, axis=(0, 2)), [t((2, 3, 4), rng)])
+
+    def test_mean_matches_numpy(self, rng):
+        x = t((3, 4), rng)
+        np.testing.assert_allclose(ops.mean(x, axis=1).data, x.data.mean(axis=1))
+
+    def test_mean_axis_grad(self, rng):
+        gradcheck(lambda x: ops.mean(x, axis=1), [t((3, 4), rng)])
+
+    def test_reshape(self, rng):
+        gradcheck(lambda x: ops.reshape(x, (6, 2)), [t((3, 4), rng)])
+
+    def test_transpose_default(self, rng):
+        gradcheck(lambda x: ops.transpose(x), [t((3, 4), rng)])
+
+    def test_transpose_axes(self, rng):
+        gradcheck(lambda x: ops.transpose(x, (2, 0, 1)), [t((2, 3, 4), rng)])
+
+    def test_broadcast_to(self, rng):
+        gradcheck(lambda x: ops.broadcast_to(x, (5, 3, 4)), [t((3, 4), rng)])
+
+    def test_broadcast_to_middle_axis(self, rng):
+        gradcheck(lambda x: ops.broadcast_to(ops.reshape(x, (3, 1, 4)), (3, 5, 4)), [t((3, 4), rng)])
+
+    def test_concatenate(self, rng):
+        gradcheck(lambda a, b: ops.concatenate([a, b], axis=1), [t((3, 2), rng), t((3, 4), rng)])
+
+    def test_concatenate_axis2(self, rng):
+        gradcheck(lambda a, b: ops.concatenate([a, b], axis=2), [t((2, 3, 2), rng), t((2, 3, 3), rng)])
+
+    def test_stack(self, rng):
+        gradcheck(lambda a, b: ops.stack([a, b], axis=0), [t((3, 2), rng), t((3, 2), rng)])
+
+    def test_getitem_fancy_index_duplicates(self, rng):
+        w = t((5, 3), rng)
+        idx = np.array([0, 2, 2, 4])
+        gradcheck(lambda x: ops.getitem(x, idx), [w])
+
+
+class TestEmbeddingAndSoftmax:
+    def test_embedding_gather(self, rng):
+        w = t((6, 4), rng)
+        gradcheck(lambda x: ops.embedding(x, np.array([0, 5, 2, 2])), [w])
+
+    def test_embedding_2d_indices(self, rng):
+        w = t((6, 4), rng)
+        idx = np.array([[0, 1], [2, 2], [5, 3]])
+        out = ops.embedding(w, idx)
+        assert out.shape == (3, 2, 4)
+        gradcheck(lambda x: ops.embedding(x, idx), [w])
+
+    def test_embedding_duplicate_rows_accumulate(self):
+        w = Tensor(np.ones((3, 2)), requires_grad=True)
+        ops.embedding(w, np.array([1, 1, 1])).sum().backward()
+        np.testing.assert_array_equal(w.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = ops.softmax(t((4, 5), rng), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_grad(self, rng):
+        gradcheck(lambda x: ops.softmax(x, axis=-1), [t((3, 4), rng)])
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(
+            ops.softmax(Tensor(x)).data, ops.softmax(Tensor(x + 100.0)).data
+        )
+
+    def test_log_softmax_grad(self, rng):
+        gradcheck(lambda x: ops.log_softmax(x, axis=-1), [t((3, 4), rng)])
+
+    def test_norm_grad(self, rng):
+        gradcheck(lambda x: ops.norm(x, axis=1), [t((3, 4), rng)])
+
+    def test_norm_at_zero_is_finite(self):
+        x = Tensor(np.zeros((2, 3)), requires_grad=True)
+        ops.norm(x, axis=1).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+
+class TestCompositeExpressions:
+    def test_mlp_like_composition(self, rng):
+        w1, b1 = t((4, 8), rng), t((8,), rng)
+        w2 = t((8, 1), rng)
+        x = Tensor(rng.normal(size=(5, 4)))
+
+        def f(w1_, b1_, w2_):
+            hidden = ops.leaky_relu(ops.add(ops.matmul(x, w1_), b1_), 0.01)
+            return ops.matmul(hidden, w2_)
+
+        gradcheck(f, [w1, b1, w2])
+
+    def test_gate_like_composition(self, rng):
+        w = t((6, 3), rng)
+        target = Tensor(rng.normal(size=(2, 3)))
+        neigh = Tensor(rng.normal(size=(2, 4, 3)))
+
+        def f(w_):
+            rep = ops.broadcast_to(target.reshape(2, 1, 3), (2, 4, 3))
+            gate = ops.sigmoid(ops.matmul(ops.concatenate([rep, neigh], axis=2), w_))
+            return ops.mean(ops.mul(neigh, gate), axis=1)
+
+        gradcheck(f, [w])
+
+    def test_no_grad_recorded_for_constant_inputs(self, rng):
+        a = Tensor(rng.normal(size=(3,)))
+        b = Tensor(rng.normal(size=(3,)))
+        out = ops.add(a, b)
+        assert not out.requires_grad
+        assert out._parents == ()

@@ -1,0 +1,145 @@
+"""Property-based tests for the autograd engine (hypothesis).
+
+Randomised shapes and values probe the algebraic identities the engine must
+satisfy: linearity of the backward pass, agreement with finite differences on
+random expressions, and shape-invariance of the unbroadcast rule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, gradcheck, ops
+
+FLOATS = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False)
+
+
+def arrays(*shape_options):
+    shape = st.sampled_from(shape_options)
+    return shape.flatmap(lambda s: hnp.arrays(np.float64, s, elements=FLOATS))
+
+
+class TestAlgebraicIdentities:
+    @given(arrays((3,), (2, 3), (2, 1, 3)))
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, data):
+        a = Tensor(data, requires_grad=True)
+        b = Tensor(data[::-1].copy() if data.ndim == 1 else data.copy(), requires_grad=True)
+        left = ops.add(a, b).data
+        right = ops.add(b, a).data
+        np.testing.assert_allclose(left, right)
+
+    @given(arrays((4,), (3, 4)))
+    @settings(max_examples=30, deadline=None)
+    def test_mul_by_one_is_identity_with_unit_gradient(self, data):
+        x = Tensor(data, requires_grad=True)
+        out = ops.mul(x, 1.0)
+        np.testing.assert_allclose(out.data, data)
+        out.backward(np.ones_like(data))
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(arrays((5,), (2, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_sub_self_is_zero_gradient_cancels(self, data):
+        x = Tensor(data, requires_grad=True)
+        out = ops.sub(x, x)
+        np.testing.assert_allclose(out.data, 0.0)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, 0.0)  # +1 and −1 paths cancel
+
+    @given(arrays((3, 4)))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        ops.sum(x).backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(arrays((2, 3), (4, 2)))
+    @settings(max_examples=30, deadline=None)
+    def test_backward_is_linear_in_seed(self, data):
+        """grad(2·seed) == 2·grad(seed) — the backward pass is linear."""
+        def run(seed_scale):
+            x = Tensor(data, requires_grad=True)
+            out = ops.sigmoid(ops.mul(x, 0.7))
+            out.backward(np.full_like(data, seed_scale))
+            return x.grad
+
+        np.testing.assert_allclose(run(2.0), 2.0 * run(1.0), rtol=1e-10)
+
+    @given(arrays((3,), (2, 2)))
+    @settings(max_examples=25, deadline=None)
+    def test_exp_log_roundtrip_gradient(self, data):
+        x = Tensor(np.abs(data) + 0.5, requires_grad=True)
+        out = ops.log(ops.exp(x))
+        np.testing.assert_allclose(out.data, x.data, rtol=1e-10)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(x.data), rtol=1e-8)
+
+
+class TestRandomExpressions:
+    @given(
+        data=arrays((2, 3)),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_composition_passes_gradcheck(self, data, seed):
+        """A random three-op composition must agree with finite differences."""
+        rng = np.random.default_rng(seed)
+        unary = [ops.sigmoid, ops.tanh, lambda t: ops.leaky_relu(t, 0.1),
+                 ops.softplus, ops.square]
+        chain = [unary[rng.integers(len(unary))] for _ in range(3)]
+
+        # Keep inputs strictly positive so no op sits on the LeakyReLU kink
+        # (finite differences are invalid at non-differentiable points).
+        x = Tensor(np.abs(data) + 0.3, requires_grad=True)
+
+        def f(v):
+            out = v
+            for op in chain:
+                out = op(out)
+            return out
+
+        assert gradcheck(f, [x], atol=1e-4, rtol=1e-3)
+
+    @given(
+        rows=st.integers(1, 4),
+        inner=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_any_shape_gradchecks(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(rows, inner)), requires_grad=True)
+        b = Tensor(rng.normal(size=(inner, cols)), requires_grad=True)
+        assert gradcheck(ops.matmul, [a, b])
+
+    @given(
+        shape=st.sampled_from([(4,), (2, 3), (2, 2, 2)]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_output_is_distribution(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=shape) * 5)
+        out = ops.softmax(x, axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-12)
+        assert (out >= 0).all()
+
+
+class TestEmbeddingProperties:
+    @given(
+        vocab=st.integers(2, 8),
+        dim=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_embedding_gradient_counts_occurrences(self, vocab, dim, seed):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, vocab, size=10)
+        w = Tensor(rng.normal(size=(vocab, dim)), requires_grad=True)
+        ops.embedding(w, idx).sum().backward()
+        counts = np.bincount(idx, minlength=vocab).astype(float)
+        np.testing.assert_allclose(w.grad, counts[:, None] * np.ones((1, dim)))

@@ -1,0 +1,163 @@
+"""Tensor core behaviour: construction, backward mechanics, detach, modes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, ops, set_grad_enabled
+
+
+class TestConstruction:
+    def test_wraps_array_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_wraps_existing_tensor_without_nesting(self):
+        inner = Tensor([1.0, 2.0])
+        outer = Tensor(inner)
+        assert isinstance(outer.data, np.ndarray)
+        np.testing.assert_array_equal(outer.data, inner.data)
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestBackward:
+    def test_scalar_backward_seeds_ones(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones(3))
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_backward_shape_mismatch_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 1.0
+        with pytest.raises(ValueError):
+            y.backward(np.zeros(3))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_gradients_accumulate_across_backward_calls(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 2.0).backward(np.array([1.0]))
+        (x * 2.0).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor([1.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_reused_node_in_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x  # x used twice by one op
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topological sort must handle graphs deeper than the
+        # Python recursion limit.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestDetachAndModes:
+    def test_detach_shares_data_but_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        d = (x * 2.0).detach()
+        assert not d.requires_grad
+        y = d * 3.0
+        assert not y.requires_grad
+
+    def test_no_grad_blocks_graph_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_mode_after_exception(self):
+        x = Tensor([1.0], requires_grad=True)
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert (x * 2.0).requires_grad
+
+    def test_set_grad_enabled_nesting(self):
+        x = Tensor([1.0], requires_grad=True)
+        with set_grad_enabled(False):
+            with set_grad_enabled(True):
+                assert (x * 1.0).requires_grad
+            assert not (x * 1.0).requires_grad
+
+    def test_requires_grad_false_inside_no_grad_construction(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+    def test_zero_grad_clears(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestOperatorSugar:
+    def test_radd_rsub_rmul_rtruediv(self):
+        x = Tensor([2.0], requires_grad=True)
+        np.testing.assert_allclose((1.0 + x).data, [3.0])
+        np.testing.assert_allclose((1.0 - x).data, [-1.0])
+        np.testing.assert_allclose((3.0 * x).data, [6.0])
+        np.testing.assert_allclose((4.0 / x).data, [2.0])
+
+    def test_pow_and_neg(self):
+        x = Tensor([3.0], requires_grad=True)
+        np.testing.assert_allclose((x**2).data, [9.0])
+        np.testing.assert_allclose((-x).data, [-3.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2), requires_grad=True)
+        b = Tensor([[1.0], [2.0]])
+        np.testing.assert_allclose((a @ b).data, [[1.0], [2.0]])
+
+    def test_transpose_property(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.T.shape == (3, 2)
+
+    def test_getitem_slicing(self):
+        t = Tensor(np.arange(10.0), requires_grad=True)
+        piece = t[2:5]
+        piece.sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)

@@ -1,0 +1,177 @@
+"""All twelve baselines: construction, training, prediction protocol."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (
+    BASELINES,
+    NORMAL_COLD_BASELINES,
+    STRICT_COLD_BASELINES,
+    WARM_START_BASELINES,
+    make_baseline,
+)
+from repro.train import TrainConfig
+
+FAST = TrainConfig(epochs=2, batch_size=64, learning_rate=0.01, patience=None)
+
+
+class TestRegistry:
+    def test_twelve_baselines(self):
+        assert len(BASELINES) == 12
+
+    def test_groups_partition_registry(self):
+        grouped = [*WARM_START_BASELINES, *NORMAL_COLD_BASELINES, *STRICT_COLD_BASELINES]
+        assert sorted(grouped) == sorted(BASELINES)
+
+    def test_paper_grouping(self):
+        assert WARM_START_BASELINES == ["NFM", "DiffNet", "DANSER", "sRMGCNN", "GC-MC"]
+        assert NORMAL_COLD_BASELINES == ["STAR-GCN", "MetaHIN", "IGMC"]
+        assert STRICT_COLD_BASELINES == ["DropoutNet", "LLAE", "HERS", "MetaEmb"]
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            make_baseline("BERT4Rec")
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES))
+class TestEveryBaseline:
+    def test_trains_and_predicts_on_ics(self, name, ics_task):
+        nn.init.seed(0)
+        model = make_baseline(name, embedding_dim=6)
+        model.fit(ics_task, FAST)
+        result = model.evaluate()
+        assert np.isfinite(result.rmse)
+        assert np.isfinite(result.mae)
+
+    def test_predictions_clipped_to_scale(self, name, ics_task):
+        nn.init.seed(0)
+        model = make_baseline(name, embedding_dim=6)
+        model.fit(ics_task, FAST)
+        preds = model.predict(ics_task.test_users, ics_task.test_items)
+        assert (preds >= 1.0).all() and (preds <= 5.0).all()
+
+    def test_name_matches_registry(self, name, ics_task):
+        model = make_baseline(name, embedding_dim=6)
+        assert model.name == name
+
+
+class TestMechanismProperties:
+    """Each baseline must exhibit the failure/success mode the paper assigns it."""
+
+    def test_llae_is_catastrophic(self, ics_task):
+        """LLAE fits full rating vectors (zeros included) → huge RMSE."""
+        nn.init.seed(0)
+        model = make_baseline("LLAE")
+        model.fit(ics_task, FAST)
+        rmse = model.evaluate().rmse
+        others = []
+        for name in ("NFM", "GC-MC"):
+            nn.init.seed(0)
+            other = make_baseline(name, embedding_dim=6)
+            other.fit(ics_task, FAST)
+            others.append(other.evaluate().rmse)
+        assert rmse > 2 * max(others)
+
+    def test_igmc_uses_no_attributes(self, ics_task):
+        """IGMC's parameters must not scale with attribute dimensionality."""
+        nn.init.seed(0)
+        model = make_baseline("IGMC", embedding_dim=6)
+        model.fit(ics_task, FAST)
+        names = [n for n, _ in model.named_parameters()]
+        assert not any("proj" in n or "attr" in n for n in names)
+
+    def test_gcmc_cold_conv_is_zero(self, ics_task):
+        """A strict cold item aggregates nothing over the bipartite graph."""
+        nn.init.seed(0)
+        model = make_baseline("GC-MC", embedding_dim=6)
+        model.fit(ics_task, FAST)
+        rows = model._item_to_user[ics_task.cold_items]
+        np.testing.assert_array_equal(rows.sum(axis=1), 0.0)
+
+    def test_dropoutnet_cold_preference_is_zero(self, ics_task):
+        nn.init.seed(0)
+        model = make_baseline("DropoutNet", embedding_dim=6)
+        model.fit(ics_task, FAST)
+        np.testing.assert_array_equal(model._item_pref[ics_task.cold_items], 0.0)
+
+    def test_metaemb_generates_for_cold_ids(self, ics_task):
+        nn.init.seed(0)
+        model = make_baseline("MetaEmb", embedding_dim=6)
+        model.fit(ics_task, FAST)
+        np.testing.assert_array_equal(model._cold_items, ics_task.cold_items)
+        cold = ics_task.cold_items[:3]
+        user = np.full(3, ics_task.test_users[0])
+        preds = model.predict(user, cold)
+        assert np.isfinite(preds).all()
+
+    def test_danser_item_graph_cold_self_loops(self, ics_task):
+        """DANSER's co-purchase item graph leaves cold items isolated."""
+        nn.init.seed(0)
+        model = make_baseline("DANSER", embedding_dim=6)
+        model.prepare(ics_task)
+        cold = ics_task.cold_items
+        np.testing.assert_array_equal(
+            model._item_neigh[cold],
+            np.repeat(cold[:, None], model._item_neigh.shape[1], axis=1),
+        )
+
+    def test_metahin_cold_support_is_empty(self, ics_task):
+        nn.init.seed(0)
+        model = make_baseline("MetaHIN", embedding_dim=6)
+        model.prepare(ics_task)
+        np.testing.assert_array_equal(model._item_support_mask[ics_task.cold_items], 0.0)
+
+    def test_diffnet_uses_social_links_on_yelp(self, tiny_yelp):
+        from repro.data import user_cold_split
+
+        task = user_cold_split(tiny_yelp, 0.2, seed=0)
+        nn.init.seed(0)
+        model = make_baseline("DiffNet", embedding_dim=6)
+        model.prepare(task)
+        social = tiny_yelp.metadata["social_adjacency"]
+        # DiffNet's internal graph must be the row-normalised social graph.
+        degrees = social.sum(axis=1, keepdims=True)
+        expected = social / np.maximum(degrees, 1)
+        np.testing.assert_allclose(model._social, expected)
+
+    def test_stargcn_masks_during_training_only(self, warm_task):
+        nn.init.seed(0)
+        model = make_baseline("STAR-GCN", embedding_dim=6)
+        model.fit(warm_task, FAST)
+        # predictions are deterministic (no masking at inference)
+        a = model.predict(warm_task.test_users[:5], warm_task.test_items[:5])
+        b = model.predict(warm_task.test_users[:5], warm_task.test_items[:5])
+        np.testing.assert_array_equal(a, b)
+
+    def test_hers_has_no_attribute_parameters(self, ics_task):
+        """HERS aggregates relations only — the paper's criticism is that the
+        node's own attributes never enter its representation."""
+        nn.init.seed(0)
+        model = make_baseline("HERS", embedding_dim=6)
+        model.fit(ics_task, FAST)
+        names = [n for n, _ in model.named_parameters()]
+        assert not any("proj" in n or "attr" in n for n in names)
+
+
+class TestBiasedMF:
+    def test_fits_and_predicts(self, warm_task):
+        from repro.baselines import BiasedMF, MFConfig
+
+        mf = BiasedMF(MFConfig(factors=6, epochs=15)).fit(warm_task)
+        preds = mf.predict(warm_task.test_users, warm_task.test_items)
+        rmse = float(np.sqrt(np.mean((np.clip(preds, 1, 5) - warm_task.test_ratings) ** 2)))
+        assert rmse < 1.3
+
+    def test_predict_before_fit_raises(self):
+        from repro.baselines import BiasedMF
+
+        with pytest.raises(RuntimeError):
+            BiasedMF().predict(np.array([0]), np.array([0]))
+
+    def test_stable_on_sparse_data(self, ics_task):
+        from repro.baselines import BiasedMF, MFConfig
+
+        mf = BiasedMF(MFConfig(factors=8, epochs=30, learning_rate=0.02)).fit(ics_task)
+        assert np.isfinite(mf.user_factors).all()
+        assert np.isfinite(mf.item_factors).all()

@@ -1,0 +1,114 @@
+"""Cold-start strategies: eVAE / VAE / DAE / mask / dropout / none."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.cold_modules import (
+    CorruptionStrategy,
+    DAEStrategy,
+    EVAEStrategy,
+    NullStrategy,
+    make_cold_module,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [
+            ("evae", EVAEStrategy),
+            ("vae", EVAEStrategy),
+            ("dae", DAEStrategy),
+            ("mask", CorruptionStrategy),
+            ("dropout", CorruptionStrategy),
+            ("none", NullStrategy),
+        ],
+    )
+    def test_dispatch(self, kind, cls):
+        strategy, _ = make_cold_module(kind, 8, 8, 8, 0.01, 0.2)
+        assert isinstance(strategy, cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_cold_module("gan", 8, 8, 8, 0.01, 0.2)
+
+    def test_vae_variant_disables_approximation(self):
+        evae, _ = make_cold_module("evae", 8, 8, 8, 0.01, 0.2)
+        vae, _ = make_cold_module("vae", 8, 8, 8, 0.01, 0.2)
+        assert evae.use_approximation
+        assert not vae.use_approximation
+
+    def test_mask_reconstructs_dropout_does_not(self):
+        mask, _ = make_cold_module("mask", 8, 8, 8, 0.01, 0.2)
+        drop, _ = make_cold_module("dropout", 8, 8, 8, 0.01, 0.2)
+        assert mask.reconstruct and mask.has_reconstruction_loss
+        assert not drop.reconstruct and not drop.has_reconstruction_loss
+
+
+class TestCorruption:
+    def test_mask_rate_respected(self, rng):
+        strategy = CorruptionStrategy(rate=0.3, reconstruct=False, embedding_dim=4)
+        masks = np.concatenate([strategy.corruption_mask(1000, rng) for _ in range(5)])
+        zero_rate = 1.0 - masks.mean()
+        assert 0.25 < zero_rate < 0.35
+
+    def test_zero_rate_never_masks(self, rng):
+        strategy = CorruptionStrategy(rate=0.0, reconstruct=False, embedding_dim=4)
+        np.testing.assert_array_equal(strategy.corruption_mask(50, rng), np.ones(50))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            CorruptionStrategy(rate=1.0, reconstruct=False, embedding_dim=4)
+
+    def test_decode_loss_only_for_mask(self, rng):
+        drop = CorruptionStrategy(rate=0.2, reconstruct=False, embedding_dim=4)
+        with pytest.raises(RuntimeError):
+            drop.decode_loss(Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 4))))
+
+    def test_generate_returns_none_for_corruption(self, rng):
+        strategy = CorruptionStrategy(rate=0.2, reconstruct=True, embedding_dim=4)
+        assert strategy.generate(Tensor(np.zeros((2, 4)))) is None
+
+
+class TestDAE:
+    def test_generate_deterministic(self, rng):
+        strategy = DAEStrategy(4, 6, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(3, 4)))
+        a = strategy.generate(x)
+        b = strategy.generate(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_applied_in_training_loss_path(self, rng):
+        strategy = DAEStrategy(4, 6, noise_std=0.5, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(3, 4)))
+        m = Tensor(rng.normal(size=(3, 4)))
+        a = strategy.reconstruction_loss(x, m).item()
+        b = strategy.reconstruction_loss(x, m).item()
+        assert a != b  # fresh noise each call
+
+    def test_learns_linear_map(self, rng):
+        from repro.optim import Adam
+
+        strategy = DAEStrategy(4, 8, noise_std=0.05, rng=np.random.default_rng(0))
+        W = rng.normal(size=(4, 4)) * 0.5
+        X = rng.normal(size=(64, 4))
+        target = X @ W
+        opt = Adam(strategy.parameters(), lr=0.01)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = strategy.reconstruction_loss(Tensor(X), Tensor(target))
+            loss.backward()
+            opt.step()
+        gen = strategy.generate(Tensor(X))
+        corr = np.corrcoef(gen.reshape(-1), target.reshape(-1))[0, 1]
+        assert corr > 0.9
+
+
+class TestNull:
+    def test_no_reconstruction_no_generation(self, rng):
+        strategy = NullStrategy()
+        assert not strategy.has_reconstruction_loss
+        assert not strategy.corrupts_preference
+        assert strategy.generate(Tensor(np.zeros((2, 4)))) is None
+        assert strategy.corruption_mask(10, rng) is None

@@ -1,0 +1,127 @@
+"""eVAE: shapes, reparameterisation, loss components, generation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import ExtendedVAE
+from repro.core.cold_modules import EVAEStrategy
+
+
+@pytest.fixture()
+def vae():
+    return ExtendedVAE(embedding_dim=6, hidden_dim=8, latent_dim=4, rng=np.random.default_rng(0))
+
+
+class TestForward:
+    def test_shapes(self, vae, rng):
+        x = Tensor(rng.normal(size=(5, 6)))
+        recon, mu, log_var = vae(x)
+        assert recon.shape == (5, 6)
+        assert mu.shape == (5, 4)
+        assert log_var.shape == (5, 4)
+
+    def test_deterministic_without_sampling(self, vae, rng):
+        x = Tensor(rng.normal(size=(3, 6)))
+        a, _, _ = vae(x, sample=False)
+        b, _, _ = vae(x, sample=False)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_sampling_is_stochastic(self, vae, rng):
+        x = Tensor(rng.normal(size=(3, 6)))
+        a, _, _ = vae(x, sample=True)
+        b, _, _ = vae(x, sample=True)
+        assert not np.allclose(a.data, b.data)
+
+    def test_log_var_clipped(self, vae, rng):
+        x = Tensor(rng.normal(size=(3, 6)) * 1000)
+        _, _, log_var = vae(x)
+        assert (log_var.data >= -8.0).all() and (log_var.data <= 8.0).all()
+
+    def test_generate_equals_deterministic_decode(self, vae, rng):
+        x = Tensor(rng.normal(size=(3, 6)))
+        gen = vae.generate(x)
+        recon, _, _ = vae(x, sample=False)
+        np.testing.assert_array_equal(gen.data, recon.data)
+
+
+class TestLoss:
+    def test_loss_is_scalar_and_finite(self, vae, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        m = Tensor(rng.normal(size=(4, 6)))
+        loss, recon = vae.loss(x, preference_target=m)
+        assert loss.data.shape == ()
+        assert np.isfinite(loss.item())
+
+    def test_approximation_requires_target(self, vae, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        with pytest.raises(ValueError):
+            vae.loss(x, preference_target=None, use_approximation=True)
+
+    def test_standard_vae_mode_needs_no_target(self, vae, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        loss, _ = vae.loss(x, use_approximation=False)
+        assert np.isfinite(loss.item())
+
+    def test_backward_reaches_all_vae_parameters(self, vae, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        m = Tensor(rng.normal(size=(4, 6)))
+        vae.train()
+        loss, _ = vae.loss(x, preference_target=m)
+        loss.backward()
+        for name, param in vae.named_parameters():
+            assert param.grad is not None, f"no gradient for {name}"
+
+    def test_quadratic_target_detached(self, vae, rng):
+        """The NLL generation target must not receive gradients; the bounded
+        approximation norm may."""
+        x = Tensor(rng.normal(size=(4, 6)))
+        m = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        vae.train()
+        loss, _ = vae.loss(x, preference_target=m)
+        loss.backward()
+        # Gradient exists (via the approximation norm) but is bounded:
+        # per-row gradient norm of mean ‖x'−m‖ is ≤ 1/batch.
+        assert m.grad is not None
+        row_norms = np.linalg.norm(m.grad, axis=1)
+        assert (row_norms <= 1.0 / 4 + 1e-9).all()
+
+    def test_training_can_learn_identity_map(self, rng):
+        """The eVAE must be able to regress a learnable attr→pref mapping."""
+        from repro.optim import Adam
+
+        vae = ExtendedVAE(4, 16, 4, rng=np.random.default_rng(1))
+        W = rng.normal(size=(4, 4))
+        X = rng.normal(size=(64, 4))
+        target = X @ W * 0.3
+        opt = Adam(vae.parameters(), lr=0.01)
+        vae.train()
+        for _ in range(300):
+            opt.zero_grad()
+            loss, _ = vae.loss(Tensor(X), preference_target=Tensor(target))
+            loss.backward()
+            opt.step()
+        vae.eval()
+        with no_grad():
+            gen = vae.generate(Tensor(X)).data
+        # correlation between generated and target should be clearly positive
+        corr = np.corrcoef(gen.reshape(-1), target.reshape(-1))[0, 1]
+        assert corr > 0.5
+
+
+class TestEVAEStrategy:
+    def test_generate_returns_array(self, rng):
+        strat = EVAEStrategy(6, 8, 4, 0.01, rng=np.random.default_rng(0))
+        out = strat.generate(Tensor(rng.normal(size=(3, 6))))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3, 6)
+
+    def test_loss_normalised_by_dim(self, rng):
+        """Strategy loss = vae loss / D — checked indirectly via magnitudes."""
+        strat = EVAEStrategy(6, 8, 4, 0.01, rng=np.random.default_rng(0))
+        strat.eval()
+        x = Tensor(rng.normal(size=(4, 6)))
+        m = Tensor(rng.normal(size=(4, 6)))
+        strategy_loss = strat.reconstruction_loss(x, m).item()
+        raw_loss, _ = strat.vae.loss(x, preference_target=m)
+        assert strategy_loss == pytest.approx(raw_loss.item() / 6)

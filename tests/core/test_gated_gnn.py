@@ -1,0 +1,111 @@
+"""Gated-GNN and the replacement aggregators."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, ops
+from repro.core import (
+    GATAggregator,
+    GatedGNN,
+    GCNAggregator,
+    IdentityAggregator,
+    make_aggregator,
+)
+
+
+def batch(rng, b=3, k=4, d=5):
+    return (
+        Tensor(rng.normal(size=(b, d))),
+        Tensor(rng.normal(size=(b, k, d))),
+    )
+
+
+class TestGatedGNN:
+    def test_output_shape(self, rng):
+        target, neigh = batch(rng)
+        out = GatedGNN(5)(target, neigh)
+        assert out.shape == (3, 5)
+
+    def test_filter_gate_starts_nearly_closed(self):
+        """At init the filter bias is −2, so the target keeps ≈88% of itself."""
+        gnn = GatedGNN(5)
+        gnn.w_filter.weight.data[...] = 0.0  # isolate the bias initialisation
+        target = Tensor(np.ones((1, 5)))
+        neigh = Tensor(np.zeros((1, 2, 5)))
+        out = gnn(target, neigh)
+        # with zero neighbours, out = LeakyReLU(target ⊙ (1−σ(−2)))
+        expected = 1.0 - 1.0 / (1.0 + np.exp(2.0))
+        np.testing.assert_allclose(out.data, expected, atol=1e-9)
+
+    def test_no_aggregate_gate_is_plain_mean(self, rng):
+        gnn = GatedGNN(5, use_aggregate_gate=False, use_filter_gate=False)
+        target, neigh = batch(rng)
+        out = gnn(target, neigh)
+        expected = ops.leaky_relu(ops.add(target, ops.mean(neigh, axis=1)), 0.01)
+        np.testing.assert_allclose(out.data, expected.data)
+
+    def test_gates_affect_output(self, rng):
+        target, neigh = batch(rng)
+        full = GatedGNN(5)(target, neigh)
+        ungated = GatedGNN(5, use_aggregate_gate=False, use_filter_gate=False)(target, neigh)
+        assert not np.allclose(full.data, ungated.data)
+
+    def test_gradients_flow_to_gate_weights(self, rng):
+        gnn = GatedGNN(5)
+        target, neigh = batch(rng)
+        gnn(target, neigh).sum().backward()
+        assert gnn.w_aggregate.weight.grad is not None
+        assert gnn.w_filter.weight.grad is not None
+
+    def test_gradcheck_small(self, rng):
+        gnn = GatedGNN(3)
+        target = Tensor(rng.normal(size=(2, 3)))
+        neigh = Tensor(rng.normal(size=(2, 2, 3)))
+        params = [gnn.w_aggregate.weight, gnn.w_filter.weight]
+        gradcheck(lambda *_: gnn(target, neigh), params)
+
+    def test_homophily_filter_suppresses_inconsistent_dims(self):
+        """A trained-like filter gate removes target information; verify the
+        mechanism: f_gate=1 ⇒ target contributes nothing."""
+        gnn = GatedGNN(2, use_aggregate_gate=False)
+        gnn.w_filter.weight.data[...] = 0.0
+        gnn.w_filter.bias.data[...] = 100.0  # sigmoid → 1: filter everything
+        target = Tensor(np.array([[5.0, -5.0]]))
+        neigh = Tensor(np.zeros((1, 3, 2)))
+        out = gnn(target, neigh)
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-10)
+
+
+class TestReplacementAggregators:
+    def test_gcn_shape(self, rng):
+        target, neigh = batch(rng)
+        assert GCNAggregator(5)(target, neigh).shape == (3, 5)
+
+    def test_gat_weights_sum_to_one(self, rng):
+        """GAT attention is a convex combination: equal neighbours → plain mean + residual."""
+        gat = GATAggregator(5)
+        target = Tensor(rng.normal(size=(2, 5)))
+        same = Tensor(np.tile(rng.normal(size=(2, 1, 5)), (1, 4, 1)))
+        out = gat(target, same)
+        expected = ops.leaky_relu(ops.add(target, ops.mean(same, axis=1)), 0.01)
+        np.testing.assert_allclose(out.data, expected.data, atol=1e-10)
+
+    def test_identity_ignores_neighbours(self, rng):
+        target, neigh = batch(rng)
+        out = IdentityAggregator()(target, neigh)
+        np.testing.assert_array_equal(out.data, target.data)
+
+    def test_factory_dispatch(self):
+        assert isinstance(make_aggregator("gated", 4), GatedGNN)
+        assert isinstance(make_aggregator("gcn", 4), GCNAggregator)
+        assert isinstance(make_aggregator("gat", 4), GATAggregator)
+        assert isinstance(make_aggregator("none", 4), IdentityAggregator)
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_aggregator("transformer", 4)
+
+    def test_factory_gate_switches(self):
+        gnn = make_aggregator("gated", 4, use_aggregate_gate=False, use_filter_gate=True)
+        assert not gnn.use_aggregate_gate
+        assert gnn.use_filter_gate

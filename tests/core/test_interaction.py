@@ -1,0 +1,90 @@
+"""Attribute interaction layer: the FM identity, fusion, overrides."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.core import AttributeInteraction, NodeEncoder
+
+
+class TestBiInteraction:
+    def test_output_shape(self, rng):
+        layer = AttributeInteraction(attr_dim=10, embedding_dim=6)
+        attrs = (rng.random((4, 10)) < 0.3).astype(float)
+        assert layer(attrs).shape == (4, 6)
+
+    def test_wrong_width_raises(self, rng):
+        layer = AttributeInteraction(attr_dim=10, embedding_dim=6)
+        with pytest.raises(ValueError):
+            layer(np.zeros((4, 7)))
+
+    def test_fm_identity_matches_explicit_double_sum(self, rng):
+        """½[(Σ a_i v_i)² − Σ (a_i v_i)²] must equal Σ_i Σ_{j>i} a_i v_i ⊙ a_j v_j."""
+        layer = AttributeInteraction(attr_dim=6, embedding_dim=4)
+        attrs = (rng.random((3, 6)) < 0.5).astype(float)
+        v = layer.value_embeddings.data
+
+        explicit = np.zeros((3, 4))
+        for b in range(3):
+            for i in range(6):
+                for j in range(i + 1, 6):
+                    explicit[b] += (attrs[b, i] * v[i]) * (attrs[b, j] * v[j])
+
+        summed = attrs @ v
+        squared = (attrs**2) @ (v**2)
+        fast = 0.5 * (summed**2 - squared)
+        np.testing.assert_allclose(fast, explicit, atol=1e-10)
+
+    def test_single_attribute_has_no_interactions(self):
+        """With exactly one active attribute, f_BI is zero and only the linear
+        path contributes."""
+        layer = AttributeInteraction(attr_dim=5, embedding_dim=3)
+        attrs = np.zeros((1, 5))
+        attrs[0, 2] = 1.0
+        v = layer.value_embeddings.data
+        f_bi = 0.5 * ((attrs @ v) ** 2 - (attrs**2) @ (v**2))
+        np.testing.assert_allclose(f_bi, 0.0, atol=1e-12)
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = AttributeInteraction(attr_dim=5, embedding_dim=3)
+        attrs = (rng.random((2, 5)) < 0.6).astype(float)
+        params = [layer.value_embeddings, layer.fc_bi.weight, layer.fc_linear.weight, layer.fc_linear.bias]
+
+        def f(*_):
+            return layer(attrs)
+
+        gradcheck(f, params)
+
+
+class TestNodeEncoder:
+    def test_node_embedding_shape(self, rng):
+        enc = NodeEncoder(num_nodes=8, attr_dim=5, embedding_dim=4)
+        attrs = (rng.random((8, 5)) < 0.5).astype(float)
+        out = enc.node_embedding(np.array([0, 3, 7]), attrs)
+        assert out.shape == (3, 4)
+
+    def test_preference_override_used(self, rng):
+        enc = NodeEncoder(num_nodes=4, attr_dim=3, embedding_dim=2)
+        attrs = np.eye(4, 3)
+        override = np.zeros((4, 2))
+        ids = np.array([1, 2])
+        with_override = enc.node_embedding(ids, attrs, preference_override=override)
+        without = enc.node_embedding(ids, attrs)
+        assert not np.allclose(with_override.data, without.data)
+
+    def test_preference_mask_zeroes_rows(self, rng):
+        enc = NodeEncoder(num_nodes=4, attr_dim=3, embedding_dim=2)
+        attrs = np.eye(4, 3)
+        ids = np.array([0, 1])
+        masked = enc.node_embedding(ids, attrs, preference_mask=np.array([0.0, 1.0]))
+        overridden = enc.node_embedding(
+            ids, attrs, preference_override=np.vstack([np.zeros(2), enc.preference.weight.data[1:2], np.zeros((2, 2))])
+        )
+        np.testing.assert_allclose(masked.data[0], overridden.data[0])
+
+    def test_attribute_embedding_matches_interaction(self, rng):
+        enc = NodeEncoder(num_nodes=4, attr_dim=3, embedding_dim=2)
+        attrs = (rng.random((4, 3)) < 0.5).astype(float)
+        direct = enc.interaction(attrs[[1, 3]])
+        via = enc.attribute_embedding(np.array([1, 3]), attrs)
+        np.testing.assert_allclose(direct.data, via.data)

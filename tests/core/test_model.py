@@ -1,0 +1,168 @@
+"""AGNN end-to-end: config validation, training, cold-start inference paths."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import AGNN, AGNNConfig, agnn_variant, ALL_VARIANTS
+from repro.train import TrainConfig
+
+FAST = TrainConfig(epochs=2, batch_size=64, learning_rate=0.01, patience=None)
+SMALL = AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=10.0)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = AGNNConfig()
+        assert cfg.embedding_dim == 40
+        assert cfg.pool_percent == 5.0
+        assert cfg.recon_weight == 1.0
+        assert cfg.num_neighbors == 10
+        assert cfg.leaky_slope == 0.01
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"embedding_dim": 0},
+            {"num_neighbors": 0},
+            {"pool_percent": 0.0},
+            {"pool_percent": 101.0},
+            {"recon_weight": -1.0},
+            {"mask_rate": 1.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AGNNConfig(**kwargs)
+
+    def test_with_overrides(self):
+        cfg = AGNNConfig().with_overrides(embedding_dim=8)
+        assert cfg.embedding_dim == 8
+        assert cfg.pool_percent == 5.0
+
+
+class TestTraining:
+    def test_fit_and_evaluate_ics(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        history = model.fit(ics_task, FAST)
+        assert history.num_epochs == 2
+        result = model.evaluate()
+        assert 0.3 < result.rmse < 2.0
+
+    def test_history_has_both_loss_curves(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        history = model.fit(ics_task, FAST)
+        assert "prediction" in history.losses
+        assert "reconstruction" in history.losses
+
+    def test_no_evae_variant_has_no_reconstruction(self, ics_task):
+        nn.init.seed(0)
+        model = agnn_variant("AGNN_-eVAE", SMALL, seed=0)
+        history = model.fit(ics_task, FAST)
+        assert "reconstruction" not in history.losses
+
+    def test_predictions_within_scale(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        model.fit(ics_task, FAST)
+        preds = model.predict(ics_task.test_users, ics_task.test_items)
+        assert (preds >= 1.0).all() and (preds <= 5.0).all()
+
+    def test_predict_before_fit_raises(self):
+        model = AGNN(SMALL)
+        with pytest.raises(RuntimeError):
+            model.predict(np.array([0]), np.array([0]))
+
+    def test_beats_global_mean_on_cold_items(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        model.fit(ics_task, TrainConfig(epochs=6, batch_size=64, learning_rate=0.01, patience=None))
+        rmse_model = model.evaluate().rmse
+        mean_pred = np.full(len(ics_task.test_idx), ics_task.train_global_mean)
+        rmse_mean = float(np.sqrt(np.mean((mean_pred - ics_task.test_ratings) ** 2)))
+        assert rmse_model < rmse_mean
+
+
+class TestColdInference:
+    def test_cold_items_get_generated_preferences(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        model.fit(ics_task, FAST)
+        prefs = model.generated_preferences("item")
+        cold = ics_task.cold_items
+        trained = model.item_encoder.preference.weight.data
+        # Cold rows replaced, warm rows untouched.
+        warm = np.setdiff1d(np.arange(ics_task.dataset.num_items), cold)
+        np.testing.assert_array_equal(prefs[warm], trained[warm])
+        assert not np.allclose(prefs[cold], trained[cold])
+
+    def test_null_strategy_zeroes_cold_rows(self, ics_task):
+        nn.init.seed(0)
+        model = agnn_variant("AGNN_-eVAE", SMALL, seed=0)
+        model.fit(ics_task, FAST)
+        prefs = model.generated_preferences("item")
+        np.testing.assert_array_equal(prefs[ics_task.cold_items], 0.0)
+
+    def test_generated_preferences_bad_side(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        model.fit(ics_task, FAST)
+        with pytest.raises(ValueError):
+            model.generated_preferences("movie")
+
+    def test_cold_predictions_differ_across_items(self, ics_task):
+        """Cold items with different attributes must get different scores —
+        the model is not collapsing to a constant."""
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        model.fit(ics_task, FAST)
+        user = ics_task.test_users[0]
+        cold = ics_task.cold_items[:10]
+        preds = model.predict(np.full(len(cold), user), cold)
+        assert preds.std() > 1e-4
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", sorted(ALL_VARIANTS))
+    def test_every_variant_trains(self, ics_task, name):
+        nn.init.seed(0)
+        model = agnn_variant(name, SMALL, seed=0)
+        model.fit(ics_task, TrainConfig(epochs=1, batch_size=64, learning_rate=0.01, patience=None))
+        result = model.evaluate()
+        assert np.isfinite(result.rmse)
+        assert model.name == name
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            agnn_variant("AGNN_turbo")
+
+    def test_variant_configs_differ_from_trunk(self):
+        knn = agnn_variant("AGNN_knn", SMALL)
+        assert knn.config.graph_strategy == "knn"
+        nogate = agnn_variant("AGNN_-agate", SMALL)
+        assert not nogate.config.use_aggregate_gate
+        llae = agnn_variant("AGNN_LLAE", SMALL)
+        assert llae.config.aggregator == "none"
+        assert llae.config.cold_module == "dae"
+
+
+class TestEarlyStopping:
+    def test_early_stopping_restores_best(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        config = TrainConfig(epochs=20, batch_size=64, learning_rate=0.02, patience=2)
+        history = model.fit(ics_task, config)
+        assert history.num_epochs <= 20
+        assert "val_rmse" in history.losses
+        # Restored weights correspond to the best recorded validation epoch.
+        best = min(history.losses["val_rmse"])
+        assert best <= history.losses["val_rmse"][-1] + 1e-9
+
+    def test_patience_none_runs_all_epochs(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        history = model.fit(ics_task, TrainConfig(epochs=3, batch_size=64, patience=None))
+        assert history.num_epochs == 3
+        assert "val_rmse" not in history.losses

@@ -1,0 +1,78 @@
+"""RatingDataset container: validation, stats, views."""
+
+import numpy as np
+import pytest
+
+from repro.data import RatingDataset
+
+
+def small_dataset(**overrides):
+    kwargs = dict(
+        name="t",
+        user_attributes=np.eye(4),
+        item_attributes=np.eye(5),
+        user_ids=np.array([0, 1, 2, 0]),
+        item_ids=np.array([0, 1, 2, 3]),
+        ratings=np.array([1.0, 3.0, 5.0, 4.0]),
+    )
+    kwargs.update(overrides)
+    return RatingDataset(**kwargs)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        ds = small_dataset()
+        assert ds.num_users == 4
+        assert ds.num_items == 5
+        assert ds.num_ratings == 4
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            small_dataset(ratings=np.array([1.0]))
+
+    def test_user_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            small_dataset(user_ids=np.array([0, 1, 9, 0]))
+
+    def test_item_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            small_dataset(item_ids=np.array([0, 1, 2, 9]))
+
+    def test_rating_outside_scale_raises(self):
+        with pytest.raises(ValueError):
+            small_dataset(ratings=np.array([1.0, 3.0, 5.0, 7.0]))
+
+
+class TestStatsAndViews:
+    def test_sparsity(self):
+        ds = small_dataset()
+        assert ds.sparsity == pytest.approx(1.0 - 4 / 20)
+
+    def test_global_mean(self):
+        assert small_dataset().global_mean == pytest.approx(3.25)
+
+    def test_stats_row_formatting(self):
+        row = small_dataset().stats().as_row()
+        assert "t" in row and "%" in row
+
+    def test_rating_matrix(self):
+        matrix = small_dataset().rating_matrix()
+        assert matrix.shape == (4, 5)
+        assert matrix[0, 0] == 1.0
+        assert matrix[2, 2] == 5.0
+        assert matrix[3].sum() == 0.0  # user 3 rated nothing
+
+    def test_interactions_of_users(self):
+        ds = small_dataset()
+        idx = ds.interactions_of_users(np.array([0]))
+        np.testing.assert_array_equal(idx, [0, 3])
+
+    def test_interactions_of_items(self):
+        ds = small_dataset()
+        idx = ds.interactions_of_items(np.array([1, 2]))
+        np.testing.assert_array_equal(idx, [1, 2])
+
+    def test_user_histories(self):
+        hist = small_dataset().user_histories()
+        np.testing.assert_array_equal(sorted(hist[0]), [0, 3])
+        assert 3 not in hist  # no interactions

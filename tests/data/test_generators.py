@@ -1,0 +1,161 @@
+"""Synthetic dataset generators: determinism, structure, signal properties."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    LatentModel,
+    MovieLensConfig,
+    YelpConfig,
+    generate_movielens,
+    generate_yelp,
+    quantise_ratings,
+)
+from tests.conftest import TINY_ML, TINY_YELP
+
+
+class TestMovieLensGenerator:
+    def test_shapes_match_config(self, tiny_movielens):
+        ds = tiny_movielens
+        assert ds.num_users == TINY_ML.num_users
+        assert ds.num_items == TINY_ML.num_items
+        # The sampler may shed a few ratings when capping per-user activity.
+        assert 0.9 * TINY_ML.num_ratings <= ds.num_ratings <= TINY_ML.num_ratings
+
+    def test_deterministic_for_seed(self):
+        a = generate_movielens(TINY_ML)
+        b = generate_movielens(TINY_ML)
+        np.testing.assert_array_equal(a.ratings, b.ratings)
+        np.testing.assert_array_equal(a.user_attributes, b.user_attributes)
+
+    def test_different_seed_differs(self):
+        import dataclasses
+
+        other = dataclasses.replace(TINY_ML, seed=99)
+        a = generate_movielens(TINY_ML)
+        b = generate_movielens(other)
+        assert not np.array_equal(a.ratings, b.ratings)
+
+    def test_ratings_are_whole_stars_in_scale(self, tiny_movielens):
+        values = np.unique(tiny_movielens.ratings)
+        assert set(values).issubset({1.0, 2.0, 3.0, 4.0, 5.0})
+
+    def test_no_duplicate_interactions(self, tiny_movielens):
+        pairs = set(zip(tiny_movielens.user_ids.tolist(), tiny_movielens.item_ids.tolist()))
+        assert len(pairs) == tiny_movielens.num_ratings
+
+    def test_every_user_has_one_categorical_per_field(self, tiny_movielens):
+        schema = tiny_movielens.user_schema
+        for name in ("gender", "age", "occupation"):
+            block = tiny_movielens.user_attributes[:, schema.field_slice(name)]
+            np.testing.assert_array_equal(block.sum(axis=1), np.ones(tiny_movielens.num_users))
+
+    def test_items_have_one_to_three_categories(self, tiny_movielens):
+        schema = tiny_movielens.item_schema
+        block = tiny_movielens.item_attributes[:, schema.field_slice("category")]
+        counts = block.sum(axis=1)
+        assert counts.min() >= 1
+        assert counts.max() <= TINY_ML.max_categories_per_item
+
+    def test_scaled_reduces_sizes(self):
+        cfg = MovieLensConfig().scaled(0.1)
+        assert cfg.num_users == 94
+        assert cfg.num_items == 168
+        assert cfg.num_ratings == 10_000
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            MovieLensConfig().scaled(0.0)
+
+    def test_attribute_signal_bounds(self):
+        import dataclasses
+
+        cfg = dataclasses.replace(TINY_ML, attribute_signal=1.5)
+        with pytest.raises(ValueError):
+            generate_movielens(cfg)
+
+    def test_attribute_signal_carries_into_ratings(self):
+        """Items with identical attributes should rate more similarly than
+        random pairs when attribute_signal is high."""
+        import dataclasses
+
+        cfg = dataclasses.replace(TINY_ML, attribute_signal=0.95, num_ratings=900)
+        ds = generate_movielens(cfg)
+        factors = ds.metadata["true_item_factors"]
+        attrs = ds.item_attributes
+        sims = attrs @ attrs.T
+        np.fill_diagonal(sims, -1)
+        close_pairs = np.argwhere(sims >= 3)  # share ≥3 attribute values
+        if len(close_pairs) < 5:
+            pytest.skip("tiny config produced too few attribute twins")
+        twin_dist = np.linalg.norm(factors[close_pairs[:, 0]] - factors[close_pairs[:, 1]], axis=1).mean()
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, len(factors), 200)
+        b = rng.integers(0, len(factors), 200)
+        random_dist = np.linalg.norm(factors[a] - factors[b], axis=1).mean()
+        assert twin_dist < random_dist
+
+
+class TestYelpGenerator:
+    def test_social_adjacency_is_symmetric_binary(self, tiny_yelp):
+        social = tiny_yelp.metadata["social_adjacency"]
+        np.testing.assert_array_equal(social, social.T)
+        assert set(np.unique(social)).issubset({0.0, 1.0})
+
+    def test_social_rows_are_user_attributes(self, tiny_yelp):
+        np.testing.assert_array_equal(tiny_yelp.user_attributes, tiny_yelp.metadata["social_adjacency"])
+
+    def test_no_self_loops(self, tiny_yelp):
+        assert np.trace(tiny_yelp.metadata["social_adjacency"]) == 0.0
+
+    def test_every_user_has_a_friend(self, tiny_yelp):
+        degrees = tiny_yelp.metadata["social_adjacency"].sum(axis=1)
+        assert degrees.min() >= 1
+
+    def test_homophily_friends_closer_in_taste(self, tiny_yelp):
+        factors = tiny_yelp.metadata["true_user_factors"]
+        social = tiny_yelp.metadata["social_adjacency"]
+        normed = factors / np.linalg.norm(factors, axis=1, keepdims=True)
+        sims = normed @ normed.T
+        friend_sim = sims[social > 0].mean()
+        np.fill_diagonal(sims, np.nan)
+        overall = np.nanmean(sims)
+        assert friend_sim > overall
+
+    def test_item_city_nests_in_state(self, tiny_yelp):
+        schema = tiny_yelp.item_schema
+        states = tiny_yelp.item_attributes[:, schema.field_slice("state")].argmax(axis=1)
+        cities = tiny_yelp.item_attributes[:, schema.field_slice("city")].argmax(axis=1)
+        mapping = {}
+        for s, c in zip(states, cities):
+            assert mapping.setdefault(c, s) == s  # each city in exactly one state
+
+
+class TestLatentModel:
+    def test_signal_zero_ignores_attributes(self, rng):
+        attrs = np.eye(6)
+        model = LatentModel.from_attributes(attrs, 4, 0.0, rng)
+        # with zero signal, identical attribute rows still differ (pure noise)
+        assert model.factors.std() > 0
+
+    def test_signal_one_attribute_twins_identical(self, rng):
+        attrs = np.zeros((4, 3))
+        attrs[:, 0] = 1.0  # all four nodes share the same single attribute
+        model = LatentModel.from_attributes(attrs, 4, 1.0, rng)
+        np.testing.assert_allclose(model.factors[0], model.factors[1])
+
+    def test_factors_unit_scale(self, rng):
+        attrs = (rng.random((50, 10)) < 0.3).astype(float)
+        model = LatentModel.from_attributes(attrs, 8, 0.5, rng)
+        assert model.factors.std() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestQuantise:
+    def test_clips_and_rounds(self):
+        raw = np.array([-2.0, 2.4, 2.6, 9.0])
+        out = quantise_ratings(raw, (1.0, 5.0))
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0, 5.0])
+
+    def test_half_star_step(self):
+        out = quantise_ratings(np.array([3.3]), (1.0, 5.0), step=0.5)
+        np.testing.assert_array_equal(out, [3.5])

@@ -1,0 +1,103 @@
+"""Attribute schema: encoding layout, round-trips, validation, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import AttributeSchema, CategoricalField, MultiLabelField
+
+
+@pytest.fixture()
+def schema():
+    return AttributeSchema(
+        [
+            CategoricalField("gender", 2),
+            CategoricalField("age", 7),
+            MultiLabelField("category", 5),
+        ]
+    )
+
+
+class TestSchemaBasics:
+    def test_dim_is_sum_of_field_sizes(self, schema):
+        assert schema.dim == 2 + 7 + 5
+
+    def test_field_names(self, schema):
+        assert schema.field_names == ["gender", "age", "category"]
+
+    def test_field_slice_layout(self, schema):
+        assert schema.field_slice("gender") == slice(0, 2)
+        assert schema.field_slice("age") == slice(2, 9)
+        assert schema.field_slice("category") == slice(9, 14)
+
+    def test_field_slice_unknown_raises(self, schema):
+        with pytest.raises(KeyError):
+            schema.field_slice("height")
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSchema([CategoricalField("a", 2), CategoricalField("a", 3)])
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalField("x", 0)
+
+
+class TestEncoding:
+    def test_paper_example_layout(self, schema):
+        # a_u = [0,1 | 1,0,...,0 | multi-hot]
+        row = schema.encode({"gender": 1, "age": 0, "category": [1, 3]})
+        np.testing.assert_array_equal(row[:2], [0, 1])
+        np.testing.assert_array_equal(row[2:9], [1, 0, 0, 0, 0, 0, 0])
+        np.testing.assert_array_equal(row[9:], [0, 1, 0, 1, 0])
+
+    def test_missing_field_raises(self, schema):
+        with pytest.raises(KeyError):
+            schema.encode({"gender": 0, "age": 1})
+
+    def test_out_of_range_categorical_raises(self, schema):
+        with pytest.raises(ValueError):
+            schema.encode({"gender": 2, "age": 0, "category": [0]})
+
+    def test_out_of_range_multilabel_raises(self, schema):
+        with pytest.raises(ValueError):
+            schema.encode({"gender": 0, "age": 0, "category": [7]})
+
+    def test_encode_many_shape(self, schema):
+        rows = [{"gender": 0, "age": i % 7, "category": [i % 5]} for i in range(10)]
+        matrix = schema.encode_many(rows)
+        assert matrix.shape == (10, schema.dim)
+
+    def test_decode_wrong_width_raises(self, schema):
+        with pytest.raises(ValueError):
+            schema.decode(np.zeros(3))
+
+
+class TestRoundTrip:
+    @given(
+        gender=st.integers(0, 1),
+        age=st.integers(0, 6),
+        cats=st.sets(st.integers(0, 4), min_size=0, max_size=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_round_trip(self, gender, age, cats):
+        schema = AttributeSchema(
+            [
+                CategoricalField("gender", 2),
+                CategoricalField("age", 7),
+                MultiLabelField("category", 5),
+            ]
+        )
+        row = schema.encode({"gender": gender, "age": age, "category": sorted(cats)})
+        decoded = schema.decode(row)
+        assert decoded["gender"] == (gender,)
+        assert decoded["age"] == (age,)
+        assert decoded["category"] == tuple(sorted(cats))
+
+    @given(st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_exactly_one_hot_per_categorical(self, age):
+        schema = AttributeSchema([CategoricalField("age", 7)])
+        row = schema.encode({"age": age})
+        assert row.sum() == 1.0

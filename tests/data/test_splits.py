@@ -1,0 +1,128 @@
+"""Scenario splitters: the strict cold start invariant is the load-bearing test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import item_cold_split, make_split, user_cold_split, warm_split
+from tests.conftest import TINY_ML
+from repro.data import generate_movielens
+
+
+class TestWarmSplit:
+    def test_partition_is_disjoint_and_complete(self, tiny_movielens):
+        task = warm_split(tiny_movielens, 0.2, seed=0)
+        combined = np.sort(np.concatenate([task.train_idx, task.test_idx]))
+        np.testing.assert_array_equal(combined, np.arange(tiny_movielens.num_ratings))
+
+    def test_every_test_node_seen_in_training(self, tiny_movielens):
+        task = warm_split(tiny_movielens, 0.2, seed=0)
+        assert np.isin(task.test_users, task.train_users).all()
+        assert np.isin(task.test_items, task.train_items).all()
+
+    def test_fraction_roughly_honoured(self, tiny_movielens):
+        task = warm_split(tiny_movielens, 0.2, seed=0)
+        fraction = len(task.test_idx) / tiny_movielens.num_ratings
+        assert 0.1 <= fraction <= 0.25
+
+    def test_no_cold_nodes(self, tiny_movielens):
+        task = warm_split(tiny_movielens, 0.2, seed=0)
+        assert len(task.cold_users) == 0
+        assert len(task.cold_items) == 0
+
+    def test_invalid_fraction_raises(self, tiny_movielens):
+        with pytest.raises(ValueError):
+            warm_split(tiny_movielens, 0.0)
+        with pytest.raises(ValueError):
+            warm_split(tiny_movielens, 1.0)
+
+
+class TestItemColdSplit:
+    def test_strict_invariant_no_train_interactions(self, tiny_movielens):
+        task = item_cold_split(tiny_movielens, 0.2, seed=1)
+        assert not np.isin(task.train_items, task.cold_items).any()
+
+    def test_all_cold_interactions_in_test(self, tiny_movielens):
+        task = item_cold_split(tiny_movielens, 0.2, seed=1)
+        in_test = np.isin(task.test_items, task.cold_items)
+        assert in_test.all()  # test rows are exactly the cold items' rows
+
+    def test_test_users_are_warm(self, tiny_movielens):
+        task = item_cold_split(tiny_movielens, 0.2, seed=1)
+        assert np.isin(task.test_users, np.unique(task.train_users)).all()
+
+    def test_cold_fraction(self, tiny_movielens):
+        task = item_cold_split(tiny_movielens, 0.2, seed=1)
+        assert len(task.cold_items) == round(tiny_movielens.num_items * 0.2)
+
+    def test_assert_strict_cold_catches_violation(self, tiny_movielens):
+        task = item_cold_split(tiny_movielens, 0.2, seed=1)
+        # sabotage: claim a warm item is cold
+        task.cold_items = np.append(task.cold_items, task.train_items[0])
+        with pytest.raises(AssertionError):
+            task.assert_strict_cold()
+
+
+class TestUserColdSplit:
+    def test_strict_invariant(self, tiny_movielens):
+        task = user_cold_split(tiny_movielens, 0.2, seed=1)
+        assert not np.isin(task.train_users, task.cold_users).any()
+
+    def test_test_items_are_warm(self, tiny_movielens):
+        task = user_cold_split(tiny_movielens, 0.2, seed=1)
+        assert np.isin(task.test_items, np.unique(task.train_items)).all()
+
+    def test_symmetric_with_item_split(self, tiny_movielens):
+        ics = item_cold_split(tiny_movielens, 0.2, seed=1)
+        ucs = user_cold_split(tiny_movielens, 0.2, seed=1)
+        assert ics.scenario == "item_cold"
+        assert ucs.scenario == "user_cold"
+        assert len(ics.cold_users) == 0
+        assert len(ucs.cold_items) == 0
+
+
+class TestMakeSplit:
+    def test_dispatch(self, tiny_movielens):
+        for scenario in ("warm", "item_cold", "user_cold"):
+            task = make_split(tiny_movielens, scenario, 0.2, seed=0)
+            assert task.scenario == scenario
+
+    def test_unknown_scenario(self, tiny_movielens):
+        with pytest.raises(ValueError):
+            make_split(tiny_movielens, "lukewarm", 0.2)
+
+    def test_overlap_rejected(self, tiny_movielens):
+        from repro.data.splits import RecommendationTask
+
+        with pytest.raises(ValueError):
+            RecommendationTask(
+                dataset=tiny_movielens,
+                scenario="warm",
+                train_idx=np.array([0, 1, 2]),
+                test_idx=np.array([2, 3]),
+            )
+
+    def test_train_views_align(self, tiny_movielens):
+        task = warm_split(tiny_movielens, 0.2, seed=0)
+        assert len(task.train_users) == len(task.train_items) == len(task.train_ratings)
+        np.testing.assert_array_equal(task.train_users, tiny_movielens.user_ids[task.train_idx])
+
+    def test_train_rating_matrix_excludes_test(self, tiny_movielens):
+        task = warm_split(tiny_movielens, 0.2, seed=0)
+        matrix = task.train_rating_matrix()
+        u, i = task.test_users[0], task.test_items[0]
+        # the specific test pair must not be present (pairs are unique)
+        assert matrix[u, i] == 0.0
+
+
+@given(seed=st.integers(0, 30), fraction=st.sampled_from([0.1, 0.2, 0.3, 0.5]))
+@settings(max_examples=15, deadline=None)
+def test_property_strict_cold_invariant_holds(seed, fraction):
+    """For any seed/fraction, cold nodes never leak into training."""
+    dataset = generate_movielens(TINY_ML)
+    for splitter in (item_cold_split, user_cold_split):
+        task = splitter(dataset, fraction, seed=seed)
+        task.assert_strict_cold()
+        overlap = np.intersect1d(task.train_idx, task.test_idx)
+        assert len(overlap) == 0

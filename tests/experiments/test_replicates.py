@@ -1,0 +1,103 @@
+"""Multi-seed replication machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.replicates import ReplicateResult, compare_replicates, run_replicates
+from tests.experiments.test_runners import MICRO
+
+
+class TestRunReplicates:
+    def test_runs_one_fit_per_seed(self):
+        from repro.baselines import make_baseline
+
+        dataset = MICRO.datasets["ML-100K"]()
+        result = run_replicates(
+            lambda: make_baseline("NFM", embedding_dim=4),
+            dataset,
+            "item_cold",
+            MICRO,
+            seeds=(0, 1),
+        )
+        assert result.num_seeds == 2
+        assert result.model_name == "NFM"
+        assert result.rmse_std >= 0.0
+        assert "±" in str(result)
+
+    def test_different_seeds_give_different_results(self):
+        from repro.baselines import make_baseline
+
+        dataset = MICRO.datasets["ML-100K"]()
+        result = run_replicates(
+            lambda: make_baseline("NFM", embedding_dim=4),
+            dataset,
+            "item_cold",
+            MICRO,
+            seeds=(0, 1, 2),
+        )
+        assert len(np.unique(result.rmse_values)) > 1
+
+    def test_empty_seeds_raises(self):
+        from repro.baselines import make_baseline
+
+        dataset = MICRO.datasets["ML-100K"]()
+        with pytest.raises(ValueError):
+            run_replicates(lambda: make_baseline("NFM", embedding_dim=4),
+                           dataset, "item_cold", MICRO, seeds=())
+
+
+class TestCompareReplicates:
+    def _result(self, values):
+        values = np.asarray(values, dtype=float)
+        return ReplicateResult(model_name="m", rmse_values=values, mae_values=values)
+
+    def test_identical_results_p_one(self):
+        a = self._result([1.0, 1.1, 0.9])
+        report = compare_replicates(a, a)
+        assert report["p_value"] == 1.0
+        assert report["mean_difference"] == 0.0
+
+    def test_clearly_better_low_p(self):
+        ours = self._result([0.80, 0.81, 0.79, 0.80])
+        theirs = self._result([1.00, 1.01, 0.99, 1.00])
+        report = compare_replicates(ours, theirs)
+        assert report["mean_difference"] < 0
+        assert report["p_value"] < 0.05
+
+    def test_worse_high_p(self):
+        ours = self._result([1.00, 1.01, 0.99, 1.00])
+        theirs = self._result([0.80, 0.81, 0.79, 0.80])
+        assert compare_replicates(ours, theirs)["p_value"] > 0.5
+
+    def test_seed_count_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_replicates(self._result([1.0]), self._result([1.0, 2.0]))
+
+    def test_single_seed_inconclusive(self):
+        report = compare_replicates(self._result([0.8]), self._result([1.0]))
+        assert report["p_value"] == 1.0
+
+
+class TestExtensionExperiments:
+    def test_ext_ranking_micro(self):
+        from repro.experiments import ext_ranking
+
+        results = ext_ranking.run_ext_ranking(
+            MICRO, datasets=["ML-100K"], k=5, num_negatives=15, max_users=10
+        )
+        models = results["ML-100K"]
+        assert set(models) == {"AGNN", "BPR-MF", "Popularity"}
+        for result in models.values():
+            assert 0.0 <= result.hit_rate <= 1.0
+        text = ext_ranking.render(results)
+        assert "HR@5" in text
+
+    def test_ext_support_micro(self):
+        from repro.experiments import ext_support
+
+        figures = ext_support.run_ext_support(
+            MICRO, datasets=["ML-100K"], support_sizes=(0, 3)
+        )
+        figure = figures["ML-100K"]
+        assert set(figure.series) == {"AGNN", "GC-MC"}
+        assert figure.x_values == [0.0, 3.0]

@@ -1,0 +1,68 @@
+"""Markdown rendering of experiment results."""
+
+from repro.experiments.report import (
+    figure_markdown,
+    history_markdown,
+    markdown_table,
+    result_table_markdown,
+)
+from repro.experiments.reporting import FigureSeries, ResultTable
+from repro.train import TrainHistory
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(["a", "b"], [["1", "2"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestResultTableMarkdown:
+    def _table(self):
+        table = ResultTable(columns=["X"])
+        table.set("ours", "X", 0.8, marker="*")
+        table.set("them", "X", 1.0)
+        table.set("LLAE", "X", 3.0)
+        return table
+
+    def test_bolds_best_excluding_llae(self):
+        text = result_table_markdown(self._table())
+        assert "**0.8000***" in text
+        assert "**3.0000**" not in text
+
+    def test_improvement_row(self):
+        text = result_table_markdown(self._table(), ours="ours")
+        assert "*Improvement*" in text
+        assert "+20.00%" in text
+
+    def test_missing_cells_dashed(self):
+        table = ResultTable(columns=["X", "Y"])
+        table.set("m", "X", 1.0)
+        assert "—" in result_table_markdown(table, bold_best=False)
+
+
+class TestFigureMarkdown:
+    def test_renders_series(self):
+        fig = FigureSeries(x_label="D", x_values=[10, 20])
+        fig.add("ICS", [1.0, 0.9])
+        text = figure_markdown(fig)
+        assert "| D | 10 | 20 |" in text
+        assert "0.9000" in text
+
+
+class TestHistoryMarkdown:
+    def test_renders_curves(self):
+        history = TrainHistory()
+        history.record({"prediction": 1.0, "reconstruction": 2.0})
+        history.record({"prediction": 0.5, "reconstruction": 1.0})
+        text = history_markdown(history)
+        assert "| prediction | 1.000 | 0.500 |" in text
+        assert "reconstruction" in text
+
+    def test_skips_missing_losses(self):
+        history = TrainHistory()
+        history.record({"prediction": 1.0})
+        text = history_markdown(history)
+        assert "reconstruction" not in text

@@ -1,0 +1,90 @@
+"""Result tables, figure series, and the text formatter."""
+
+import pytest
+
+from repro.experiments import FigureSeries, ResultTable, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_handles_wide_cells(self):
+        text = format_table(["x"], [["very-long-cell"]])
+        assert "very-long-cell" in text
+
+
+class TestResultTable:
+    def test_set_get(self):
+        table = ResultTable(columns=["A", "B"])
+        table.set("m1", "A", 1.0)
+        assert table.get("m1", "A") == 1.0
+
+    def test_unknown_column_raises(self):
+        table = ResultTable(columns=["A"])
+        with pytest.raises(KeyError):
+            table.set("m1", "Z", 1.0)
+
+    def test_best_in_column(self):
+        table = ResultTable(columns=["A"])
+        table.set("m1", "A", 1.0)
+        table.set("m2", "A", 0.5)
+        assert table.best_in_column("A") == ("m2", 0.5)
+
+    def test_best_in_column_excludes(self):
+        table = ResultTable(columns=["A"])
+        table.set("m1", "A", 1.0)
+        table.set("m2", "A", 0.5)
+        assert table.best_in_column("A", exclude=["m2"]) == ("m1", 1.0)
+
+    def test_best_in_empty_column_raises(self):
+        with pytest.raises(ValueError):
+            ResultTable(columns=["A"]).best_in_column("A")
+
+    def test_improvement_row(self):
+        table = ResultTable(columns=["A"])
+        table.set("ours", "A", 0.9)
+        table.set("them", "A", 1.0)
+        imp = table.improvement_row("ours")
+        assert imp["A"] == pytest.approx(10.0)
+
+    def test_improvement_negative_when_losing(self):
+        table = ResultTable(columns=["A"])
+        table.set("ours", "A", 1.1)
+        table.set("them", "A", 1.0)
+        assert table.improvement_row("ours")["A"] == pytest.approx(-10.0)
+
+    def test_render_includes_markers_and_improvement(self):
+        table = ResultTable(columns=["A"])
+        table.set("ours", "A", 0.9, marker="*")
+        table.set("them", "A", 1.0)
+        text = table.render(title="T", ours="ours")
+        assert "0.9000*" in text
+        assert "Improvement" in text
+
+    def test_render_dash_for_missing(self):
+        table = ResultTable(columns=["A", "B"])
+        table.set("m", "A", 1.0)
+        assert "-" in table.render()
+
+
+class TestFigureSeries:
+    def test_add_and_best_x(self):
+        fig = FigureSeries(x_label="D", x_values=[10, 20, 30])
+        fig.add("ICS", [1.0, 0.8, 0.9])
+        assert fig.best_x("ICS") == 20
+
+    def test_length_mismatch_raises(self):
+        fig = FigureSeries(x_label="D", x_values=[10, 20])
+        with pytest.raises(ValueError):
+            fig.add("ICS", [1.0])
+
+    def test_render_contains_values(self):
+        fig = FigureSeries(x_label="p", x_values=[1, 5])
+        fig.add("UCS", [1.25, 1.5])
+        text = fig.render(title="fig")
+        assert "1.2500" in text and "UCS" in text

@@ -1,0 +1,133 @@
+"""Experiment runners: each table/figure harness produces well-formed output.
+
+These run at a micro scale (tiny datasets, 1–2 epochs) — they verify the
+harness plumbing, not the numbers; the numbers live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AGNNConfig
+from repro.data import MovieLensConfig, YelpConfig
+from repro.experiments import (
+    ExperimentScale,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    get_scale,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.train import TrainConfig
+
+MICRO = ExperimentScale(
+    name="micro",
+    dataset_configs=(
+        MovieLensConfig(name="ML-100K", num_users=40, num_items=70, num_ratings=800,
+                        num_stars=10, num_directors=8, num_writers=8, seed=3),
+        YelpConfig(name="Yelp", num_users=40, num_items=40, num_ratings=420,
+                   num_cities=8, num_states=3, mean_friends=4.0, seed=5),
+    ),
+    train=TrainConfig(epochs=1, batch_size=64, learning_rate=0.01, patience=None),
+    agnn=AGNNConfig(embedding_dim=4, num_neighbors=3, pool_percent=20.0),
+    baseline_dim=4,
+)
+
+
+class TestScales:
+    def test_get_scale(self):
+        assert get_scale("bench").name == "bench"
+        assert get_scale("paper").agnn.embedding_dim == 40
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_table1(self):
+        paper = get_scale("paper")
+        names = {cfg.name for cfg in paper.dataset_configs}
+        assert names == {"ML-100K", "ML-1M", "Yelp"}
+        ml100k = next(c for c in paper.dataset_configs if c.name == "ML-100K")
+        assert (ml100k.num_users, ml100k.num_items) == (943, 1682)
+
+    def test_dataset_factories_cache(self):
+        a = MICRO.datasets["ML-100K"]()
+        b = MICRO.datasets["ML-100K"]()
+        assert a is b
+
+
+class TestTable1:
+    def test_stats_for_each_dataset(self):
+        stats = table1.run_table1(MICRO)
+        assert set(stats) == {"ML-100K", "Yelp"}
+        assert stats["ML-100K"].num_users == 40
+
+    def test_render(self):
+        text = table1.render(table1.run_table1(MICRO))
+        assert "Sparsity" in text and "ML-100K" in text
+
+
+class TestTable2:
+    def test_subset_run_structure(self):
+        result = table2.run_table2(
+            MICRO, datasets=["ML-100K"], scenarios=("item_cold",), models=["NFM", "MetaEmb"]
+        )
+        assert result.rmse.get("AGNN", "ML-100K/ICS") > 0
+        assert result.rmse.get("NFM", "ML-100K/ICS") > 0
+        assert ("AGNN", "ML-100K", "item_cold") in result.raw
+        text = result.render()
+        assert "Improvement" in text
+
+    def test_srmgcnn_skipped_on_yelp(self):
+        result = table2.run_table2(
+            MICRO, datasets=["Yelp"], scenarios=("item_cold",), models=["sRMGCNN", "NFM"]
+        )
+        assert "sRMGCNN" not in result.rmse.values or "Yelp/ICS" not in result.rmse.values.get("sRMGCNN", {})
+
+
+class TestTables34:
+    def test_table3_variants(self):
+        tables = table3.run_table3(MICRO, datasets=["ML-100K"], variants=["AGNN", "AGNN_-fgate"])
+        assert set(tables) == {"rmse", "mae"}
+        assert tables["rmse"].get("AGNN_-fgate", "ML-100K/ICS") > 0
+
+    def test_table4_variants(self):
+        tables = table4.run_table4(MICRO, datasets=["ML-100K"], variants=["AGNN_knn"])
+        assert tables["mae"].get("AGNN_knn", "ML-100K/UCS") > 0
+
+
+class TestFigures:
+    def test_fig5_sweep(self):
+        figures = fig5.run_fig5(MICRO, dimensions=(4, 6), datasets=["ML-100K"])
+        fig = figures["ML-100K"]
+        assert fig.x_values == [4.0, 6.0]
+        assert set(fig.series) == {"ICS", "UCS"}
+
+    def test_fig6_sweep(self):
+        figures = fig6.run_fig6(MICRO, lambdas=(0.0, 1.0), datasets=["ML-100K"])
+        assert len(figures["ML-100K"].series["ICS"]) == 2
+
+    def test_fig7_sweep(self):
+        figures = fig7.run_fig7(MICRO, thresholds=(10.0, 50.0), datasets=["ML-100K"])
+        assert figures["ML-100K"].x_label == "p"
+
+    def test_fig8_ratio_sweep(self):
+        figures = fig8.run_fig8(
+            MICRO, ratios=(0.2, 0.4), datasets=["ML-100K"], baselines=("MetaEmb",),
+            scenarios=("item_cold",),
+        )
+        fig = figures["ML-100K/ICS"]
+        assert set(fig.series) == {"AGNN", "MetaEmb"}
+        assert fig.x_values == [0.2, 0.4]
+
+    def test_fig9_histories(self):
+        histories = fig9.run_fig9(MICRO, datasets=["ML-100K"], scenarios=("item_cold",))
+        history = histories["ML-100K/ICS"]
+        assert "prediction" in history.losses
+        assert "reconstruction" in history.losses
+        text = fig9.render(histories)
+        assert "training curves" in text

@@ -1,0 +1,147 @@
+"""Graph construction: dynamic pools, kNN, co-purchase, bipartite helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    DynamicNeighborGraph,
+    FixedNeighborGraph,
+    build_attribute_graph,
+    build_copurchase_graph,
+    build_knn_graph,
+    normalised_bipartite,
+    social_adjacency,
+    user_item_lists,
+)
+
+
+class TestDynamicNeighborGraph:
+    def test_sampling_respects_pools(self, ics_task, rng):
+        graph = build_attribute_graph(ics_task, "item", pool_percent=10.0)
+        sample = graph.neighbours(4, rng)
+        for node, pool in enumerate(graph.pools):
+            assert set(sample[node]).issubset(set(pool.tolist()))
+
+    def test_no_self_neighbours(self, ics_task, rng):
+        graph = build_attribute_graph(ics_task, "item", pool_percent=10.0)
+        sample = graph.neighbours(5, rng)
+        assert not (sample == np.arange(len(sample))[:, None]).any()
+
+    def test_resampling_varies(self, ics_task):
+        graph = build_attribute_graph(ics_task, "item", pool_percent=10.0)
+        rng = np.random.default_rng(0)
+        a = graph.neighbours(5, rng)
+        b = graph.neighbours(5, rng)
+        assert (a != b).mean() > 0.3
+
+    def test_small_pool_pads_with_replacement(self):
+        graph = DynamicNeighborGraph(pools=[np.array([1]), np.array([0])], weights=[np.ones(1), np.ones(1)])
+        sample = graph.neighbours(4, np.random.default_rng(0))
+        assert sample.shape == (2, 4)
+        np.testing.assert_array_equal(sample[0], [1, 1, 1, 1])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicNeighborGraph(pools=[np.array([], dtype=int)], weights=[np.array([])])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicNeighborGraph(pools=[np.array([1, 2])], weights=[np.ones(1)])
+
+    def test_pool_percent_controls_pool_size(self, ics_task):
+        small = build_attribute_graph(ics_task, "item", pool_percent=5.0, min_pool=1)
+        large = build_attribute_graph(ics_task, "item", pool_percent=50.0, min_pool=1)
+        assert len(large.pools[0]) > len(small.pools[0])
+
+    def test_higher_proximity_sampled_more_often(self, rng):
+        graph = DynamicNeighborGraph(
+            pools=[np.array([1, 2])], weights=[np.array([10.0, 0.1])]
+        )
+        counts = np.zeros(3)
+        for _ in range(200):
+            counts[graph.neighbours(1, rng)[0, 0]] += 1
+        assert counts[1] > counts[2]
+
+
+class TestFixedGraphs:
+    def test_knn_shape_and_no_self(self, ics_task):
+        graph = build_knn_graph(ics_task, "item", k=6)
+        neigh = graph.neighbours(6)
+        assert neigh.shape == (ics_task.dataset.num_items, 6)
+        assert not (neigh == np.arange(len(neigh))[:, None]).any()
+
+    def test_knn_request_more_than_stored_tiles(self, ics_task):
+        graph = build_knn_graph(ics_task, "item", k=3)
+        neigh = graph.neighbours(7)
+        assert neigh.shape[1] == 7
+
+    def test_copurchase_cold_items_get_self_loops(self, ics_task):
+        graph = build_copurchase_graph(ics_task, "item", k=5)
+        cold = ics_task.cold_items
+        np.testing.assert_array_equal(
+            graph.matrix[cold], np.repeat(cold[:, None], graph.matrix.shape[1], axis=1)
+        )
+
+    def test_copurchase_warm_items_share_raters(self, warm_task):
+        graph = build_copurchase_graph(warm_task, "item", k=3)
+        matrix = (warm_task.train_rating_matrix() > 0).astype(float)
+        co = matrix.T @ matrix
+        item = int(np.argmax(matrix.sum(axis=0)))  # most-rated item
+        top_neighbour = graph.matrix[item, 0]
+        assert co[item, top_neighbour] > 0
+
+    def test_user_side_copurchase(self, warm_task):
+        graph = build_copurchase_graph(warm_task, "user", k=4)
+        assert graph.matrix.shape == (warm_task.dataset.num_users, 4)
+
+
+class TestBipartiteHelpers:
+    def test_row_normalisation(self, warm_task):
+        u2i, i2u = normalised_bipartite(warm_task)
+        sums = u2i.sum(axis=1)
+        nonzero = sums > 0
+        np.testing.assert_allclose(sums[nonzero], 1.0)
+        sums_i = i2u.sum(axis=1)
+        np.testing.assert_allclose(sums_i[sums_i > 0], 1.0)
+
+    def test_cold_rows_all_zero(self, ics_task):
+        u2i, i2u = normalised_bipartite(ics_task)
+        np.testing.assert_array_equal(i2u[ics_task.cold_items].sum(axis=1), 0.0)
+
+    def test_user_item_lists_consistent(self, warm_task):
+        items_of_user, users_of_item = user_item_lists(warm_task)
+        total = sum(len(lst) for lst in items_of_user)
+        assert total == len(warm_task.train_idx)
+        assert sum(len(lst) for lst in users_of_item) == total
+
+    def test_social_adjacency_uses_dataset_links(self, tiny_yelp):
+        from repro.data import warm_split
+
+        task = warm_split(tiny_yelp, 0.2, seed=0)
+        social = social_adjacency(task)
+        sums = social.sum(axis=1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_social_adjacency_knn_fallback(self, warm_task):
+        social = social_adjacency(warm_task)  # MovieLens: no social links
+        assert social.shape == (warm_task.dataset.num_users,) * 2
+        sums = social.sum(axis=1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+
+@given(seed=st.integers(0, 20), k=st.integers(1, 8))
+@settings(max_examples=10, deadline=None)
+def test_property_neighbour_matrix_always_dense(seed, k):
+    """Any (seed, k): neighbour matrices are dense, in-range, and self-free
+    for the dynamic strategy."""
+    from repro.data import generate_movielens, item_cold_split
+    from tests.conftest import TINY_ML
+
+    task = item_cold_split(generate_movielens(TINY_ML), 0.2, seed=seed)
+    graph = build_attribute_graph(task, "item", pool_percent=10.0)
+    sample = graph.neighbours(k, np.random.default_rng(seed))
+    assert sample.shape == (task.dataset.num_items, k)
+    assert sample.min() >= 0 and sample.max() < task.dataset.num_items
+    assert not (sample == np.arange(len(sample))[:, None]).any()

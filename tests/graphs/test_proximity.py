@@ -1,0 +1,109 @@
+"""Proximity functions: cosine behaviour, normalisation, cold-node fallback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graphs import (
+    attribute_proximity,
+    combined_proximity,
+    cosine_distance_matrix,
+    min_max_normalise,
+    preference_proximity,
+)
+
+
+class TestCosine:
+    def test_identical_rows_distance_zero(self):
+        x = np.array([[1.0, 2.0], [1.0, 2.0]])
+        dist = cosine_distance_matrix(x)
+        assert dist[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_rows_distance_one(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cosine_distance_matrix(x)[0, 1] == pytest.approx(1.0)
+
+    def test_attribute_proximity_symmetric(self, rng):
+        attrs = (rng.random((10, 6)) < 0.4).astype(float)
+        prox = attribute_proximity(attrs)
+        np.testing.assert_allclose(prox, prox.T)
+
+
+class TestPreferenceProximity:
+    def test_flags_history_less_nodes(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        sim, has_history = preference_proximity(vectors)
+        np.testing.assert_array_equal(has_history, [True, False, True])
+        assert sim[1].sum() == 0.0
+        assert sim[:, 1].sum() == 0.0
+
+    def test_similar_histories_high_proximity(self):
+        vectors = np.array([[5.0, 4.0, 0.0], [5.0, 5.0, 0.0], [0.0, 0.0, 5.0]])
+        sim, _ = preference_proximity(vectors)
+        assert sim[0, 1] > sim[0, 2]
+
+
+class TestMinMaxNormalise:
+    def test_output_in_unit_interval(self, rng):
+        x = rng.normal(size=(5, 5)) * 10
+        out = min_max_normalise(x)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_constant_matrix_maps_to_zero(self):
+        np.testing.assert_array_equal(min_max_normalise(np.full((3, 3), 7.0)), np.zeros((3, 3)))
+
+    def test_masked_entries_zeroed(self):
+        x = np.array([[1.0, 100.0], [2.0, 3.0]])
+        mask = np.array([[True, False], [True, True]])
+        out = min_max_normalise(x, mask)
+        assert out[0, 1] == 0.0
+        assert out[1, 1] == 1.0  # max among masked entries
+
+    def test_all_false_mask(self):
+        out = min_max_normalise(np.ones((2, 2)), np.zeros((2, 2), dtype=bool))
+        np.testing.assert_array_equal(out, np.zeros((2, 2)))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (4, 4),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_bounds(self, x):
+        out = min_max_normalise(x)
+        assert (out >= 0.0).all() and (out <= 1.0).all()
+
+
+class TestCombinedProximity:
+    def test_diagonal_excluded(self, rng):
+        attrs = (rng.random((6, 4)) < 0.5).astype(float)
+        prox = combined_proximity(attrs, None, use_preference=False)
+        assert (np.diag(prox) == -np.inf).all()
+
+    def test_requires_at_least_one_source(self, rng):
+        with pytest.raises(ValueError):
+            combined_proximity(np.eye(3), None, use_attribute=False, use_preference=False)
+
+    def test_preference_without_vectors_raises(self):
+        with pytest.raises(ValueError):
+            combined_proximity(np.eye(3), None, use_preference=True)
+
+    def test_cold_nodes_fall_back_to_attributes(self):
+        attrs = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        ratings = np.array([[5.0, 3.0], [0.0, 0.0], [4.0, 2.0]])  # node 1 cold
+        both = combined_proximity(attrs, ratings)
+        attr_only = combined_proximity(attrs, None, use_preference=False)
+        # Cold node's row is purely attribute-driven.
+        np.testing.assert_allclose(both[1, 2], attr_only[1, 2])
+        np.testing.assert_allclose(both[1, 0], attr_only[1, 0])
+
+    def test_combined_exceeds_single_source_for_doubly_similar(self):
+        attrs = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        ratings = np.array([[5.0, 3.0], [5.0, 3.0], [1.0, 0.0]])
+        both = combined_proximity(attrs, ratings)
+        # nodes 0,1 agree on both attribute and preference: top proximity
+        assert both[0, 1] == both[~np.isinf(both)].max()

@@ -1,0 +1,48 @@
+"""Activation modules mirror their functional ops exactly."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, ops
+
+
+class TestActivationModules:
+    def test_relu_matches_functional(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_array_equal(nn.ReLU()(x).data, ops.relu(x).data)
+
+    def test_leaky_relu_slope_configurable(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        out = nn.LeakyReLU(slope=0.2)(x)
+        np.testing.assert_allclose(out.data, [-0.2, 1.0])
+
+    def test_leaky_relu_default_slope_is_papers(self):
+        assert nn.LeakyReLU().slope == 0.01
+
+    def test_sigmoid_range(self, rng):
+        out = nn.Sigmoid()(Tensor(rng.normal(size=(10,)) * 10)).data
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_tanh_matches_numpy(self, rng):
+        x = rng.normal(size=(5,))
+        np.testing.assert_allclose(nn.Tanh()(Tensor(x)).data, np.tanh(x))
+
+    def test_softplus_positive(self, rng):
+        out = nn.Softplus()(Tensor(rng.normal(size=(10,)) * 5)).data
+        assert (out > 0).all()
+
+    def test_softplus_asymptote(self):
+        # softplus(x) → x for large x
+        out = nn.Softplus()(Tensor(np.array([50.0]))).data
+        np.testing.assert_allclose(out, [50.0], atol=1e-6)
+
+    def test_activations_have_no_parameters(self):
+        for module in (nn.ReLU(), nn.LeakyReLU(), nn.Sigmoid(), nn.Tanh(), nn.Softplus()):
+            assert list(module.parameters()) == []
+
+    def test_gradients_flow_through_modules(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        nn.Sequential(nn.Tanh(), nn.Sigmoid())(x).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()

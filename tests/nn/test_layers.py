@@ -1,0 +1,187 @@
+"""Layers: Linear, Embedding, Dropout, Bias, MLP, activations, functional losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck, ops
+from repro.nn import functional as F
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = nn.Linear(4, 6)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 6)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 6, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = nn.Linear(3, 2)
+        x = Tensor(rng.normal(size=(4, 3)))
+        gradcheck(lambda w, b: ops.add(ops.matmul(x, w), b), [layer.weight, layer.bias])
+
+    def test_affine_correct(self, rng):
+        layer = nn.Linear(3, 2)
+        x = rng.normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4)
+        assert emb(np.array([1, 2, 3])).shape == (3, 4)
+
+    def test_2d_lookup(self):
+        emb = nn.Embedding(10, 4)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_gradient_scatter(self):
+        emb = nn.Embedding(5, 2)
+        emb(np.array([1, 1, 3])).sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_array_equal(grad[1], [2.0, 2.0])
+        np.testing.assert_array_equal(grad[3], [1.0, 1.0])
+        np.testing.assert_array_equal(grad[0], [0.0, 0.0])
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_scales_kept_values_in_train(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_zero_rate_is_identity(self, rng):
+        drop = nn.Dropout(0.0)
+        x = Tensor(rng.normal(size=(5, 5)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestBias:
+    def test_lookup(self):
+        bias = nn.Bias(5)
+        bias.value.data[...] = np.arange(5.0)
+        out = bias(np.array([0, 4, 2]))
+        np.testing.assert_array_equal(out.data, [0.0, 4.0, 2.0])
+
+    def test_gradient(self):
+        bias = nn.Bias(4)
+        bias(np.array([1, 1])).sum().backward()
+        np.testing.assert_array_equal(bias.value.grad, [0.0, 2.0, 0.0, 0.0])
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        mlp = nn.MLP([4, 8, 2])
+        assert mlp(Tensor(rng.normal(size=(3, 4)))).shape == (3, 2)
+
+    def test_final_activation(self, rng):
+        mlp = nn.MLP([4, 4, 2], final_activation="sigmoid")
+        out = mlp(Tensor(rng.normal(size=(10, 4)))).data
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_too_few_dims_raises(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4])
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4, 2], activation="swish")
+
+    def test_can_fit_linear_function(self, rng):
+        nn.init.seed(0)
+        mlp = nn.MLP([3, 16, 1])
+        from repro.optim import Adam
+
+        opt = Adam(mlp.parameters(), lr=0.01)
+        X = rng.normal(size=(128, 3))
+        y = (X @ np.array([1.0, -1.0, 2.0]))[:, None]
+        for _ in range(200):
+            opt.zero_grad()
+            loss = F.mse_loss(mlp(Tensor(X)), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05
+
+
+class TestFunctional:
+    def test_mse_loss_value(self):
+        pred = Tensor([1.0, 2.0, 3.0])
+        assert F.mse_loss(pred, np.array([1.0, 2.0, 5.0])).item() == pytest.approx(4.0 / 3.0)
+
+    def test_sum_squared_error(self):
+        pred = Tensor([1.0, 3.0])
+        assert F.sum_squared_error(pred, np.array([0.0, 0.0])).item() == pytest.approx(10.0)
+
+    def test_mae_loss(self):
+        pred = Tensor([1.0, -1.0])
+        assert F.mae_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(1.0)
+
+    def test_gaussian_kl_zero_for_standard_normal(self):
+        mu = Tensor(np.zeros((4, 3)))
+        log_var = Tensor(np.zeros((4, 3)))
+        assert F.gaussian_kl(mu, log_var).item() == pytest.approx(0.0)
+
+    def test_gaussian_kl_positive_otherwise(self, rng):
+        mu = Tensor(rng.normal(size=(4, 3)))
+        log_var = Tensor(rng.normal(size=(4, 3)))
+        assert F.gaussian_kl(mu, log_var).item() > 0.0
+
+    def test_gaussian_kl_gradcheck(self, rng):
+        mu = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        lv = Tensor(rng.normal(size=(2, 3)) * 0.1, requires_grad=True)
+        gradcheck(lambda m, v: F.gaussian_kl(m, v), [mu, lv])
+
+    def test_gaussian_nll_zero_at_perfect_reconstruction(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert F.gaussian_nll(x, x).item() == pytest.approx(0.0)
+
+    def test_l2_distance_rowwise(self):
+        a = Tensor(np.array([[3.0, 4.0]]))
+        b = Tensor(np.array([[0.0, 0.0]]))
+        assert F.l2_distance(a, b).data[0] == pytest.approx(5.0, abs=1e-5)
+
+    def test_cosine_similarity_matrix_self_ones(self, rng):
+        x = rng.normal(size=(5, 3))
+        sim = F.cosine_similarity_matrix(x, x)
+        np.testing.assert_allclose(np.diag(sim), np.ones(5))
+        assert (sim <= 1.0 + 1e-9).all()
+
+    def test_cosine_similarity_handles_zero_rows(self):
+        x = np.zeros((2, 3))
+        sim = F.cosine_similarity_matrix(x, x)
+        assert np.isfinite(sim).all()
+
+
+class TestInit:
+    def test_seed_reproducible(self):
+        nn.init.seed(42)
+        a = nn.init.normal((3, 3))
+        nn.init.seed(42)
+        b = nn.init.normal((3, 3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_xavier_uniform_bounds(self):
+        w = nn.init.xavier_uniform(100, 100)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(nn.init.zeros((2, 2)), np.zeros((2, 2)))

@@ -1,0 +1,100 @@
+"""Module/Parameter registration, traversal, and state dict round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class TwoLayer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(4, 8)
+        self.second = nn.Linear(8, 2)
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestRegistration:
+    def test_parameters_discovered_through_submodules(self):
+        model = TwoLayer()
+        names = dict(model.named_parameters())
+        assert set(names) == {"first.weight", "first.bias", "second.weight", "second.bias"}
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_register_module_dynamic(self):
+        model = nn.Module()
+        model.register_module("layer0", nn.Linear(2, 2))
+        assert "layer0.weight" in dict(model.named_parameters())
+
+    def test_modules_iterates_tree(self):
+        model = TwoLayer()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_module_list_registers(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(ml.parameters())) == 4
+        assert len(ml) == 2
+
+    def test_module_list_call_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([])(1)
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        a, b = TwoLayer(), TwoLayer()
+        state = a.state_dict()
+        b.load_state_dict(state)
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_copies(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][...] = 0.0
+        assert not np.allclose(model.first.weight.data, 0.0)
+
+    def test_load_rejects_missing_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["first.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_unexpected_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["ghost"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self, rng):
+        model = TwoLayer()
+        out = model(Tensor(rng.normal(size=(2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())

@@ -1,0 +1,135 @@
+"""Optimizers: convergence on convex problems, state handling, clipping, schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.autograd import Tensor, ops
+from repro.nn import functional as F
+
+
+def quadratic_loss(param):
+    """(p - 3)^2 summed — minimum at 3."""
+    return ops.sum(ops.square(ops.sub(param, 3.0)))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(4))
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = nn.Parameter(np.zeros(1))
+            opt = optim.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = nn.Parameter(np.ones(3))
+        opt = optim.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        ops.sum(ops.mul(p, 0.0)).backward()  # zero task gradient
+        opt.step()
+        assert (p.data < 1.0).all()
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            optim.SGD([nn.Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(4))
+        opt = optim.Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_skips_params_without_grad(self):
+        a, b = nn.Parameter(np.zeros(2)), nn.Parameter(np.ones(2))
+        opt = optim.Adam([a, b], lr=0.1)
+        quadratic_loss(a).backward()
+        opt.step()
+        np.testing.assert_array_equal(b.data, np.ones(2))
+        assert not np.allclose(a.data, 0.0)
+
+    def test_bias_correction_first_step_magnitude(self):
+        # With bias correction the first Adam step is ≈ lr regardless of grad scale.
+        p = nn.Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=0.1)
+        p.grad = np.array([1000.0])
+        opt.step()
+        assert abs(p.data[0] + 0.1) < 1e-6
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            optim.Adam([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            optim.Adam([nn.Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_adamw_decouples_decay(self):
+        p = nn.Parameter(np.ones(2))
+        opt = optim.AdamW([p], lr=0.0001, weight_decay=0.5)
+        p.grad = np.zeros(2)
+        opt.step()
+        # decoupled decay applies even with zero gradient
+        np.testing.assert_allclose(p.data, np.ones(2) * (1 - 0.0001 * 0.5))
+
+
+class TestClipGradNorm:
+    def test_no_clip_under_threshold(self):
+        p = nn.Parameter(np.zeros(3))
+        p.grad = np.array([0.1, 0.1, 0.1])
+        norm = optim.clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1, 0.1])
+        assert norm == pytest.approx(np.sqrt(0.03))
+
+    def test_clips_over_threshold(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        optim.clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_ignores_none_grads(self):
+        p = nn.Parameter(np.zeros(2))
+        assert optim.clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_exponential_decay(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=1.0)
+        sched = optim.ExponentialDecay(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_step_decay(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=1.0)
+        sched = optim.StepDecay(opt, every=2, factor=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_gamma(self):
+        opt = optim.Adam([nn.Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            optim.ExponentialDecay(opt, gamma=0.0)

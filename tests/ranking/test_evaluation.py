@@ -1,0 +1,106 @@
+"""Ranking evaluation protocol and the BPR/popularity baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import AGNN, AGNNConfig
+from repro.ranking import (
+    BPRMF,
+    BPRConfig,
+    PopularityRanker,
+    evaluate_ranking,
+    rank_items_for_user,
+    relevant_items,
+)
+from repro.train import TrainConfig
+
+
+class TestRelevantItems:
+    def test_threshold_filters(self, ics_task):
+        relevant = relevant_items(ics_task, threshold=4.0)
+        for user, items in relevant.items():
+            for item in items:
+                mask = (ics_task.test_users == user) & (ics_task.test_items == item)
+                assert (ics_task.test_ratings[mask] >= 4.0).all()
+
+    def test_high_threshold_shrinks(self, ics_task):
+        low = relevant_items(ics_task, threshold=3.0)
+        high = relevant_items(ics_task, threshold=5.0)
+        count = lambda rel: sum(len(v) for v in rel.values())
+        assert count(high) <= count(low)
+
+
+class TestRankItemsForUser:
+    def test_orders_by_score(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        model.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
+        candidates = np.arange(10)
+        ranked = rank_items_for_user(model, 0, candidates)
+        scores = model.predict(np.zeros(10, dtype=int), candidates)
+        expected = candidates[np.argsort(-scores, kind="stable")].tolist()
+        assert ranked == expected
+
+
+class TestEvaluateRanking:
+    def test_full_protocol_on_agnn(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        model.fit(ics_task, TrainConfig(epochs=3, batch_size=64, learning_rate=0.01, patience=None))
+        result = evaluate_ranking(model, ics_task, k=5, num_negatives=30, max_users=20)
+        assert 0.0 <= result.hit_rate <= 1.0
+        assert 0.0 <= result.ndcg <= 1.0
+        assert result.num_users > 0
+
+    def test_deterministic_given_seed(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        model.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
+        a = evaluate_ranking(model, ics_task, k=5, num_negatives=20, max_users=10, seed=3)
+        b = evaluate_ranking(model, ics_task, k=5, num_negatives=20, max_users=10, seed=3)
+        assert a.hit_rate == b.hit_rate
+        assert a.ndcg == b.ndcg
+
+    def test_impossible_threshold_raises(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        model.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
+        with pytest.raises(ValueError):
+            evaluate_ranking(model, ics_task, threshold=6.0)
+
+
+class TestBPR:
+    def test_trains_and_ranks_warm(self, warm_task):
+        bpr = BPRMF(BPRConfig(factors=8, epochs=10)).fit(warm_task)
+        scores = bpr.predict(warm_task.test_users[:5], warm_task.test_items[:5])
+        assert np.isfinite(scores).all()
+
+    def test_better_than_random_on_warm(self, warm_task):
+        """BPR must rank held-out liked items above random negatives."""
+        bpr = BPRMF(BPRConfig(factors=8, epochs=20, seed=0)).fit(warm_task)
+        result = evaluate_ranking(bpr, warm_task, k=10, num_negatives=50, max_users=25)
+        # random ranking of ~51+ candidates: HR@10 ≈ 10/51 ≈ 0.2 per positive
+        assert result.hit_rate > 0.25
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            BPRMF().predict(np.array([0]), np.array([0]))
+
+
+class TestPopularityRanker:
+    def test_scores_are_train_counts(self, warm_task):
+        pop = PopularityRanker().fit(warm_task)
+        counts = np.zeros(warm_task.dataset.num_items)
+        np.add.at(counts, warm_task.train_items, 1.0)
+        items = np.arange(warm_task.dataset.num_items)
+        np.testing.assert_array_equal(pop.predict(np.zeros_like(items), items), counts)
+
+    def test_cold_items_score_zero(self, ics_task):
+        pop = PopularityRanker().fit(ics_task)
+        scores = pop.predict(np.zeros(len(ics_task.cold_items), dtype=int), ics_task.cold_items)
+        np.testing.assert_array_equal(scores, 0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PopularityRanker().predict(np.array([0]), np.array([0]))

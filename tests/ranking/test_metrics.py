@@ -1,0 +1,87 @@
+"""Top-N ranking metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranking import (
+    RankingResult,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestPointMetrics:
+    def test_hit_rate_hit_and_miss(self):
+        assert hit_rate_at_k([1, 2, 3], {2}, k=3) == 1.0
+        assert hit_rate_at_k([1, 2, 3], {9}, k=3) == 0.0
+
+    def test_hit_rate_respects_k(self):
+        assert hit_rate_at_k([1, 2, 9], {9}, k=2) == 0.0
+
+    def test_recall(self):
+        assert recall_at_k([1, 2, 3, 4], {1, 9}, k=4) == pytest.approx(0.5)
+
+    def test_precision(self):
+        assert precision_at_k([1, 2, 3, 4], {1, 2}, k=4) == pytest.approx(0.5)
+
+    def test_ndcg_perfect_ranking(self):
+        assert ndcg_at_k([7, 8, 1, 2], {7, 8}, k=4) == pytest.approx(1.0)
+
+    def test_ndcg_penalises_late_hits(self):
+        early = ndcg_at_k([7, 1, 2, 3], {7}, k=4)
+        late = ndcg_at_k([1, 2, 3, 7], {7}, k=4)
+        assert early > late
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k([1, 2], {1}, k=0)
+        with pytest.raises(ValueError):
+            recall_at_k([1, 2], set(), k=1)
+        with pytest.raises(ValueError):
+            ndcg_at_k([1], {1}, k=5)
+
+    @given(
+        relevant=st.sets(st.integers(0, 19), min_size=1, max_size=5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_metrics_in_unit_interval(self, relevant, seed):
+        ranked = list(np.random.default_rng(seed).permutation(20))
+        for metric in (hit_rate_at_k, recall_at_k, precision_at_k, ndcg_at_k):
+            value = metric(ranked, relevant, k=10)
+            assert 0.0 <= value <= 1.0
+
+    @given(st.sets(st.integers(0, 9), min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_perfect_ranking_maximises_ndcg(self, relevant):
+        rest = [i for i in range(20) if i not in relevant]
+        perfect = sorted(relevant) + rest
+        assert ndcg_at_k(perfect, relevant, k=10) == pytest.approx(1.0)
+
+
+class TestRankingResult:
+    def test_aggregation(self):
+        rankings = {0: [1, 2, 3], 1: [3, 2, 1]}
+        relevant = {0: {1}, 1: {1}}
+        result = RankingResult.from_rankings(rankings, relevant, k=3)
+        assert result.hit_rate == 1.0
+        assert result.num_users == 2
+        assert 0 < result.ndcg <= 1.0
+
+    def test_skips_users_without_relevant(self):
+        rankings = {0: [1, 2], 1: [1, 2]}
+        relevant = {0: {1}}
+        result = RankingResult.from_rankings(rankings, relevant, k=2)
+        assert result.num_users == 1
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            RankingResult.from_rankings({0: [1]}, {}, k=1)
+
+    def test_str(self):
+        result = RankingResult(1.0, 1.0, 1.0, 0.5, k=10, num_users=3)
+        assert "HR@10" in str(result)

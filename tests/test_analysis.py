@@ -1,0 +1,127 @@
+"""Analysis tools: homophily reports, error slicing, embedding diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import (
+    cold_vs_warm_errors,
+    errors_by_popularity,
+    errors_by_rating_value,
+    evaluate_generated_embeddings,
+    neighbourhood_homophily,
+    rating_agreement,
+)
+from repro.core import AGNN, AGNNConfig
+from repro.graphs import build_attribute_graph, build_knn_graph
+from repro.train import TrainConfig
+
+CFG = AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0)
+TRAIN = TrainConfig(epochs=3, batch_size=64, learning_rate=0.01, patience=None)
+
+
+@pytest.fixture(scope="module")
+def fitted(ics_task_module):
+    nn.init.seed(0)
+    model = AGNN(CFG, rng_seed=0)
+    model.fit(ics_task_module, TRAIN)
+    return model
+
+
+@pytest.fixture(scope="module")
+def ics_task_module(tiny_movielens_module):
+    from repro.data import item_cold_split
+
+    return item_cold_split(tiny_movielens_module, 0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_movielens_module():
+    from repro.data import generate_movielens
+    from tests.conftest import TINY_ML
+
+    return generate_movielens(TINY_ML)
+
+
+class TestHomophily:
+    def test_attribute_graph_is_homophilous_in_true_factors(self, ics_task_module):
+        graph = build_attribute_graph(ics_task_module, "item", pool_percent=10.0)
+        factors = ics_task_module.dataset.metadata["true_item_factors"]
+        report = neighbourhood_homophily(graph, factors, k=5)
+        assert report.neighbour_similarity > report.random_similarity
+        assert report.lift > 1.0
+        assert "lift" in str(report)
+
+    def test_rating_agreement_on_knn_graph(self, ics_task_module):
+        graph = build_knn_graph(ics_task_module, "item", k=5)
+        report = rating_agreement(ics_task_module, graph, side="item", k=5)
+        assert np.isfinite(report.neighbour_similarity)
+
+    def test_mismatched_sizes_raise(self, ics_task_module):
+        graph = build_knn_graph(ics_task_module, "item", k=3)
+        with pytest.raises(ValueError):
+            neighbourhood_homophily(graph, np.zeros((3, 2)))
+
+    def test_side_validation(self, ics_task_module):
+        graph = build_knn_graph(ics_task_module, "item", k=3)
+        with pytest.raises(ValueError):
+            rating_agreement(ics_task_module, graph, side="movie")
+
+
+class TestErrorSlices:
+    def test_popularity_slices_cover_test_set(self, fitted, ics_task_module):
+        slices = errors_by_popularity(fitted, ics_task_module, side="item")
+        assert sum(s.count for s in slices) == len(ics_task_module.test_idx)
+        for s in slices:
+            assert np.isfinite(s.rmse) or s.count == 0
+
+    def test_rating_value_slices(self, fitted, ics_task_module):
+        slices = errors_by_rating_value(fitted, ics_task_module)
+        values = {s.name for s in slices}
+        assert any("rating=" in v for v in values)
+        assert sum(s.count for s in slices) == len(ics_task_module.test_idx)
+
+    def test_extreme_ratings_are_harder(self, fitted, ics_task_module):
+        """Clipped 1-5 scale: 1s and 5s carry more error than 3s or 4s."""
+        slices = {s.name: s for s in errors_by_rating_value(fitted, ics_task_module)}
+        mid = slices.get("rating=4") or slices.get("rating=3")
+        extreme = slices.get("rating=1") or slices.get("rating=5")
+        if mid is None or extreme is None or mid.count < 5 or extreme.count < 5:
+            pytest.skip("tiny dataset lacks enough examples at the extremes")
+        assert extreme.rmse > mid.rmse
+
+    def test_cold_vs_warm_on_strict_split(self, fitted, ics_task_module):
+        breakdown = cold_vs_warm_errors(fitted, ics_task_module)
+        # strict split: every test pair touches a cold item
+        assert breakdown["cold"].count == len(ics_task_module.test_idx)
+        assert breakdown["warm"].count == 0
+
+    def test_side_validation(self, fitted, ics_task_module):
+        with pytest.raises(ValueError):
+            errors_by_popularity(fitted, ics_task_module, side="movie")
+
+
+class TestEmbeddingDiagnostics:
+    def test_report_structure(self, fitted):
+        report = evaluate_generated_embeddings(fitted, side="item")
+        assert -1.0 <= report.mean_cosine <= 1.0
+        assert 0.0 <= report.better_than_permuted <= 1.0
+        assert report.generated_norm >= 0.0
+        assert "cos(gen, m)" in str(report)
+
+    def test_unfitted_model_raises(self):
+        with pytest.raises(RuntimeError):
+            evaluate_generated_embeddings(AGNN(CFG))
+
+    def test_side_validation(self, fitted):
+        with pytest.raises(ValueError):
+            evaluate_generated_embeddings(fitted, side="movie")
+
+    def test_null_strategy_reports_zero_norm(self, ics_task_module):
+        from repro.core import agnn_variant
+
+        nn.init.seed(0)
+        model = agnn_variant("AGNN_-eVAE", CFG, seed=0)
+        model.fit(ics_task_module, TRAIN)
+        report = evaluate_generated_embeddings(model, side="item")
+        assert report.generated_norm == pytest.approx(0.0)

@@ -1,0 +1,79 @@
+"""CLI: argument parsing, model factory, end-to-end run command."""
+
+import json
+
+import pytest
+
+from repro.cli import available_models, build_parser, main, model_factory
+from repro.experiments.configs import get_scale
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--model", "AGNN"])
+        assert args.dataset == "ML-100K"
+        assert args.scenario == "item_cold"
+        assert args.scale == "smoke"
+
+    def test_run_rejects_bad_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "AGNN", "--scenario", "tepid"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestModelFactory:
+    def test_agnn_variant(self):
+        scale = get_scale("smoke")
+        model = model_factory("AGNN_-fgate", scale)()
+        assert model.name == "AGNN_-fgate"
+
+    def test_baseline(self):
+        scale = get_scale("smoke")
+        model = model_factory("NFM", scale)()
+        assert model.name == "NFM"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            model_factory("GPT", get_scale("smoke"))
+
+    def test_available_models_superset(self):
+        models = available_models()
+        assert "AGNN" in models
+        assert "LLAE" in models
+        assert len(models) >= 20  # 12 baselines + 15 variants (shared AGNN entry)
+
+
+class TestCommands:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "AGNN" in out and "baseline" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Sparsity" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(
+            ["run", "--model", "NFM", "--scenario", "item_cold", "--scale", "smoke",
+             "--epochs", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "NFM"
+        assert payload["epochs_trained"] >= 1
+        assert payload["rmse"] > 0
+
+    def test_run_multi_seed(self, capsys):
+        code = main(
+            ["run", "--model", "NFM", "--scenario", "item_cold", "--scale", "smoke",
+             "--epochs", "1", "--seeds", "0", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seeds"] == [0, 1]
+        assert payload["rmse_std"] >= 0.0

@@ -1,0 +1,79 @@
+"""Serialisation round-trips for datasets and model weights."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import AGNN, AGNNConfig
+from repro.io import load_dataset, load_model_into, save_dataset, save_model
+from repro.train import TrainConfig
+
+
+class TestDatasetRoundTrip:
+    def test_movielens_round_trip(self, tiny_movielens, tmp_path):
+        path = tmp_path / "ml.npz"
+        save_dataset(tiny_movielens, path)
+        loaded = load_dataset(path)
+        assert loaded.name == tiny_movielens.name
+        np.testing.assert_array_equal(loaded.ratings, tiny_movielens.ratings)
+        np.testing.assert_array_equal(loaded.user_attributes, tiny_movielens.user_attributes)
+        assert loaded.rating_scale == tiny_movielens.rating_scale
+
+    def test_schema_survives(self, tiny_movielens, tmp_path):
+        path = tmp_path / "ml.npz"
+        save_dataset(tiny_movielens, path)
+        loaded = load_dataset(path)
+        assert loaded.user_schema.field_names == tiny_movielens.user_schema.field_names
+        assert loaded.item_schema.dim == tiny_movielens.item_schema.dim
+
+    def test_yelp_social_metadata_survives(self, tiny_yelp, tmp_path):
+        path = tmp_path / "yelp.npz"
+        save_dataset(tiny_yelp, path)
+        loaded = load_dataset(path)
+        assert loaded.user_schema is None
+        np.testing.assert_array_equal(
+            loaded.metadata["social_adjacency"], tiny_yelp.metadata["social_adjacency"]
+        )
+
+    def test_loaded_dataset_is_usable(self, tiny_movielens, tmp_path):
+        from repro.data import item_cold_split
+
+        path = tmp_path / "ml.npz"
+        save_dataset(tiny_movielens, path)
+        task = item_cold_split(load_dataset(path), 0.2, seed=0)
+        task.assert_strict_cold()
+
+
+class TestModelRoundTrip:
+    def test_agnn_weights_round_trip(self, ics_task, tmp_path):
+        config = AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0)
+        train = TrainConfig(epochs=1, batch_size=64, patience=None)
+
+        nn.init.seed(0)
+        model = AGNN(config, rng_seed=0)
+        model.fit(ics_task, train)
+        reference = model.predict(ics_task.test_users[:20], ics_task.test_items[:20])
+
+        path = tmp_path / "agnn.npz"
+        save_model(model, path)
+
+        nn.init.seed(99)  # different init: weights must come from the file
+        fresh = AGNN(config, rng_seed=0)
+        fresh.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None, seed=0))
+        load_model_into(fresh, path)
+        fresh._invalidate_inference_cache()
+        restored = fresh.predict(ics_task.test_users[:20], ics_task.test_items[:20])
+        np.testing.assert_allclose(restored, reference, atol=1e-10)
+
+    def test_load_into_mismatched_model_fails(self, ics_task, tmp_path):
+        nn.init.seed(0)
+        model = AGNN(AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        model.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
+        path = tmp_path / "agnn.npz"
+        save_model(model, path)
+
+        nn.init.seed(0)
+        other = AGNN(AGNNConfig(embedding_dim=8, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        other.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
+        with pytest.raises(ValueError):
+            load_model_into(other, path)

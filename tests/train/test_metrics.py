@@ -1,0 +1,132 @@
+"""Metrics, history, significance tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.train import EvalResult, TrainHistory, mae, paired_significance, rmse, significance_marker
+
+
+class TestRMSEMAE:
+    def test_perfect_prediction(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert rmse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+
+    def test_known_values(self):
+        pred = np.array([2.0, 4.0])
+        actual = np.array([1.0, 1.0])
+        assert rmse(pred, actual) == pytest.approx(np.sqrt((1 + 9) / 2))
+        assert mae(pred, actual) == pytest.approx(2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mae(np.array([]), np.array([]))
+
+    @given(
+        hnp.arrays(np.float64, 10, elements=st.floats(min_value=-5, max_value=5, allow_nan=False))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_rmse_geq_mae(self, errors):
+        """RMSE ≥ MAE always (Jensen)."""
+        pred = errors
+        actual = np.zeros(10)
+        assert rmse(pred, actual) >= mae(pred, actual) - 1e-12
+
+    def test_eval_result_matches_functions(self, rng):
+        pred = rng.normal(size=20)
+        actual = rng.normal(size=20)
+        result = EvalResult.from_predictions(pred, actual)
+        assert result.rmse == pytest.approx(rmse(pred, actual))
+        assert result.mae == pytest.approx(mae(pred, actual))
+        assert len(result.squared_errors) == 20
+
+    def test_eval_result_str(self, rng):
+        result = EvalResult.from_predictions(np.ones(5), np.ones(5))
+        assert "RMSE=0.0000" in str(result)
+
+
+class TestTrainHistory:
+    def test_record_and_curve(self):
+        history = TrainHistory()
+        history.record({"prediction": 1.0, "reconstruction": 5.0})
+        history.record({"prediction": 0.5, "reconstruction": 2.0})
+        assert history.num_epochs == 2
+        assert history.curve("prediction") == [1.0, 0.5]
+        assert history.final("reconstruction") == 2.0
+
+    def test_unknown_curve_raises(self):
+        with pytest.raises(KeyError):
+            TrainHistory().curve("loss")
+
+    def test_final_on_empty_curve_raises(self):
+        history = TrainHistory()
+        history.losses["x"] = []
+        with pytest.raises(ValueError):
+            history.final("x")
+
+    def test_summary_contains_names(self):
+        history = TrainHistory()
+        history.record({"prediction": 1.2345})
+        assert "prediction=1.2345" in history.summary()
+
+
+class TestSignificance:
+    def _results(self, a_errors, b_errors):
+        a = EvalResult(rmse=0, mae=0, squared_errors=np.asarray(a_errors), absolute_errors=np.asarray(a_errors))
+        b = EvalResult(rmse=0, mae=0, squared_errors=np.asarray(b_errors), absolute_errors=np.asarray(b_errors))
+        return a, b
+
+    def test_clearly_better_is_significant(self, rng):
+        base = rng.uniform(1.0, 2.0, size=500)
+        ours, theirs = self._results(base * 0.5, base)
+        report = paired_significance(ours, theirs)
+        assert report.significant_01
+        assert report.marker() == "*"
+
+    def test_identical_is_not_significant(self, rng):
+        base = rng.uniform(1.0, 2.0, size=100)
+        ours, theirs = self._results(base, base)
+        report = paired_significance(ours, theirs)
+        assert report.p_value == 1.0
+        assert report.marker() == ""
+
+    def test_worse_is_not_significant(self, rng):
+        base = rng.uniform(1.0, 2.0, size=200)
+        ours, theirs = self._results(base * 2.0, base)
+        report = paired_significance(ours, theirs)
+        assert not report.significant_05
+
+    def test_one_sided_p_in_unit_interval(self, rng):
+        a = rng.uniform(0, 1, 50)
+        b = rng.uniform(0, 1, 50)
+        report = paired_significance(*self._results(a, b))
+        assert 0.0 <= report.p_value <= 1.0
+
+    def test_marker_daggers_at_modest_significance(self, rng):
+        # construct a barely-significant difference
+        base = rng.uniform(1.0, 2.0, size=40)
+        ours, theirs = self._results(base - 0.05 + rng.normal(0, 0.08, 40), base)
+        marker = paired_significance(ours, theirs).marker()
+        assert marker in ("", "†", "*")
+
+    def test_shape_mismatch_raises(self, rng):
+        ours, theirs = self._results(rng.uniform(size=10), rng.uniform(size=12))
+        with pytest.raises(ValueError):
+            paired_significance(ours, theirs)
+
+    def test_invalid_metric_raises(self, rng):
+        ours, theirs = self._results(rng.uniform(size=10), rng.uniform(size=10))
+        with pytest.raises(ValueError):
+            paired_significance(ours, theirs, metric="median")
+
+    def test_significance_marker_helper(self, rng):
+        base = rng.uniform(1.0, 2.0, size=500)
+        ours, theirs = self._results(base * 0.2, base)
+        assert significance_marker(ours, theirs) == "*"

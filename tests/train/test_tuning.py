@@ -1,0 +1,104 @@
+"""Grid search and validation-task carving."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NFM
+from repro.core import AGNN, AGNNConfig
+from repro.train import TrainConfig, grid_search, validation_task
+
+FAST = TrainConfig(epochs=1, batch_size=64, learning_rate=0.01, patience=None)
+
+
+class TestValidationTask:
+    def test_val_rows_come_from_training(self, ics_task):
+        val = validation_task(ics_task, 0.15, seed=0)
+        assert np.isin(val.test_idx, ics_task.train_idx).all()
+        assert np.isin(val.train_idx, ics_task.train_idx).all()
+
+    def test_original_test_rows_never_appear(self, ics_task):
+        val = validation_task(ics_task, 0.15, seed=0)
+        assert len(np.intersect1d(val.test_idx, ics_task.test_idx)) == 0
+        assert len(np.intersect1d(val.train_idx, ics_task.test_idx)) == 0
+
+    def test_partition_of_training(self, ics_task):
+        val = validation_task(ics_task, 0.2, seed=0)
+        combined = np.sort(np.concatenate([val.train_idx, val.test_idx]))
+        np.testing.assert_array_equal(combined, np.sort(ics_task.train_idx))
+
+    def test_invalid_fraction(self, ics_task):
+        with pytest.raises(ValueError):
+            validation_task(ics_task, 0.0)
+
+
+class TestGridSearch:
+    def test_searches_all_combinations(self, ics_task):
+        result = grid_search(
+            lambda embedding_dim: NFM(embedding_dim=embedding_dim),
+            {"embedding_dim": [4, 6]},
+            ics_task,
+            FAST,
+            refit=False,
+        )
+        assert len(result.trials) == 2
+        assert result.best_params["embedding_dim"] in (4, 6)
+        assert result.best_model is None
+
+    def test_cartesian_product(self, ics_task):
+        result = grid_search(
+            lambda embedding_dim, hidden_dim: NFM(embedding_dim=embedding_dim, hidden_dim=hidden_dim),
+            {"embedding_dim": [4, 6], "hidden_dim": [4, 8]},
+            ics_task,
+            FAST,
+            refit=False,
+        )
+        assert len(result.trials) == 4
+        seen = {(t.params["embedding_dim"], t.params["hidden_dim"]) for t in result.trials}
+        assert seen == {(4, 4), (4, 8), (6, 4), (6, 8)}
+
+    def test_refit_returns_model_and_test_score(self, ics_task):
+        result = grid_search(
+            lambda embedding_dim: NFM(embedding_dim=embedding_dim),
+            {"embedding_dim": [4]},
+            ics_task,
+            FAST,
+            refit=True,
+        )
+        assert result.best_model is not None
+        assert result.test_rmse is not None and np.isfinite(result.test_rmse)
+
+    def test_best_trial_is_minimum(self, ics_task):
+        result = grid_search(
+            lambda embedding_dim: NFM(embedding_dim=embedding_dim),
+            {"embedding_dim": [4, 6, 8]},
+            ics_task,
+            FAST,
+            refit=False,
+        )
+        assert result.best_trial.validation_rmse == min(t.validation_rmse for t in result.trials)
+
+    def test_works_with_agnn_configs(self, ics_task):
+        configs = [AGNNConfig(embedding_dim=d, num_neighbors=3, pool_percent=15.0) for d in (4, 6)]
+        result = grid_search(
+            lambda config: AGNN(config),
+            {"config": configs},
+            ics_task,
+            FAST,
+            refit=False,
+        )
+        assert len(result.trials) == 2
+
+    def test_empty_grid_raises(self, ics_task):
+        with pytest.raises(ValueError):
+            grid_search(lambda: NFM(), {}, ics_task, FAST)
+
+    def test_summary_text(self, ics_task):
+        result = grid_search(
+            lambda embedding_dim: NFM(embedding_dim=embedding_dim),
+            {"embedding_dim": [4]},
+            ics_task,
+            FAST,
+            refit=True,
+        )
+        text = result.summary()
+        assert "val RMSE" in text and "test RMSE" in text
