@@ -1,0 +1,73 @@
+"""The performance-regression tripwire: telemetry-bench must stay instrumented.
+
+Runs the same metered SMOKE train+predict cycle as ``repro telemetry-bench``
+and asserts the snapshot's *shape*: every expected span path is present with
+non-zero wall-clock time, the autograd profiler saw the core primitives, and
+the counters are self-consistent.  No absolute timings are asserted — those
+belong in ``BENCH_telemetry.json`` diffs, not in pass/fail tests — but a
+future PR that silently de-instruments a hot path (or breaks the span tree's
+nesting) fails here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.bench import EXPECTED_SPAN_PATHS, run_telemetry_bench
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(scope="module")
+def baseline_snapshot(tmp_path_factory):
+    path = tmp_path_factory.mktemp("telemetry") / "BENCH_telemetry.json"
+    snap = run_telemetry_bench(epochs=2, output=str(path))
+    return snap, json.loads(path.read_text())
+
+
+def test_snapshot_file_matches_in_memory(baseline_snapshot):
+    snap, loaded = baseline_snapshot
+    assert loaded == snap
+
+
+def test_every_instrumented_span_has_nonzero_time(baseline_snapshot):
+    snap, _ = baseline_snapshot
+    for path in EXPECTED_SPAN_PATHS:
+        assert path in snap["spans"], f"span path {path!r} missing — de-instrumented?"
+        summary = snap["spans"][path]
+        assert summary["count"] > 0
+        assert summary["total_s"] > 0.0
+        assert summary["max_s"] >= summary["p95_s"] >= summary["p50_s"] >= 0.0
+
+
+def test_span_tree_nests_consistently(baseline_snapshot):
+    snap, _ = baseline_snapshot
+    spans = snap["spans"]
+    for path, summary in spans.items():
+        if "/" not in path:
+            continue
+        parent = path.rsplit("/", 1)[0]
+        assert parent in spans, f"orphan span path {path!r}"
+        assert summary["total_s"] <= spans[parent]["total_s"] + 1e-9, (
+            f"{path!r} reports more time than its parent"
+        )
+
+
+def test_autograd_ops_were_profiled(baseline_snapshot):
+    snap, _ = baseline_snapshot
+    ops = snap["ops"]
+    for name in ("matmul", "add", "mul", "embedding"):
+        assert ops.get(name, {}).get("count", 0) > 0, f"op {name!r} never profiled"
+    assert ops["matmul"]["backward_count"] > 0
+    assert ops["matmul"]["alloc_bytes"] > 0
+
+
+def test_counters_are_self_consistent(baseline_snapshot):
+    snap, _ = baseline_snapshot
+    counters = snap["counters"]
+    assert counters["train.epochs"] == snap["meta"]["epochs_trained"]
+    assert counters["train.batches"] >= counters["train.epochs"]
+    assert counters["train.examples"] >= counters["train.batches"]
+    assert counters["graph.nodes_resampled"] > 0

@@ -12,6 +12,7 @@ core        the AGNN model: interaction layer, eVAE, gated-GNN, prediction head
 baselines   twelve comparison models from the paper's Table 2
 train       trainer, metrics, evaluation protocol, significance tests
 experiments runners that regenerate every table and figure of the paper
+telemetry   counters/spans/autograd profiler + the BENCH_telemetry.json baseline
 """
 
 __version__ = "1.0.0"

@@ -125,6 +125,14 @@ class Tensor:
         if grad.shape != self.data.shape:
             raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
 
+        # Imported at call time: telemetry is a sibling package and importing
+        # it while this module is still initialising would be circular.
+        from ..telemetry.tracing import span
+
+        with span("autograd.backward"):
+            self._run_backward(grad)
+
+    def _run_backward(self, grad: np.ndarray) -> None:
         order: list[Tensor] = []
         seen: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]

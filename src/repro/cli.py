@@ -7,6 +7,7 @@ Examples:
     python -m repro.cli run --model AGNN --seeds 0 1 2 --scenario item_cold
     python -m repro.cli list-models
     python -m repro.cli datasets --scale bench
+    python -m repro.cli telemetry-bench --output BENCH_telemetry.json
 
 The heavy lifting lives in ``repro.experiments``; this is a thin, scriptable
 front end that prints either human-readable text or machine-readable JSON.
@@ -61,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = commands.add_parser("datasets", help="show Table-1 statistics at a scale")
     datasets.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+
+    bench = commands.add_parser(
+        "telemetry-bench",
+        help="run a fully-metered train+predict cycle and write the perf baseline",
+    )
+    bench.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    bench.add_argument("--scenario", default="item_cold", choices=["warm", "item_cold", "user_cold"])
+    bench.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    bench.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
+    bench.add_argument("--output", default="BENCH_telemetry.json",
+                       help="snapshot path ('-' to skip writing)")
+    bench.add_argument("--json", action="store_true", help="print the snapshot JSON instead of the table")
     return parser
 
 
@@ -120,12 +133,29 @@ def _command_datasets(args) -> int:
     return 0
 
 
+def _command_telemetry_bench(args) -> int:
+    from .telemetry import render, run_telemetry_bench
+
+    snap = run_telemetry_bench(
+        dataset=args.dataset,
+        scenario=args.scenario,
+        scale_name=args.scale,
+        epochs=args.epochs,
+        output=None if args.output == "-" else args.output,
+    )
+    print(json.dumps(snap, indent=2, sort_keys=True) if args.json else render(snap))
+    if args.output != "-":
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _command_run,
         "list-models": _command_list_models,
         "datasets": _command_datasets,
+        "telemetry-bench": _command_telemetry_bench,
     }
     return handlers[args.command](args)
 

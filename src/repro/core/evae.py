@@ -24,6 +24,7 @@ import numpy as np
 from ..autograd import Tensor, ops
 from ..nn import Linear, Module
 from ..nn.functional import gaussian_kl, gaussian_nll, l2_distance
+from ..telemetry import span
 
 __all__ = ["ExtendedVAE"]
 
@@ -117,6 +118,15 @@ class ExtendedVAE(Module):
         embeddings toward attribute-predictability while λ = 10 measurably
         degrades the rating task — the Fig. 6 U-shape.
         """
+        with span("evae.loss"):
+            return self._loss(x, preference_target, use_approximation)
+
+    def _loss(
+        self,
+        x: Tensor,
+        preference_target: Optional[Tensor],
+        use_approximation: bool,
+    ) -> Tuple[Tensor, Tensor]:
         x_recon, mu, log_var = self.forward(x, sample=self.training)
         kl = gaussian_kl(mu, log_var)
         if use_approximation:
@@ -134,5 +144,6 @@ class ExtendedVAE(Module):
 
     def generate(self, x: Tensor) -> Tensor:
         """Deterministic preference embedding for cold nodes: decode(μ_φ(x))."""
-        recon, _, _ = self.forward(x, sample=False)
-        return recon
+        with span("evae.generate"):
+            recon, _, _ = self.forward(x, sample=False)
+            return recon

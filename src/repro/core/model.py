@@ -34,6 +34,7 @@ from ..graphs import (
     build_knn_graph,
 )
 from ..nn.functional import mse_loss
+from ..telemetry import increment, span
 from ..train.recommender import Recommender
 from .cold_modules import CorruptionStrategy, make_cold_module
 from .config import AGNNConfig
@@ -113,16 +114,21 @@ class AGNN(Recommender):
         raise ValueError(f"unknown graph strategy {cfg.graph_strategy!r}")
 
     def prepare(self, task: RecommendationTask) -> None:
+        with span("agnn.prepare"):
+            self._prepare(task)
+
+    def _prepare(self, task: RecommendationTask) -> None:
         if not self._built:
             self._build(task)
         self._attributes = {
             "user": task.dataset.user_attributes,
             "item": task.dataset.item_attributes,
         }
-        self._graphs = {
-            "user": self._build_graph(task, "user"),
-            "item": self._build_graph(task, "item"),
-        }
+        with span("graph.build"):
+            self._graphs = {
+                "user": self._build_graph(task, "user"),
+                "item": self._build_graph(task, "item"),
+            }
         # Initial neighbourhoods (re-sampled per epoch for dynamic graphs).
         self._neighbours = {
             side: graph.neighbours(self.config.num_neighbors, self._rng) for side, graph in self._graphs.items()
@@ -140,9 +146,11 @@ class AGNN(Recommender):
 
     def begin_epoch(self, epoch: int, rng: np.random.Generator) -> None:
         """Dynamic graph construction: fresh neighbourhood sample each round."""
-        self._neighbours = {
-            side: graph.neighbours(self.config.num_neighbors, rng) for side, graph in self._graphs.items()
-        }
+        with span("agnn.resample"):
+            self._neighbours = {
+                side: graph.neighbours(self.config.num_neighbors, rng) for side, graph in self._graphs.items()
+            }
+        increment("agnn.resamples")
         self._inference_pref = {"user": None, "item": None}
 
     def _invalidate_inference_cache(self) -> None:
@@ -244,19 +252,21 @@ class AGNN(Recommender):
         matrix = encoder.preference.weight.data.copy()
         cold = self._cold_nodes[side]
         if len(cold):
-            with no_grad():
+            with span("agnn.generate_cold"), no_grad():
                 attr_embed = encoder.attribute_embedding(cold, self._attributes[side])
                 generated = self._cold_module(side).generate(attr_embed)
             matrix[cold] = generated if generated is not None else 0.0
+            increment("agnn.cold_nodes_generated", len(cold))
         self._inference_pref[side] = matrix
         return matrix
 
     def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         if not self._built:
             raise RuntimeError("AGNN must be fitted before predicting")
-        p_tilde, _ = self._encode_side("user", users, preference_override=self._inference_preferences("user"))
-        q_tilde, _ = self._encode_side("item", items, preference_override=self._inference_preferences("item"))
-        return self.head(p_tilde, q_tilde, users, items).data
+        with span("agnn.predict_scores"):
+            p_tilde, _ = self._encode_side("user", users, preference_override=self._inference_preferences("user"))
+            q_tilde, _ = self._encode_side("item", items, preference_override=self._inference_preferences("item"))
+            return self.head(p_tilde, q_tilde, users, items).data
 
     def generated_preferences(self, side: str) -> np.ndarray:
         """Public accessor: inference preference matrix (examples/diagnostics)."""

@@ -11,6 +11,7 @@ from ..core import AGNN, AGNNConfig
 from ..data import RatingDataset, make_split
 from ..data.splits import RecommendationTask, Scenario
 from ..nn import init as nn_init
+from ..telemetry import set_gauge, span
 from ..train import EvalResult, Recommender, TrainConfig, TrainHistory
 from .configs import ExperimentScale
 
@@ -47,8 +48,10 @@ def run_model(
     nn_init.seed(scale.seed)
     task = make_split(dataset, scenario, scale.split_fraction, seed=split_seed if split_seed is not None else scale.seed)
     model = model_factory()
-    history = model.fit(task, train_config or scale.train)
-    result = model.evaluate()
+    with span("experiment"):
+        history = model.fit(task, train_config or scale.train)
+        result = model.evaluate()
+    set_gauge("experiment.rmse", result.rmse)
     return FitResult(
         model_name=model.name,
         dataset_name=dataset.name,

@@ -17,6 +17,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..data.splits import RecommendationTask
+from ..telemetry import increment, span
 from .proximity import combined_proximity
 
 __all__ = [
@@ -71,11 +72,13 @@ class DynamicNeighborGraph(NeighborGraph):
         the result is always a dense ``(n, k)`` int matrix.
         """
         rng = rng or np.random.default_rng()
-        out = np.empty((self.num_nodes, k), dtype=np.int64)
-        for i, (pool, weight) in enumerate(zip(self.pools, self.weights)):
-            probs = weight / weight.sum()
-            replace = len(pool) < k
-            out[i] = rng.choice(pool, size=k, replace=replace, p=probs)
+        with span("graph.neighbours"):
+            out = np.empty((self.num_nodes, k), dtype=np.int64)
+            for i, (pool, weight) in enumerate(zip(self.pools, self.weights)):
+                probs = weight / weight.sum()
+                replace = len(pool) < k
+                out[i] = rng.choice(pool, size=k, replace=replace, p=probs)
+        increment("graph.nodes_resampled", self.num_nodes)
         return out
 
 
@@ -149,15 +152,17 @@ def build_attribute_graph(
     else:
         attributes = task.dataset.item_attributes
         rating_vectors = matrix.T
-    proximity = combined_proximity(
-        attributes,
-        rating_vectors if use_preference else None,
-        use_attribute=use_attribute,
-        use_preference=use_preference,
-    )
+    with span("graph.proximity"):
+        proximity = combined_proximity(
+            attributes,
+            rating_vectors if use_preference else None,
+            use_attribute=use_attribute,
+            use_preference=use_preference,
+        )
     n = proximity.shape[0]
     pool_size = max(int(round(n * pool_percent / 100.0)), min_pool)
-    return _pool_from_proximity(proximity, pool_size)
+    with span("graph.pool"):
+        return _pool_from_proximity(proximity, pool_size)
 
 
 def build_knn_graph(

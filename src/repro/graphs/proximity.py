@@ -58,19 +58,24 @@ def preference_proximity(rating_vectors: np.ndarray) -> tuple[np.ndarray, np.nda
 
 def min_max_normalise(matrix: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
     """Scale entries to [0, 1]; with ``mask`` only masked-True entries are used
-    for the range and unmasked entries are set to 0."""
+    for the range and unmasked entries are set to 0.
+
+    The range is computed over *finite* entries only, and a constant input
+    (``max == min``) maps to all zeros rather than dividing by zero — a
+    degenerate case that real data does hit (e.g. identical attribute rows, or
+    a single pair of nodes with history).
+    """
     matrix = np.asarray(matrix, dtype=np.float64)
-    if mask is None:
-        valid = matrix
-    else:
-        if not mask.any():
-            return np.zeros_like(matrix)
-        valid = matrix[mask]
+    if mask is not None and not mask.any():
+        return np.zeros_like(matrix)
+    valid = matrix if mask is None else matrix[mask]
+    valid = valid[np.isfinite(valid)]
+    if valid.size == 0:
+        return np.zeros_like(matrix)
     low, high = float(valid.min()), float(valid.max())
     if high - low < 1e-12:
-        normalised = np.zeros_like(matrix)
-    else:
-        normalised = (matrix - low) / (high - low)
+        return np.zeros_like(matrix)
+    normalised = (matrix - low) / (high - low)
     if mask is not None:
         normalised = np.where(mask, normalised, 0.0)
     return np.clip(normalised, 0.0, 1.0)

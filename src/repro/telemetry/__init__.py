@@ -1,0 +1,72 @@
+"""Dependency-free telemetry: metrics, spans, an autograd profiler, reports.
+
+The observability layer for the whole system.  Four pieces:
+
+* :mod:`~repro.telemetry.metrics` — thread-safe counters, gauges and
+  ring-buffer timing histograms behind a global registry, with a
+  ``REPRO_TELEMETRY`` off-switch and near-zero disabled overhead;
+* :mod:`~repro.telemetry.tracing` — ``span(name)`` context manager /
+  decorator producing nestable wall-clock spans with a flat export;
+* :mod:`~repro.telemetry.profiler` — :class:`AutogradProfiler`, which meters
+  every autograd primitive (counts, forward/backward time, allocation);
+* :mod:`~repro.telemetry.report` — JSON snapshots (the
+  ``BENCH_telemetry.json`` schema) and a human-readable table.
+
+Instrumentation must never change numerics: spans and counters read the clock,
+never the RNG, and the determinism suite verifies predictions are bit-identical
+with telemetry on and off.
+"""
+
+from . import metrics, profiler, report, tracing
+from .bench import run_telemetry_bench
+from .metrics import (
+    ENV_VAR,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimingHistogram,
+    disabled,
+    enabled,
+    get_registry,
+    increment,
+    is_enabled,
+    record_timing,
+    reset,
+    set_enabled,
+    set_gauge,
+)
+from .profiler import AutogradProfiler, active_profiler
+from .report import render, snapshot, write_snapshot
+from .tracing import current_path, export_spans, reset_spans, span, span_summaries
+
+__all__ = [
+    "ENV_VAR",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "TimingHistogram",
+    "AutogradProfiler",
+    "active_profiler",
+    "span",
+    "current_path",
+    "export_spans",
+    "span_summaries",
+    "reset_spans",
+    "get_registry",
+    "reset",
+    "is_enabled",
+    "set_enabled",
+    "enabled",
+    "disabled",
+    "increment",
+    "set_gauge",
+    "record_timing",
+    "snapshot",
+    "write_snapshot",
+    "render",
+    "run_telemetry_bench",
+    "metrics",
+    "tracing",
+    "profiler",
+    "report",
+]

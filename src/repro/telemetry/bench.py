@@ -1,0 +1,81 @@
+"""The telemetry benchmark: a SMOKE-scale train+predict cycle, fully metered.
+
+This is the producer of ``BENCH_telemetry.json`` — the repo's performance
+baseline.  It resets the registry, forces telemetry on, installs the autograd
+profiler, runs one AGNN fit + test-set predict at the requested scale, and
+writes/returns the snapshot.  Future perf PRs rerun it and diff the span and
+op timings against the committed baseline.
+
+Run it via the CLI::
+
+    python -m repro.cli telemetry-bench --output BENCH_telemetry.json
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from . import metrics, report, tracing
+from .profiler import AutogradProfiler
+
+__all__ = ["EXPECTED_SPAN_PATHS", "run_telemetry_bench"]
+
+#: span paths every telemetry-bench snapshot must contain with non-zero time —
+#: the regression tripwire checked by benchmarks/test_perf_baseline.py.
+EXPECTED_SPAN_PATHS = (
+    "experiment",
+    "experiment/fit",
+    "experiment/fit/prepare/agnn.prepare/graph.build/graph.proximity",
+    "experiment/fit/prepare/agnn.prepare/graph.build/graph.pool",
+    "experiment/fit/epoch",
+    "experiment/fit/epoch/agnn.resample/graph.neighbours",
+    "experiment/fit/epoch/batch",
+    "experiment/fit/epoch/batch/autograd.backward",
+    "experiment/fit/epoch/batch/evae.loss",
+    "experiment/predict/agnn.predict_scores",
+    "experiment/predict/agnn.predict_scores/agnn.generate_cold/evae.generate",
+)
+
+
+def run_telemetry_bench(
+    dataset: str = "ML-100K",
+    scenario: str = "item_cold",
+    scale_name: str = "smoke",
+    epochs: Optional[int] = None,
+    output: Optional[str] = "BENCH_telemetry.json",
+) -> Dict[str, Any]:
+    """Run the metered train+predict cycle; write ``output`` unless ``None``."""
+    # Imported here: bench pulls in the full model stack, while the rest of
+    # repro.telemetry stays importable from anywhere without cycles.
+    from ..experiments.configs import get_scale
+    from ..experiments.runner import run_model
+    from ..cli import model_factory
+
+    scale = get_scale(scale_name)
+    train_config = scale.train if epochs is None else replace(scale.train, epochs=epochs)
+    data = scale.datasets[dataset]()
+
+    metrics.reset()
+    tracing.reset_spans()
+    with metrics.enabled():
+        with AutogradProfiler():
+            fit = run_model(model_factory("AGNN", scale), data, scenario, scale, train_config=train_config)
+            snap = report.snapshot(
+                note="telemetry-bench",
+                extra_meta={
+                    "dataset": dataset,
+                    "scenario": scenario,
+                    "scale": scale_name,
+                    "epochs_trained": fit.history.num_epochs,
+                    "rmse": fit.result.rmse,
+                    "mae": fit.result.mae,
+                },
+            )
+    if output is not None:
+        import json
+
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(snap, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return snap

@@ -1,0 +1,312 @@
+"""Thread-safe counters, gauges and timing histograms behind a global registry.
+
+This module is deliberately dependency-free (stdlib only): telemetry must be
+importable everywhere — including the autograd layer — without creating import
+cycles or pulling numerical dependencies into the observability path.
+
+The whole subsystem sits behind an on/off switch:
+
+* the ``REPRO_TELEMETRY`` environment variable (``0``/``off``/``false``
+  disables it; anything else, including unset, leaves it enabled);
+* :func:`set_enabled` overrides the environment for the current process
+  (``None`` restores environment control);
+* :func:`disabled` / :func:`enabled` are scoped context-manager overrides.
+
+When disabled, every recording helper returns after a single flag check, so
+the instrumentation scattered through the hot paths costs near nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "Counter",
+    "Gauge",
+    "TimingHistogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset",
+    "is_enabled",
+    "set_enabled",
+    "enabled",
+    "disabled",
+    "increment",
+    "set_gauge",
+    "record_timing",
+    "quantile",
+]
+
+ENV_VAR = "REPRO_TELEMETRY"
+
+_FALSY = frozenset({"0", "off", "false", "no", "disabled"})
+
+#: process-level override; ``None`` means "consult the environment variable"
+_enabled_override: Optional[bool] = None
+
+
+def is_enabled() -> bool:
+    """Whether telemetry recording is currently on."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(ENV_VAR, "1").strip().lower() not in _FALSY
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force telemetry on/off for this process; ``None`` restores env control."""
+    global _enabled_override
+    _enabled_override = value
+
+
+@contextmanager
+def enabled() -> Iterator[None]:
+    """Force telemetry on within the block, then restore the previous state."""
+    global _enabled_override
+    previous = _enabled_override
+    _enabled_override = True
+    try:
+        yield
+    finally:
+        _enabled_override = previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Force telemetry off within the block, then restore the previous state."""
+    global _enabled_override
+    previous = _enabled_override
+    _enabled_override = False
+    try:
+        yield
+    finally:
+        _enabled_override = previous
+
+
+def quantile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data (numpy's default).
+
+    Kept as a small pure function so the tests can check it directly against
+    ``np.quantile(..., method="linear")`` without this module importing numpy.
+    """
+    if not sorted_values:
+        raise ValueError("quantile of empty data")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    position = q * (len(sorted_values) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(sorted_values[low])
+    fraction = position - low
+    return float(sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction)
+
+
+class Counter:
+    """A monotonically increasing count (events, samples, examples)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += int(amount)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A point-in-time value (pool size, learning rate, bytes held)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class TimingHistogram:
+    """Ring-buffer timing distribution with exact count/total and windowed quantiles.
+
+    ``count``/``total`` cover every recorded sample; the quantiles (p50/p95)
+    and ``max`` are computed over the most recent ``capacity`` samples so a
+    long run's summary reflects its steady state without unbounded memory.
+    """
+
+    __slots__ = ("name", "capacity", "_buffer", "_next", "_count", "_total", "_max", "_lock")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._buffer: List[float] = []
+        self._next = 0
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(seconds)
+            else:
+                self._buffer[self._next] = seconds
+                self._next = (self._next + 1) % self.capacity
+
+    def samples(self) -> List[float]:
+        """The retained (windowed) samples, unordered."""
+        with self._lock:
+            return list(self._buffer)
+
+    def percentile(self, q: float) -> float:
+        """Windowed quantile in [0, 1]; 0.0 when nothing was recorded."""
+        data = sorted(self.samples())
+        if not data:
+            return 0.0
+        return quantile(data, q)
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            data = sorted(self._buffer)
+            count, total, peak = self._count, self._total, self._max
+        if not data:
+            return {"count": 0, "total_s": 0.0, "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0, "max_s": 0.0}
+        return {
+            "count": count,
+            "total_s": total,
+            "mean_s": total / count,
+            "p50_s": quantile(data, 0.50),
+            "p95_s": quantile(data, 0.95),
+            "max_s": peak,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buffer = []
+            self._next = 0
+            self._count = 0
+            self._total = 0.0
+            self._max = 0.0
+
+
+class MetricsRegistry:
+    """Named metric store; get-or-create accessors are thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, TimingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str, capacity: int = 4096) -> TimingHistogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = TimingHistogram(name, capacity)
+            return metric
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def timings(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            histograms = list(self._histograms.items())
+        return {name: h.summary() for name, h in sorted(histograms)}
+
+    def reset(self) -> None:
+        """Drop every metric (used between tests and bench runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _registry
+
+
+def reset() -> None:
+    """Clear the global registry (companion span store resets separately)."""
+    _registry.reset()
+
+
+# --------------------------------------------------------------- cheap helpers
+# The hot paths call these; each is a flag check away from a no-op.
+
+def increment(name: str, amount: int = 1) -> None:
+    if is_enabled():
+        _registry.counter(name).increment(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if is_enabled():
+        _registry.gauge(name).set(value)
+
+
+def record_timing(name: str, seconds: float) -> None:
+    if is_enabled():
+        _registry.histogram(name).record(seconds)

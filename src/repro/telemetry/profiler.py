@@ -1,0 +1,175 @@
+"""Autograd op profiler: invocation counts, forward/backward time, allocation.
+
+The autograd engine funnels every differentiable primitive through the public
+functions of :mod:`repro.autograd.ops` (the Tensor dunders delegate there via
+``ops.<name>`` attribute lookups), so profiling the engine needs no changes to
+the ops themselves: :class:`AutogradProfiler` rebinds each op module attribute
+to a timing wrapper on :meth:`install` and restores the originals on
+:meth:`uninstall`.
+
+Per op the profiler records:
+
+* ``count`` / ``forward_s`` — invocations and wall-clock forward time.  Ops
+  that build on other ops (``mean`` → ``sum``/``mul``, ``norm`` → four
+  primitives) time *inclusively*, so composite ops also count their pieces.
+* ``backward_count`` / ``backward_s`` — the op's backward closure is wrapped
+  on the returned Tensor, timing each gradient scatter.
+* ``alloc_bytes`` — estimated output allocation, ``result.data.nbytes``
+  (dense float64 substrate, so shape → bytes is exact for outputs; gradient
+  buffers are not included).
+
+The profiler is reference-counted via context-manager use and safe to enter
+while telemetry is disabled (it simply records nothing until installed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["OpStat", "AutogradProfiler", "active_profiler"]
+
+
+@dataclass
+class OpStat:
+    """Accumulated statistics for one autograd primitive."""
+
+    count: int = 0
+    forward_s: float = 0.0
+    backward_count: int = 0
+    backward_s: float = 0.0
+    alloc_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "forward_s": self.forward_s,
+            "backward_count": self.backward_count,
+            "backward_s": self.backward_s,
+            "alloc_bytes": self.alloc_bytes,
+        }
+
+
+_active: Optional["AutogradProfiler"] = None
+_active_lock = threading.Lock()
+
+
+def active_profiler() -> Optional["AutogradProfiler"]:
+    """The installed profiler, if any (used by report snapshots)."""
+    return _active
+
+
+class AutogradProfiler:
+    """Wraps ``repro.autograd.ops`` to meter the engine; one active at a time."""
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, OpStat] = {}
+        self._lock = threading.Lock()
+        self._originals: Optional[Dict[str, Callable]] = None
+
+    # ------------------------------------------------------------ wrapping
+    def _stat(self, name: str) -> OpStat:
+        with self._lock:
+            stat = self.stats.get(name)
+            if stat is None:
+                stat = self.stats[name] = OpStat()
+            return stat
+
+    def _wrap(self, name: str, fn: Callable) -> Callable:
+        from ..autograd.tensor import Tensor
+
+        stat = self._stat(name)
+
+        def profiled(*args, **kwargs):
+            start = time.perf_counter()
+            out = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stat.count += 1
+                stat.forward_s += elapsed
+                if isinstance(out, Tensor):
+                    stat.alloc_bytes += out.data.nbytes
+            if isinstance(out, Tensor) and out._backward is not None:
+                inner = out._backward
+
+                def timed_backward(grad):
+                    t0 = time.perf_counter()
+                    inner(grad)
+                    dt = time.perf_counter() - t0
+                    with self._lock:
+                        stat.backward_count += 1
+                        stat.backward_s += dt
+
+                out._backward = timed_backward
+            return out
+
+        profiled.__name__ = f"profiled_{name}"
+        profiled.__wrapped__ = fn
+        return profiled
+
+    # ------------------------------------------------------------ lifecycle
+    def install(self) -> "AutogradProfiler":
+        """Patch every public op; raises if another profiler is active."""
+        global _active
+        from ..autograd import ops
+
+        with _active_lock:
+            if _active is self:
+                return self
+            if _active is not None:
+                raise RuntimeError("another AutogradProfiler is already installed")
+            originals = {}
+            for name in ops.__all__:
+                fn = getattr(ops, name)
+                originals[name] = fn
+                setattr(ops, name, self._wrap(name, fn))
+            self._originals = originals
+            _active = self
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the original ops; idempotent."""
+        global _active
+        from ..autograd import ops
+
+        with _active_lock:
+            if self._originals is None:
+                return
+            for name, fn in self._originals.items():
+                setattr(ops, name, fn)
+            self._originals = None
+            if _active is self:
+                _active = None
+
+    def __enter__(self) -> "AutogradProfiler":
+        return self.install()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.uninstall()
+        return False
+
+    # ------------------------------------------------------------ inspection
+    def op_count(self, name: str) -> int:
+        with self._lock:
+            stat = self.stats.get(name)
+            return stat.count if stat else 0
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-op stats, sorted by descending total (forward+backward) time."""
+        with self._lock:
+            items = [(name, stat.as_dict()) for name, stat in self.stats.items()]
+        items.sort(key=lambda kv: -(kv[1]["forward_s"] + kv[1]["backward_s"]))
+        return dict(items)
+
+    def reset(self) -> None:
+        # Zero in place: installed wrappers hold references to their OpStat,
+        # so replacing the dict would silently disconnect them.
+        with self._lock:
+            for stat in self.stats.values():
+                stat.count = 0
+                stat.forward_s = 0.0
+                stat.backward_count = 0
+                stat.backward_s = 0.0
+                stat.alloc_bytes = 0

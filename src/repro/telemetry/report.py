@@ -1,0 +1,114 @@
+"""Structured telemetry snapshots: JSON export and a human-readable table.
+
+The snapshot schema (``schema_version`` 1) is the contract future perf PRs
+regress against — ``BENCH_telemetry.json`` is a serialised snapshot::
+
+    {
+      "schema_version": 1,
+      "meta":     {"enabled": bool, "note": str, ...},
+      "counters": {name: int},
+      "gauges":   {name: float},
+      "spans":    {path: {count, total_s, mean_s, p50_s, p95_s, max_s}},
+      "timings":  {name: {...same summary...}},   # non-span histograms
+      "ops":      {op: {count, forward_s, backward_count, backward_s,
+                        alloc_bytes}},             # when a profiler was active
+    }
+
+Span keys are ``/``-joined paths (``fit/epoch/batch``), so the nesting tree is
+recoverable from the flat mapping.  Everything is plain JSON scalars; the file
+round-trips through ``json.loads`` unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from . import metrics, profiler, tracing
+
+__all__ = ["SCHEMA_VERSION", "snapshot", "write_snapshot", "render"]
+
+SCHEMA_VERSION = 1
+
+
+def snapshot(note: str = "", extra_meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Collect the registry, span aggregates and any active profiler's stats."""
+    registry = metrics.get_registry()
+    timings = registry.timings()
+    spans = {
+        name[len(tracing.SPAN_PREFIX):]: summary
+        for name, summary in timings.items()
+        if name.startswith(tracing.SPAN_PREFIX)
+    }
+    plain_timings = {
+        name: summary for name, summary in timings.items()
+        if not name.startswith(tracing.SPAN_PREFIX)
+    }
+    meta: Dict[str, Any] = {"enabled": metrics.is_enabled(), "note": note}
+    if extra_meta:
+        meta.update(extra_meta)
+    active = profiler.active_profiler()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": meta,
+        "counters": registry.counters(),
+        "gauges": registry.gauges(),
+        "spans": spans,
+        "timings": plain_timings,
+        "ops": active.snapshot() if active is not None else {},
+    }
+
+
+def write_snapshot(path: str, note: str = "", extra_meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Dump a snapshot to ``path`` as indented JSON; returns the snapshot."""
+    snap = snapshot(note=note, extra_meta=extra_meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snap, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snap
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}µs"
+
+
+def render(snap: Dict[str, Any]) -> str:
+    """A fixed-width table of a snapshot, for terminals and logs."""
+    lines = [f"telemetry snapshot (schema v{snap['schema_version']})"]
+    if snap["meta"].get("note"):
+        lines.append(f"  note: {snap['meta']['note']}")
+
+    if snap["spans"]:
+        lines.append("")
+        lines.append(f"  {'span path':<44} {'count':>7} {'total':>10} {'p50':>10} {'p95':>10} {'max':>10}")
+        for path, s in sorted(snap["spans"].items()):
+            lines.append(
+                f"  {path:<44} {s['count']:>7} {_format_seconds(s['total_s']):>10}"
+                f" {_format_seconds(s['p50_s']):>10} {_format_seconds(s['p95_s']):>10}"
+                f" {_format_seconds(s['max_s']):>10}"
+            )
+
+    if snap["ops"]:
+        lines.append("")
+        lines.append(f"  {'autograd op':<16} {'count':>9} {'forward':>10} {'backward':>10} {'alloc':>12}")
+        for name, s in snap["ops"].items():
+            alloc_mb = s["alloc_bytes"] / (1024.0 * 1024.0)
+            lines.append(
+                f"  {name:<16} {s['count']:>9} {_format_seconds(s['forward_s']):>10}"
+                f" {_format_seconds(s['backward_s']):>10} {alloc_mb:>10.2f}MB"
+            )
+
+    if snap["counters"]:
+        lines.append("")
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(f"  {name:<44} {value:>10}")
+
+    if snap["gauges"]:
+        lines.append("")
+        for name, value in sorted(snap["gauges"].items()):
+            lines.append(f"  {name:<44} {value:>14.4f}")
+    return "\n".join(lines)

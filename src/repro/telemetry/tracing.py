@@ -1,0 +1,157 @@
+"""Nestable wall-clock spans: a context manager / decorator plus a flat export.
+
+A span measures one region of code.  Spans nest on a per-thread stack, and a
+completed span is recorded under its *path* — stack names joined with ``/`` —
+so the hierarchy survives flattening::
+
+    with span("fit"):
+        with span("epoch"):
+            with span("batch"):
+                ...
+
+records ``fit``, ``fit/epoch`` and ``fit/epoch/batch``.  Per-path duration
+distributions live in the global metrics registry (prefix ``span.``), giving
+every path a p50/p95/max for free; the raw recent records are kept in a
+bounded list for export and debugging.
+
+Spans are exception-safe — the stack is popped and the duration recorded even
+when the body raises (the record is flagged ``ok=False``) — and they respect
+the global ``REPRO_TELEMETRY`` switch: disabled spans skip all bookkeeping.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from . import metrics
+
+__all__ = [
+    "span",
+    "current_path",
+    "export_spans",
+    "span_summaries",
+    "reset_spans",
+    "SPAN_PREFIX",
+    "MAX_RECORDS",
+]
+
+#: registry histogram prefix for span paths
+SPAN_PREFIX = "span."
+
+#: cap on retained raw records; aggregates in the registry are unaffected
+MAX_RECORDS = 20_000
+
+_local = threading.local()
+_records_lock = threading.Lock()
+_records: List[Dict[str, Any]] = []
+_dropped = 0
+
+
+def _stack() -> List[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_path() -> str:
+    """The active span path for this thread ('' outside any span)."""
+    return "/".join(_stack())
+
+
+class span:
+    """Context manager *and* decorator measuring one named region.
+
+    As a decorator it opens a fresh span per call, so a decorated function is
+    safely re-entrant and records under whatever path is active at call time.
+    """
+
+    __slots__ = ("name", "_active", "_path", "_start")
+
+    def __init__(self, name: str) -> None:
+        if "/" in name:
+            raise ValueError("span names must not contain '/' (reserved for paths)")
+        self.name = name
+        self._active = False
+        self._path = ""
+        self._start = 0.0
+
+    def __enter__(self) -> "span":
+        if not metrics.is_enabled():
+            self._active = False
+            return self
+        stack = _stack()
+        stack.append(self.name)
+        self._path = "/".join(stack)
+        self._active = True
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        if not self._active:
+            return False
+        duration = time.perf_counter() - self._start
+        self._active = False
+        stack = _stack()
+        # Pop our own frame even if an inner span leaked (defensive).
+        while stack and stack[-1] != self.name:
+            stack.pop()
+        if stack:
+            stack.pop()
+        metrics.get_registry().histogram(SPAN_PREFIX + self._path).record(duration)
+        record = {
+            "name": self.name,
+            "path": self._path,
+            "depth": self._path.count("/"),
+            "duration_s": duration,
+            "ok": exc_type is None,
+        }
+        global _dropped
+        with _records_lock:
+            if len(_records) < MAX_RECORDS:
+                _records.append(record)
+            else:
+                _dropped += 1
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapped(*args, **kwargs):
+            with span(self.name):
+                return fn(*args, **kwargs)
+
+        return wrapped
+
+
+def export_spans() -> List[Dict[str, Any]]:
+    """Flat copy of the retained raw span records, in completion order."""
+    with _records_lock:
+        return [dict(record) for record in _records]
+
+
+def dropped_records() -> int:
+    """How many raw records were discarded after MAX_RECORDS (aggregates kept)."""
+    with _records_lock:
+        return _dropped
+
+
+def span_summaries() -> Dict[str, Dict[str, float]]:
+    """Per-path duration summaries (count/total/p50/p95/max), path-keyed."""
+    timings = metrics.get_registry().timings()
+    return {
+        name[len(SPAN_PREFIX):]: summary
+        for name, summary in timings.items()
+        if name.startswith(SPAN_PREFIX)
+    }
+
+
+def reset_spans() -> None:
+    """Drop raw records and this thread's stack (registry reset is separate)."""
+    global _dropped
+    with _records_lock:
+        _records.clear()
+        _dropped = 0
+    _local.stack = []

@@ -22,6 +22,7 @@ from ..autograd import Tensor, no_grad
 from ..data.splits import RecommendationTask
 from ..nn import Module
 from ..optim import Adam, clip_grad_norm
+from ..telemetry import increment, span
 from .history import TrainHistory
 from .metrics import EvalResult
 
@@ -88,10 +89,15 @@ class Recommender(Module):
     # ------------------------------------------------------------------ training
     def fit(self, task: RecommendationTask, config: TrainConfig = TrainConfig()) -> TrainHistory:
         """Mini-batch training on ``task``'s training interactions."""
+        with span("fit"):
+            return self._fit(task, config)
+
+    def _fit(self, task: RecommendationTask, config: TrainConfig) -> TrainHistory:
         self.task = task
         self._rating_scale = task.dataset.rating_scale
         self.history = TrainHistory()
-        self.prepare(task)
+        with span("prepare"):
+            self.prepare(task)
         params = list(self.parameters())
         optimizer = Adam(params, lr=config.learning_rate, weight_decay=config.weight_decay) if params else None
 
@@ -120,36 +126,42 @@ class Recommender(Module):
 
         self.train()
         for epoch in range(config.epochs):
-            self.begin_epoch(epoch, rng)
-            order = rng.permutation(len(fit_rows))
-            sums: Dict[str, float] = {}
-            weight = 0
-            for start in range(0, len(fit_rows), config.batch_size):
-                batch = fit_rows[order[start : start + config.batch_size]]
-                if optimizer is not None:
-                    optimizer.zero_grad()
-                loss, parts = self.batch_loss(users_all[batch], items_all[batch], ratings_all[batch])
-                if optimizer is not None:
-                    loss.backward()
-                    if config.grad_clip is not None:
-                        clip_grad_norm(params, config.grad_clip)
-                    optimizer.step()
-                for name, value in parts.items():
-                    sums[name] = sums.get(name, 0.0) + value * len(batch)
-                weight += len(batch)
-            epoch_losses = {name: value / weight for name, value in sums.items()}
+            with span("epoch"):
+                self.begin_epoch(epoch, rng)
+                order = rng.permutation(len(fit_rows))
+                sums: Dict[str, float] = {}
+                weight = 0
+                for start in range(0, len(fit_rows), config.batch_size):
+                    batch = fit_rows[order[start : start + config.batch_size]]
+                    with span("batch"):
+                        if optimizer is not None:
+                            optimizer.zero_grad()
+                        loss, parts = self.batch_loss(users_all[batch], items_all[batch], ratings_all[batch])
+                        if optimizer is not None:
+                            loss.backward()
+                            if config.grad_clip is not None:
+                                clip_grad_norm(params, config.grad_clip)
+                            optimizer.step()
+                    for name, value in parts.items():
+                        sums[name] = sums.get(name, 0.0) + value * len(batch)
+                    weight += len(batch)
+                    increment("train.batches")
+                    increment("train.examples", len(batch))
+                epoch_losses = {name: value / weight for name, value in sums.items()}
 
-            if use_validation:
-                predictions = self.predict(users_all[val_rows], items_all[val_rows])
-                val_rmse = float(np.sqrt(np.mean((predictions - ratings_all[val_rows]) ** 2)))
-                epoch_losses["val_rmse"] = val_rmse
-                self.train()
-                if val_rmse < best_val - 1e-5:
-                    best_val = val_rmse
-                    best_state = self.state_dict()
-                    epochs_since_best = 0
-                else:
-                    epochs_since_best += 1
+                if use_validation:
+                    with span("validation"):
+                        predictions = self.predict(users_all[val_rows], items_all[val_rows])
+                    val_rmse = float(np.sqrt(np.mean((predictions - ratings_all[val_rows]) ** 2)))
+                    epoch_losses["val_rmse"] = val_rmse
+                    self.train()
+                    if val_rmse < best_val - 1e-5:
+                        best_val = val_rmse
+                        best_state = self.state_dict()
+                        epochs_since_best = 0
+                    else:
+                        epochs_since_best += 1
+            increment("train.epochs")
             self.history.record(epoch_losses)
             if config.verbose:
                 tail = " ".join(f"{k}={v:.4f}" for k, v in epoch_losses.items())
@@ -175,10 +187,11 @@ class Recommender(Module):
         was_training = self.training
         self.eval()
         chunks = []
-        with no_grad():
+        with span("predict"), no_grad():
             for start in range(0, len(users), batch_size):
                 stop = start + batch_size
                 chunks.append(np.asarray(self.predict_scores(users[start:stop], items[start:stop])))
+        increment("predict.pairs", len(users))
         if was_training:
             self.train()
         low, high = self._rating_scale

@@ -65,6 +65,32 @@ class TestMinMaxNormalise:
         out = min_max_normalise(np.ones((2, 2)), np.zeros((2, 2), dtype=bool))
         np.testing.assert_array_equal(out, np.zeros((2, 2)))
 
+    def test_constant_matrix_raises_no_divide_warning(self):
+        # Regression: max == min must short-circuit, never reach the division.
+        with np.errstate(divide="raise", invalid="raise"):
+            out = min_max_normalise(np.full((4, 4), -3.25))
+        np.testing.assert_array_equal(out, np.zeros((4, 4)))
+
+    def test_constant_masked_entries_map_to_zero(self):
+        x = np.array([[2.0, 99.0], [2.0, 2.0]])
+        mask = np.array([[True, False], [True, True]])  # masked entries constant
+        with np.errstate(divide="raise", invalid="raise"):
+            out = min_max_normalise(x, mask)
+        np.testing.assert_array_equal(out, np.zeros((2, 2)))
+
+    def test_non_finite_entries_excluded_from_range(self):
+        x = np.array([[1.0, 3.0], [-np.inf, 2.0]])
+        out = min_max_normalise(x)
+        assert out[0, 0] == 0.0 and out[0, 1] == 1.0
+        assert out[1, 1] == pytest.approx(0.5)
+        assert out[1, 0] == 0.0  # -inf clips to the bottom of the range
+
+    def test_all_non_finite_maps_to_zero(self):
+        x = np.full((2, 2), -np.inf)
+        with np.errstate(divide="raise", invalid="raise"):
+            out = min_max_normalise(x)
+        np.testing.assert_array_equal(out, np.zeros((2, 2)))
+
     @given(
         hnp.arrays(
             np.float64,

@@ -1,0 +1,25 @@
+"""Telemetry test fixtures: every test gets a clean, enabled registry.
+
+The registry and span store are process-global; without this autouse reset,
+metrics recorded by one test (or by instrumented code under other test
+modules) would leak into the next test's assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import metrics as telemetry_metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    previous = telemetry_metrics._enabled_override
+    telemetry.set_enabled(True)
+    telemetry.reset()
+    telemetry.reset_spans()
+    yield
+    telemetry.set_enabled(previous)
+    telemetry.reset()
+    telemetry.reset_spans()

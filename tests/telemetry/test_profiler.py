@@ -1,0 +1,117 @@
+"""AutogradProfiler: counting, timing, allocation, install/uninstall hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, ops
+from repro.core import AGNN, AGNNConfig
+from repro.telemetry import AutogradProfiler, active_profiler
+from repro.train import TrainConfig
+
+pytestmark = pytest.mark.telemetry
+
+FAST = TrainConfig(epochs=1, batch_size=64, learning_rate=0.01, patience=None)
+SMALL = AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=10.0)
+
+
+class TestInstall:
+    def test_context_manager_installs_and_restores(self):
+        original_add = ops.add
+        with AutogradProfiler() as profiler:
+            assert active_profiler() is profiler
+            assert ops.add is not original_add
+        assert active_profiler() is None
+        assert ops.add is original_add
+
+    def test_only_one_profiler_at_a_time(self):
+        with AutogradProfiler():
+            with pytest.raises(RuntimeError):
+                AutogradProfiler().install()
+
+    def test_uninstall_is_idempotent(self):
+        profiler = AutogradProfiler().install()
+        profiler.uninstall()
+        profiler.uninstall()
+        assert active_profiler() is None
+
+    def test_wrapped_ops_compute_identical_values(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(5, 4)), rng.normal(size=(4, 3))
+        plain = ops.matmul(Tensor(a), Tensor(b)).data
+        with AutogradProfiler():
+            profiled = ops.matmul(Tensor(a), Tensor(b)).data
+        np.testing.assert_array_equal(plain, profiled)
+
+
+class TestOpAccounting:
+    def test_forward_and_backward_counts(self):
+        with AutogradProfiler() as profiler:
+            a = Tensor(np.ones((3, 3)), requires_grad=True)
+            b = Tensor(np.ones((3, 3)), requires_grad=True)
+            out = ops.sum(ops.mul(ops.add(a, b), b))
+            out.backward()
+        stats = profiler.snapshot()
+        for name in ("add", "mul", "sum"):
+            assert stats[name]["count"] == 1
+            assert stats[name]["backward_count"] == 1
+            assert stats[name]["forward_s"] >= 0.0
+            assert stats[name]["backward_s"] > 0.0
+            assert stats[name]["alloc_bytes"] > 0
+
+    def test_alloc_bytes_track_output_shapes(self):
+        with AutogradProfiler() as profiler:
+            a = Tensor(np.ones((10, 20)))
+            ops.add(a, a)  # (10, 20) float64 output
+        assert profiler.snapshot()["add"]["alloc_bytes"] == 10 * 20 * 8
+
+    def test_composite_ops_count_their_pieces(self):
+        with AutogradProfiler() as profiler:
+            ops.mean(Tensor(np.ones(7)))
+        stats = profiler.snapshot()
+        assert stats["mean"]["count"] == 1
+        assert stats["sum"]["count"] == 1  # mean = mul(sum(x), 1/n)
+        assert stats["mul"]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_metering(self):
+        with AutogradProfiler() as profiler:
+            ops.add(Tensor(np.ones(2)), Tensor(np.ones(2)))
+            profiler.reset()
+            assert profiler.op_count("add") == 0
+            ops.add(Tensor(np.ones(2)), Tensor(np.ones(2)))
+            assert profiler.op_count("add") == 1
+
+
+class TestAgnnProfile:
+    def test_tiny_agnn_forward_backward_op_counts(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(SMALL, rng_seed=0)
+        model.fit(ics_task, FAST)
+
+        users = ics_task.train_users[:16]
+        items = ics_task.train_items[:16]
+        ratings = ics_task.train_ratings[:16]
+
+        def metered_batch():
+            with AutogradProfiler() as profiler:
+                model.zero_grad()
+                loss, _ = model.batch_loss(users, items, ratings)
+                loss.backward()
+            return {name: s["count"] for name, s in profiler.snapshot().items()}, profiler
+
+        counts, profiler = metered_batch()
+        # The AGNN pipeline must exercise these primitives every batch:
+        # embeddings (interaction layer), matmuls (linear layers), the
+        # LeakyReLU nonlinearity, and a final scalar loss reduction.
+        for expected in ("embedding", "matmul", "add", "mul", "leaky_relu", "sum"):
+            assert counts.get(expected, 0) > 0, f"expected {expected} in a batch"
+        stats = profiler.snapshot()
+        assert stats["matmul"]["backward_count"] > 0
+        assert stats["matmul"]["alloc_bytes"] > 0
+
+        # The op mix of one batch is deterministic: a second identical batch
+        # through a fresh profiler yields exactly the same invocation counts.
+        counts_again, _ = metered_batch()
+        assert counts_again == counts
