@@ -1,0 +1,77 @@
+"""Online strict cold start: train → bundle → serve → onboard live nodes.
+
+The paper evaluates strict cold start as a batch split; this example runs it
+as a *live service*.  Train AGNN once, export a self-contained bundle, load
+an inference engine from the bundle alone (no training data in sight), then
+onboard a brand-new user and a brand-new item from attributes only — both are
+scoreable and retrievable immediately, without retraining.
+
+Run:  python examples/online_cold_start_service.py      (~30 s on a laptop CPU)
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.core import AGNN, AGNNConfig
+from repro.data import MovieLensConfig, generate_movielens, item_cold_split
+from repro.serving import InferenceEngine, export_bundle, load_bundle
+from repro.train import TrainConfig
+
+# 1. Offline: train AGNN on a synthetic MovieLens-like dataset.
+config = MovieLensConfig(name="service", num_users=180, num_items=320, num_ratings=3_600, seed=7)
+dataset = generate_movielens(config)
+task = item_cold_split(dataset, cold_fraction=0.2, seed=0)
+
+nn.init.seed(0)
+model = AGNN(AGNNConfig(embedding_dim=16, num_neighbors=8, pool_percent=5.0), rng_seed=0)
+model.fit(task, TrainConfig(epochs=12, batch_size=128, learning_rate=0.005, patience=3))
+print(f"offline model: {model.evaluate()}")
+
+# 2. Export a bundle: weights + config + schemas + built graphs + manifest.
+#    This directory is everything a server needs.
+with tempfile.TemporaryDirectory() as tmp:
+    bundle_dir = export_bundle(model, task, Path(tmp) / "bundle", note="example")
+    print(f"bundle: {sorted(p.name for p in bundle_dir.iterdir())}")
+
+    # 3. Online: load the engine from the bundle alone.  Refined embeddings
+    #    for every node are precomputed; scores reproduce the offline model
+    #    bit-for-bit.
+    engine = InferenceEngine(load_bundle(bundle_dir))
+
+    users, items = task.test_users[:50], task.test_items[:50]
+    parity = np.max(np.abs(engine.predict_batch(users, items) - model.predict(users, items)))
+    print(f"engine vs offline predict on 50 test pairs: max |Δ| = {parity:.2e}")
+
+    # 4. Top-N retrieval for a known user (training-time items excluded).
+    top_items, top_scores = engine.top_n(user=0, k=5)
+    print("\ntop-5 for user 0:")
+    for item, score in zip(top_items, top_scores):
+        print(f"  item {int(item):>3}  predicted {score:.2f}")
+
+    # 5. Live strict cold start: a brand-new user walks in with nothing but
+    #    profile attributes.  The eVAE generates their preference embedding,
+    #    the attribute graph splices them next to proximal users, and the
+    #    gated-GNN refines them — all in one call.
+    new_user = engine.add_user({"gender": 1, "age": 3, "occupation": 5})
+    rec_items, rec_scores = engine.top_n(new_user, k=5)
+    print(f"\nonboarded user {new_user} from attributes alone; top-5:")
+    for item, score in zip(rec_items, rec_scores):
+        print(f"  item {int(item):>3}  predicted {score:.2f}")
+
+    # 6. Same story for a brand-new item: immediately scoreable for any user.
+    new_item = engine.add_item(
+        {"category": [2, 7], "star": 11, "director": 3, "writer": 8, "country": 1}
+    )
+    some_users = np.arange(5)
+    predictions = engine.score(some_users, np.full(5, new_item))
+    print(f"\nonboarded item {new_item}; predicted ratings from users 0–4:")
+    for user, pred in zip(some_users, predictions):
+        print(f"  user {int(user)} → {pred:.2f}")
+
+    cross = engine.score([new_user], [new_item])[0]
+    print(f"\ncold user {new_user} × cold item {new_item} → {cross:.2f}  "
+          f"(both nodes born after training)")
+    print(f"engine stats: {engine.stats()}")

@@ -13,6 +13,7 @@ baselines   twelve comparison models from the paper's Table 2
 train       trainer, metrics, evaluation protocol, significance tests
 experiments runners that regenerate every table and figure of the paper
 telemetry   counters/spans/autograd profiler + the BENCH_telemetry.json baseline
+serving     online inference: model bundles, engine, live SCS onboarding, HTTP
 """
 
 __version__ = "1.0.0"

@@ -8,6 +8,9 @@ Examples:
     python -m repro.cli list-models
     python -m repro.cli datasets --scale bench
     python -m repro.cli telemetry-bench --output BENCH_telemetry.json
+    python -m repro.cli export-bundle --scale smoke --output bundles/agnn
+    python -m repro.cli serve --bundle bundles/agnn --port 8080
+    python -m repro.cli serving-bench --output BENCH_serving.json
 
 The heavy lifting lives in ``repro.experiments``; this is a thin, scriptable
 front end that prints either human-readable text or machine-readable JSON.
@@ -74,6 +77,39 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_telemetry.json",
                        help="snapshot path ('-' to skip writing)")
     bench.add_argument("--json", action="store_true", help="print the snapshot JSON instead of the table")
+
+    export = commands.add_parser(
+        "export-bundle",
+        help="train an AGNN variant and export a self-contained serving bundle",
+    )
+    export.add_argument("--model", default="AGNN", choices=sorted(ALL_VARIANTS),
+                        help="AGNN variant to bundle (bundles are AGNN-specific)")
+    export.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    export.add_argument("--scenario", default="item_cold", choices=["warm", "item_cold", "user_cold"])
+    export.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    export.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
+    export.add_argument("--output", required=True, help="bundle directory to create")
+    export.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    serve = commands.add_parser("serve", help="serve a bundle over HTTP (JSON endpoints)")
+    serve.add_argument("--bundle", required=True, help="bundle directory from export-bundle")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    serve.add_argument("--cache-size", type=int, default=100_000, help="LRU score-cache capacity")
+    serve.add_argument("--verbose", action="store_true", help="log each HTTP request")
+
+    sbench = commands.add_parser(
+        "serving-bench",
+        help="run the metered serving cycle (export → engine → HTTP) and write the baseline",
+    )
+    sbench.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    sbench.add_argument("--scenario", default="item_cold", choices=["warm", "item_cold", "user_cold"])
+    sbench.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    sbench.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
+    sbench.add_argument("--pairs", type=int, default=200, help="test pairs to meter")
+    sbench.add_argument("--output", default="BENCH_serving.json",
+                        help="snapshot path ('-' to skip writing)")
+    sbench.add_argument("--json", action="store_true", help="print the snapshot JSON instead of a summary")
     return parser
 
 
@@ -149,6 +185,88 @@ def _command_telemetry_bench(args) -> int:
     return 0
 
 
+def _command_export_bundle(args) -> int:
+    from .data import make_split
+    from .nn import init as nn_init
+    from .serving import export_bundle
+
+    scale = get_scale(args.scale)
+    train_config = scale.train
+    if args.epochs is not None:
+        from dataclasses import replace
+
+        train_config = replace(train_config, epochs=args.epochs)
+    dataset = scale.datasets[args.dataset]()
+
+    nn_init.seed(scale.seed)
+    task = make_split(dataset, args.scenario, scale.split_fraction, seed=scale.seed)
+    model = model_factory(args.model, scale)()
+    history = model.fit(task, train_config)
+    result = model.evaluate()
+    path = export_bundle(model, task, args.output, note=f"{args.model} {args.dataset}/{args.scenario}")
+
+    payload = {
+        "bundle": str(path),
+        "model": args.model,
+        "dataset": args.dataset,
+        "scenario": args.scenario,
+        "epochs_trained": history.num_epochs,
+        "rmse": result.rmse,
+        "mae": result.mae,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"trained {args.model} on {args.dataset}/{args.scenario}: {result}")
+        print(f"wrote bundle to {path}")
+    return 0
+
+
+def _command_serve(args) -> int:
+    from .serving import InferenceEngine, load_bundle, make_server, serve_forever
+
+    bundle = load_bundle(args.bundle)
+    engine = InferenceEngine(bundle, cache_size=args.cache_size)
+    server = make_server(engine, host=args.host, port=args.port, verbose=args.verbose)
+    manifest = bundle.manifest
+    print(
+        f"serving {manifest['model_name']} ({manifest['dataset']['name']}/"
+        f"{manifest['dataset']['scenario']}) — {engine.num_users} users, "
+        f"{engine.num_items} items"
+    )
+    print(f"listening on http://{args.host}:{server.port}  (Ctrl-C to stop)")
+    serve_forever(server)
+    return 0
+
+
+def _command_serving_bench(args) -> int:
+    from .serving import run_serving_bench
+    from .telemetry import render
+
+    snap = run_serving_bench(
+        dataset=args.dataset,
+        scenario=args.scenario,
+        scale_name=args.scale,
+        epochs=args.epochs,
+        pairs=args.pairs,
+        output=None if args.output == "-" else args.output,
+    )
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    else:
+        serving = snap["meta"]["serving"]
+        print(render(snap))
+        print(
+            f"\nscore p50: cold {serving['score_cold_p50_s'] * 1e3:.3f}ms vs "
+            f"cached {serving['score_cached_p50_s'] * 1e3:.3f}ms "
+            f"({serving['cached_speedup_p50']:.1f}x)"
+        )
+        print(f"offline parity: max |Δ| = {serving['max_abs_diff_vs_offline']:.2e}")
+    if args.output != "-":
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -156,6 +274,9 @@ def main(argv: list[str] | None = None) -> int:
         "list-models": _command_list_models,
         "datasets": _command_datasets,
         "telemetry-bench": _command_telemetry_bench,
+        "export-bundle": _command_export_bundle,
+        "serve": _command_serve,
+        "serving-bench": _command_serving_bench,
     }
     return handlers[args.command](args)
 

@@ -63,16 +63,23 @@ class AGNN(Recommender):
         self._cold_nodes: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------ setup
-    def _build(self, task: RecommendationTask) -> None:
-        """Instantiate all sub-modules once the dataset shapes are known."""
+    def build_architecture(
+        self,
+        num_users: int,
+        num_items: int,
+        user_attr_dim: int,
+        item_attr_dim: int,
+        global_mean: float,
+    ) -> None:
+        """Instantiate all sub-modules from dataset *shapes*.
+
+        Normally called through :meth:`prepare` with a task, but exposed so a
+        serving process can rebuild the architecture from a bundle manifest
+        and load saved weights without the training dataset.
+        """
         cfg = self.config
-        dataset = task.dataset
-        self.user_encoder = NodeEncoder(
-            dataset.num_users, dataset.user_attributes.shape[1], cfg.embedding_dim, cfg.leaky_slope
-        )
-        self.item_encoder = NodeEncoder(
-            dataset.num_items, dataset.item_attributes.shape[1], cfg.embedding_dim, cfg.leaky_slope
-        )
+        self.user_encoder = NodeEncoder(num_users, user_attr_dim, cfg.embedding_dim, cfg.leaky_slope)
+        self.item_encoder = NodeEncoder(num_items, item_attr_dim, cfg.embedding_dim, cfg.leaky_slope)
         self.user_aggregator = make_aggregator(
             cfg.aggregator, cfg.embedding_dim, cfg.leaky_slope, cfg.use_aggregate_gate, cfg.use_filter_gate
         )
@@ -89,12 +96,22 @@ class AGNN(Recommender):
         self.item_cold = item_cold
         self.head = PredictionHead(
             cfg.embedding_dim,
-            dataset.num_users,
-            dataset.num_items,
-            global_mean=task.train_global_mean,
+            num_users,
+            num_items,
+            global_mean=global_mean,
             hidden_dim=cfg.prediction_hidden,
         )
         self._built = True
+
+    def _build(self, task: RecommendationTask) -> None:
+        dataset = task.dataset
+        self.build_architecture(
+            dataset.num_users,
+            dataset.num_items,
+            dataset.user_attributes.shape[1],
+            dataset.item_attributes.shape[1],
+            task.train_global_mean,
+        )
 
     def _build_graph(self, task: RecommendationTask, side: str) -> NeighborGraph:
         cfg = self.config
@@ -273,3 +290,98 @@ class AGNN(Recommender):
         if side not in ("user", "item"):
             raise ValueError("side must be 'user' or 'item'")
         return self._inference_preferences(side)
+
+    # ------------------------------------------------------------------ serving
+    # The online serving layer (repro.serving) keeps its own growable copies of
+    # the attribute / preference / neighbour state so live-onboarded nodes can
+    # extend past the trained table sizes.  These methods expose the model's
+    # fitted state and the per-stage math over *explicit* arrays, so the engine
+    # never reaches into training internals.
+
+    @staticmethod
+    def _check_side(side: str) -> None:
+        if side not in ("user", "item"):
+            raise ValueError(f"side must be 'user' or 'item', got {side!r}")
+
+    def neighbour_matrix(self, side: str) -> np.ndarray:
+        """The current ``(n, k)`` sampled neighbourhood for ``side``."""
+        self._check_side(side)
+        if side not in self._neighbours:
+            raise RuntimeError("AGNN has no neighbourhoods; fit or prepare first")
+        return self._neighbours[side]
+
+    def candidate_graph(self, side: str) -> NeighborGraph:
+        """The built attribute graph (candidate pools) for ``side``."""
+        self._check_side(side)
+        if side not in self._graphs:
+            raise RuntimeError("AGNN has no graphs; fit or prepare first")
+        return self._graphs[side]
+
+    def cold_node_ids(self, side: str) -> np.ndarray:
+        """Ids of nodes with zero training interactions (eVAE-generated)."""
+        self._check_side(side)
+        return self._cold_nodes.get(side, np.empty(0, dtype=np.int64))
+
+    def generate_cold_preference(self, side: str, attribute_rows: np.ndarray) -> np.ndarray:
+        """The paper's SCS path for attribute-only nodes, one batch at a time:
+        multi-hot rows → attribute embedding → eVAE-generated preference rows.
+
+        Strategies without a generator (mask/dropout/none) yield zero rows —
+        the same embedding those variants serve to cold nodes offline.
+        """
+        self._check_side(side)
+        if not self._built:
+            raise RuntimeError("AGNN must be built before generating preferences")
+        rows = np.atleast_2d(np.asarray(attribute_rows, dtype=np.float64))
+        with no_grad():
+            attr_embed = self._encoder(side).interaction(rows)
+            generated = self._cold_module(side).generate(attr_embed)
+        if generated is None:
+            return np.zeros((rows.shape[0], self.config.embedding_dim))
+        return np.asarray(generated)
+
+    def raw_node_embeddings(
+        self,
+        side: str,
+        attributes: np.ndarray,
+        preferences: np.ndarray,
+        ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pre-aggregation node embeddings ``p`` from explicit matrices.
+
+        ``attributes`` is an ``(n, K)`` multi-hot matrix and ``preferences``
+        the aligned ``(n, D)`` preference matrix (trained rows plus generated
+        cold/onboarded rows); ``ids`` selects rows (default: all).
+        """
+        self._check_side(side)
+        if ids is None:
+            ids = np.arange(attributes.shape[0], dtype=np.int64)
+        with no_grad():
+            embedded = self._encoder(side).node_embedding(ids, attributes, preference_override=preferences)
+        return embedded.data
+
+    def refine_node_embeddings(self, side: str, targets: np.ndarray, neighbours: np.ndarray) -> np.ndarray:
+        """Run the gated-GNN: ``targets`` (B, D) + ``neighbours`` (B, k, D) → p̃."""
+        self._check_side(side)
+        with no_grad():
+            refined = self._aggregator(side)(Tensor(targets), Tensor(neighbours))
+        return refined.data
+
+    def pairwise_scores(
+        self,
+        user_refined: np.ndarray,
+        item_refined: np.ndarray,
+        user_bias: np.ndarray,
+        item_bias: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. 14 over precomputed refined embeddings and explicit bias values.
+
+        Bias values come in as arrays (not ids) because onboarded nodes live
+        beyond the trained bias tables and contribute zero bias.
+        """
+        with no_grad():
+            nonlinear = self.head.mlp(
+                ops.concatenate([Tensor(user_refined), Tensor(item_refined)], axis=1)
+            ).data.reshape(-1)
+        dot = np.sum(user_refined * item_refined, axis=1)
+        return nonlinear + dot + np.asarray(user_bias) + np.asarray(item_bias) + self.head.global_mean

@@ -108,9 +108,35 @@ def load_model_into(model: Module, path: PathLike) -> Module:
     """Load parameters saved by :func:`save_model` into a *built* model.
 
     The model must already have its architecture constructed (for lazily
-    built models like AGNN, call ``prepare``/``fit`` on a task first).
+    built models like AGNN, call ``prepare``/``fit`` on a task first, or
+    ``build_architecture`` from a bundle manifest).
+
+    A stale or mismatched archive fails with one :class:`ValueError` listing
+    *every* missing key, unexpected key and shape mismatch, so the diff
+    between the file and the model is diagnosable in one shot.
     """
-    with np.load(Path(path), allow_pickle=False) as archive:
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
         state = {key.replace("__", "."): archive[key] for key in archive.files}
+
+    own = dict(model.named_parameters())
+    problems = []
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing:
+        problems.append(f"missing parameters (in model, not in file): {missing}")
+    if unexpected:
+        problems.append(f"unexpected parameters (in file, not in model): {unexpected}")
+    mismatched = [
+        f"{name}: file {state[name].shape} vs model {param.data.shape}"
+        for name, param in own.items()
+        if name in state and state[name].shape != param.data.shape
+    ]
+    if mismatched:
+        problems.append("shape mismatches: " + "; ".join(sorted(mismatched)))
+    if problems:
+        raise ValueError(
+            f"cannot load {path} into {type(model).__name__}: " + " | ".join(problems)
+        )
     model.load_state_dict(state)
     return model

@@ -1,0 +1,41 @@
+"""Online inference: model bundles, the serving engine, onboarding, HTTP.
+
+The offline stack (``repro.core`` + ``repro.train``) produces a fitted AGNN;
+this package turns it into a *service*:
+
+* :mod:`~repro.serving.bundle` — export/load a self-contained artifact
+  directory (weights, config, graphs, attribute schemas, manifest) so a
+  server starts without the training dataset;
+* :mod:`~repro.serving.engine` — :class:`InferenceEngine`: precomputed
+  refined-embedding caches, LRU-cached ``score``, ``predict_batch`` and
+  ``top_n`` retrieval, all under ``no_grad``;
+* :mod:`~repro.serving.onboarding` — live strict-cold-start onboarding:
+  attribute encoding, eVAE preference generation, attribute-graph splice;
+* :mod:`~repro.serving.server` — a stdlib JSON HTTP front-end
+  (``/score``, ``/topn``, ``/users``, ``/items``, ``/healthz``, ``/metrics``);
+* :mod:`~repro.serving.bench` — the metered producer of ``BENCH_serving.json``.
+
+CLI entry points: ``repro export-bundle``, ``repro serve``,
+``repro serving-bench``.
+"""
+
+from .bundle import MANIFEST_SCHEMA_VERSION, ServingBundle, export_bundle, load_bundle
+from .engine import InferenceEngine
+from .onboarding import encode_attribute_row, splice_neighbours
+from .server import ServingHTTPServer, make_server, serve_forever
+from .bench import EXPECTED_SERVING_SPANS, run_serving_bench
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "ServingBundle",
+    "export_bundle",
+    "load_bundle",
+    "InferenceEngine",
+    "encode_attribute_row",
+    "splice_neighbours",
+    "ServingHTTPServer",
+    "make_server",
+    "serve_forever",
+    "EXPECTED_SERVING_SPANS",
+    "run_serving_bench",
+]

@@ -1,0 +1,170 @@
+"""The serving benchmark: producer of ``BENCH_serving.json``.
+
+Trains a SMOKE-scale AGNN, exports a bundle, loads the engine back with no
+training data in sight, and meters the full serving surface:
+
+* offline-parity check — engine scores vs. the fitted model's ``predict``;
+* per-call ``score`` latency, uncached (cold) vs. LRU-cached, p50/p95;
+* live onboarding of one user and one item, plus a top-N for each;
+* one HTTP round trip (healthz / score / topn / onboard / metrics) against an
+  ephemeral localhost port, so the ``serve.request`` spans are real.
+
+The snapshot extends the ``BENCH_telemetry.json`` schema with a ``serving``
+meta section; :data:`EXPECTED_SERVING_SPANS` is the tripwire list asserted by
+``benchmarks/test_serving_baseline.py`` — cached p50 must stay strictly below
+the cold path.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core import AGNN
+from ..data import make_split
+from ..nn import init as nn_init
+from ..telemetry import metrics, report, tracing
+from .bundle import export_bundle, load_bundle
+from .engine import InferenceEngine
+from .server import make_server
+
+__all__ = ["EXPECTED_SERVING_SPANS", "run_serving_bench"]
+
+#: span paths every serving-bench snapshot must contain with non-zero time.
+EXPECTED_SERVING_SPANS = (
+    "serve.export_bundle",
+    "serve.load_bundle",
+    "serve.refresh",
+    "serve.score",
+    "serve.score/serve.cache",
+    "serve.score/serve.score_cold",
+    "serve.topn",
+    "serve.onboard",
+    "serve.request",
+)
+
+
+def _post(url: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _get(url: str) -> Dict[str, Any]:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_serving_bench(
+    dataset: str = "ML-100K",
+    scenario: str = "item_cold",
+    scale_name: str = "smoke",
+    epochs: Optional[int] = None,
+    pairs: int = 200,
+    output: Optional[str] = "BENCH_serving.json",
+) -> Dict[str, Any]:
+    """Run the metered serving cycle; write ``output`` unless ``None``."""
+    from dataclasses import replace
+
+    from ..experiments.configs import get_scale
+
+    scale = get_scale(scale_name)
+    train_config = scale.train if epochs is None else replace(scale.train, epochs=epochs)
+    data = scale.datasets[dataset]()
+
+    metrics.reset()
+    tracing.reset_spans()
+    with metrics.enabled():
+        nn_init.seed(scale.seed)
+        task = make_split(data, scenario, scale.split_fraction, seed=scale.seed)
+        model = AGNN(scale.agnn, rng_seed=scale.seed)
+        history = model.fit(task, train_config)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            bundle_path = export_bundle(model, task, Path(tmp) / "bundle", note="serving-bench")
+            bundle = load_bundle(bundle_path)
+        engine = InferenceEngine(bundle)
+
+        # Parity: the engine must reproduce the offline model on test pairs.
+        count = min(pairs, len(task.test_idx))
+        users = task.test_users[:count]
+        items = task.test_items[:count]
+        offline = model.predict(users, items)
+        online = engine.predict_batch(users, items)
+        max_abs_diff = float(np.max(np.abs(offline - online))) if count else 0.0
+
+        # Latency: per-call score, cold (cache misses) then cached (hits).
+        cold_times = []
+        for u, i in zip(users.tolist(), items.tolist()):
+            start = time.perf_counter()
+            engine.score([u], [i])
+            cold_times.append(time.perf_counter() - start)
+        cached_times = []
+        for u, i in zip(users.tolist(), items.tolist()):
+            start = time.perf_counter()
+            engine.score([u], [i])
+            cached_times.append(time.perf_counter() - start)
+
+        # Live onboarding: a brand-new user and item, attributes only.
+        new_user = engine.add_user(bundle.user_attributes[0])
+        new_item = engine.add_item(bundle.item_attributes[0])
+        topn_items, topn_scores = engine.top_n(new_user, k=10)
+        onboard_score = float(engine.score([new_user], [new_item])[0])
+
+        # HTTP round trip on an ephemeral port.
+        server = make_server(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            health = _get(f"{base}/healthz")
+            http_scores = _post(f"{base}/score", {"users": users[:8].tolist(), "items": items[:8].tolist()})
+            _post(f"{base}/topn", {"user": int(users[0]), "k": 5})
+            _post(f"{base}/users", {"attributes": bundle.user_attributes[1].tolist()})
+            _get(f"{base}/metrics")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+        serving_meta = {
+            "dataset": dataset,
+            "scenario": scenario,
+            "scale": scale_name,
+            "epochs_trained": history.num_epochs,
+            "pairs": count,
+            "max_abs_diff_vs_offline": max_abs_diff,
+            "score_cold_p50_s": float(np.percentile(cold_times, 50)),
+            "score_cold_p95_s": float(np.percentile(cold_times, 95)),
+            "score_cached_p50_s": float(np.percentile(cached_times, 50)),
+            "score_cached_p95_s": float(np.percentile(cached_times, 95)),
+            "cached_speedup_p50": float(
+                np.percentile(cold_times, 50) / max(np.percentile(cached_times, 50), 1e-12)
+            ),
+            "onboarded_user": int(new_user),
+            "onboarded_item": int(new_item),
+            "onboard_cross_score": onboard_score,
+            "topn_size": int(len(topn_items)),
+            "topn_best_score": float(topn_scores[0]) if len(topn_scores) else None,
+            "http_health_users": int(health["users"]),
+            "http_score_count": len(http_scores["scores"]),
+        }
+        snap = report.snapshot(note="serving-bench", extra_meta={"serving": serving_meta})
+
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(snap, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return snap

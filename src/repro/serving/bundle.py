@@ -1,0 +1,224 @@
+"""Self-contained model bundles: everything a server needs, no training data.
+
+A bundle is a directory::
+
+    bundle/
+      manifest.json     # schema version, model name, AGNNConfig, shapes,
+                        # rating-scale clamp bounds, dataset metadata
+      model.npz         # weights via repro.io.save_model
+      graphs.npz        # candidate pools + the fitted neighbour matrices
+      attributes.npz    # multi-hot attribute matrices, schemas, train pairs,
+                        # cold node ids
+
+The manifest carries all *shapes*, so :func:`load_bundle` rebuilds the AGNN
+architecture with :meth:`AGNN.build_architecture` and loads weights with
+:func:`repro.io.load_model_into` — the training dataset is never touched.
+The fitted neighbour matrices are stored alongside the candidate pools so a
+loaded engine reproduces the offline model's predictions exactly, while the
+pools keep live re-sampling and onboarding available.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .. import __version__
+from ..core import AGNN, AGNNConfig
+from ..data.schema import AttributeSchema
+from ..data.splits import RecommendationTask
+from ..graphs import DynamicNeighborGraph, FixedNeighborGraph, NeighborGraph
+from ..io import _schema_from_json, _schema_to_json, load_model_into, save_model
+from ..telemetry import span
+
+__all__ = ["MANIFEST_SCHEMA_VERSION", "ServingBundle", "export_bundle", "load_bundle"]
+
+PathLike = Union[str, Path]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+_SIDES = ("user", "item")
+
+
+@dataclass
+class ServingBundle:
+    """A loaded bundle: the rebuilt model plus the serving-time state."""
+
+    path: Path
+    manifest: Dict
+    model: AGNN
+    user_attributes: np.ndarray
+    item_attributes: np.ndarray
+    user_schema: Optional[AttributeSchema]
+    item_schema: Optional[AttributeSchema]
+    neighbours: Dict[str, np.ndarray]
+    graphs: Dict[str, NeighborGraph]
+    cold_nodes: Dict[str, np.ndarray]
+    train_users: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    train_items: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def rating_scale(self) -> Tuple[float, float]:
+        low, high = self.manifest["rating_scale"]
+        return float(low), float(high)
+
+    def attributes(self, side: str) -> np.ndarray:
+        return self.user_attributes if side == "user" else self.item_attributes
+
+    def schema(self, side: str) -> Optional[AttributeSchema]:
+        return self.user_schema if side == "user" else self.item_schema
+
+
+def _serialise_graph(graph: NeighborGraph, side: str, arrays: Dict[str, np.ndarray]) -> str:
+    """Pack one side's candidate graph into flat ``.npz``-able arrays."""
+    if isinstance(graph, DynamicNeighborGraph):
+        offsets = np.zeros(len(graph.pools) + 1, dtype=np.int64)
+        for i, pool in enumerate(graph.pools):
+            offsets[i + 1] = offsets[i] + len(pool)
+        arrays[f"{side}_pool_indices"] = (
+            np.concatenate(graph.pools) if graph.pools else np.empty(0, dtype=np.int64)
+        )
+        arrays[f"{side}_pool_weights"] = (
+            np.concatenate(graph.weights) if graph.weights else np.empty(0)
+        )
+        arrays[f"{side}_pool_offsets"] = offsets
+        return "dynamic"
+    if isinstance(graph, FixedNeighborGraph):
+        arrays[f"{side}_fixed_matrix"] = graph.matrix
+        return "fixed"
+    raise TypeError(f"cannot serialise graph type {type(graph).__name__}")
+
+
+def _deserialise_graph(kind: str, side: str, archive) -> NeighborGraph:
+    if kind == "dynamic":
+        offsets = archive[f"{side}_pool_offsets"]
+        indices = archive[f"{side}_pool_indices"]
+        weights = archive[f"{side}_pool_weights"]
+        pools = [indices[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]
+        pool_weights = [weights[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]
+        return DynamicNeighborGraph(pools=pools, weights=pool_weights)
+    if kind == "fixed":
+        return FixedNeighborGraph(matrix=archive[f"{side}_fixed_matrix"])
+    raise ValueError(f"unknown graph kind {kind!r} in bundle manifest")
+
+
+def export_bundle(
+    model: AGNN,
+    task: RecommendationTask,
+    path: PathLike,
+    note: str = "",
+) -> Path:
+    """Write a fitted AGNN plus its serving state to directory ``path``."""
+    if not isinstance(model, AGNN):
+        raise TypeError(f"bundles serve AGNN models, got {type(model).__name__}")
+    if not model._built:
+        raise RuntimeError("model must be fitted before exporting a bundle")
+
+    path = Path(path)
+    with span("serve.export_bundle"):
+        path.mkdir(parents=True, exist_ok=True)
+        save_model(model, path / "model.npz")
+
+        graph_arrays: Dict[str, np.ndarray] = {}
+        graph_kinds = {
+            side: _serialise_graph(model.candidate_graph(side), side, graph_arrays)
+            for side in _SIDES
+        }
+        for side in _SIDES:
+            graph_arrays[f"{side}_neighbours"] = model.neighbour_matrix(side)
+        np.savez_compressed(path / "graphs.npz", **graph_arrays)
+
+        dataset = task.dataset
+        np.savez_compressed(
+            path / "attributes.npz",
+            user_attributes=dataset.user_attributes,
+            item_attributes=dataset.item_attributes,
+            user_schema=np.array(_schema_to_json(dataset.user_schema)),
+            item_schema=np.array(_schema_to_json(dataset.item_schema)),
+            train_users=task.train_users,
+            train_items=task.train_items,
+            cold_users=model.cold_node_ids("user"),
+            cold_items=model.cold_node_ids("item"),
+        )
+
+        manifest = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "note": note,
+            "model_name": model.name,
+            "config": asdict(model.config),
+            "rating_scale": [float(dataset.rating_scale[0]), float(dataset.rating_scale[1])],
+            "global_mean": float(model.head.global_mean),
+            "num_users": int(dataset.num_users),
+            "num_items": int(dataset.num_items),
+            "user_attr_dim": int(dataset.user_attributes.shape[1]),
+            "item_attr_dim": int(dataset.item_attributes.shape[1]),
+            "graph_kinds": graph_kinds,
+            "dataset": {
+                "name": dataset.name,
+                "scenario": task.scenario,
+                "train_interactions": int(len(task.train_idx)),
+                "cold_users": int(len(model.cold_node_ids("user"))),
+                "cold_items": int(len(model.cold_node_ids("item"))),
+            },
+        }
+        (path / "manifest.json").write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bundle(path: PathLike) -> ServingBundle:
+    """Read a bundle directory and rebuild the model — no training data needed."""
+    path = Path(path)
+    manifest_path = path / "manifest.json"
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"{path} is not a bundle: no manifest.json")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("schema_version")
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"bundle schema version {version!r} is not supported "
+            f"(this build reads version {MANIFEST_SCHEMA_VERSION})"
+        )
+
+    with span("serve.load_bundle"):
+        config = AGNNConfig(**manifest["config"])
+        model = AGNN(config)
+        model.build_architecture(
+            manifest["num_users"],
+            manifest["num_items"],
+            manifest["user_attr_dim"],
+            manifest["item_attr_dim"],
+            manifest["global_mean"],
+        )
+        load_model_into(model, path / "model.npz")
+        model.eval()
+
+        with np.load(path / "graphs.npz", allow_pickle=False) as archive:
+            neighbours = {side: archive[f"{side}_neighbours"] for side in _SIDES}
+            graphs = {
+                side: _deserialise_graph(manifest["graph_kinds"][side], side, archive)
+                for side in _SIDES
+            }
+
+        with np.load(path / "attributes.npz", allow_pickle=False) as archive:
+            return ServingBundle(
+                path=path,
+                manifest=manifest,
+                model=model,
+                user_attributes=archive["user_attributes"],
+                item_attributes=archive["item_attributes"],
+                user_schema=_schema_from_json(str(archive["user_schema"])),
+                item_schema=_schema_from_json(str(archive["item_schema"])),
+                neighbours=neighbours,
+                graphs=graphs,
+                cold_nodes={
+                    "user": archive["cold_users"].astype(np.int64),
+                    "item": archive["cold_items"].astype(np.int64),
+                },
+                train_users=archive["train_users"].astype(np.int64),
+                train_items=archive["train_items"].astype(np.int64),
+            )

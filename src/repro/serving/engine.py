@@ -1,0 +1,312 @@
+"""The online inference engine: cached refined embeddings + scoring + top-N.
+
+The engine wraps a loaded :class:`~repro.serving.bundle.ServingBundle` and
+keeps *growable* copies of everything the gated-GNN pipeline needs per side:
+
+* ``_attr``      — multi-hot attribute matrices;
+* ``_pref``      — preference matrices (trained rows; eVAE-generated rows for
+  strict-cold-start and onboarded nodes);
+* ``_neigh``     — the ``(n, k)`` neighbour index matrices;
+* ``_raw``       — pre-aggregation node embeddings ``p`` (feeds neighbours);
+* ``_refined``   — post-gated-GNN embeddings ``p̃`` for *all* known nodes,
+  precomputed once so a score is two gathers and one small MLP;
+* ``_bias``      — per-node rating biases (zero for onboarded nodes, which
+  live beyond the trained bias tables).
+
+Scoring runs under ``no_grad`` throughout and is clipped to the bundle's
+rating scale.  A bounded LRU cache memoises per-pair scores; it is
+invalidated whenever onboarding changes the node set.  All public methods are
+thread-safe (one re-entrant lock), so the stdlib threading HTTP server can
+call straight into the engine.
+
+Telemetry: ``serve.refresh`` (embedding precompute), ``serve.score`` with
+``serve.cache`` (lookup) and ``serve.score_cold`` (uncached compute) children,
+``serve.topn``, and counters ``serve.scores`` / ``serve.cache.hits`` /
+``serve.cache.misses`` / ``serve.topn.requests``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..telemetry import increment, set_gauge, span
+from .bundle import ServingBundle
+from .onboarding import encode_attribute_row, splice_neighbours
+
+__all__ = ["InferenceEngine"]
+
+_SIDES = ("user", "item")
+
+
+class InferenceEngine:
+    """Serve rating predictions and top-N retrieval from a model bundle."""
+
+    def __init__(
+        self,
+        bundle: ServingBundle,
+        cache_size: int = 100_000,
+        batch_size: int = 2048,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.bundle = bundle
+        self.model = bundle.model
+        self.model.eval()
+        self.rating_scale = bundle.rating_scale
+        self.cache_size = cache_size
+        self.batch_size = batch_size
+        self._lock = threading.RLock()
+
+        self._attr: Dict[str, np.ndarray] = {
+            side: bundle.attributes(side).copy() for side in _SIDES
+        }
+        self._neigh: Dict[str, np.ndarray] = {
+            side: bundle.neighbours[side].copy() for side in _SIDES
+        }
+        self._bias: Dict[str, np.ndarray] = {
+            "user": self.model.head.user_bias.value.data.copy(),
+            "item": self.model.head.item_bias.value.data.copy(),
+        }
+        self._base_count: Dict[str, int] = {
+            side: self._attr[side].shape[0] for side in _SIDES
+        }
+        self._pref: Dict[str, np.ndarray] = {}
+        for side in _SIDES:
+            pref = self.model._encoder(side).preference.weight.data.copy()
+            cold = bundle.cold_nodes.get(side, np.empty(0, dtype=np.int64))
+            if len(cold):
+                pref[cold] = self.model.generate_cold_preference(side, self._attr[side][cold])
+            self._pref[side] = pref
+
+        self._seen: Dict[int, Set[int]] = {}
+        for user, item in zip(bundle.train_users.tolist(), bundle.train_items.tolist()):
+            self._seen.setdefault(user, set()).add(item)
+
+        self._raw: Dict[str, np.ndarray] = {}
+        self._refined: Dict[str, np.ndarray] = {}
+        self._cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+        self._derive_embeddings()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_users(self) -> int:
+        return self._attr["user"].shape[0]
+
+    @property
+    def num_items(self) -> int:
+        return self._attr["item"].shape[0]
+
+    def count(self, side: str) -> int:
+        return self._attr[side].shape[0]
+
+    def onboarded(self, side: str) -> int:
+        """How many nodes were added live (beyond the bundle's base count)."""
+        return self.count(side) - self._base_count[side]
+
+    def seen_items(self, user: int) -> Set[int]:
+        """Training-time items of ``user`` (empty for onboarded users)."""
+        return set(self._seen.get(int(user), set()))
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "users": self.num_users,
+                "items": self.num_items,
+                "onboarded_users": self.onboarded("user"),
+                "onboarded_items": self.onboarded("item"),
+                "cache_entries": len(self._cache),
+                "cache_capacity": self.cache_size,
+            }
+
+    # ------------------------------------------------------------- embeddings
+    def _derive_embeddings(self) -> None:
+        """Recompute raw + refined embeddings for every known node."""
+        with self._lock, span("serve.refresh"):
+            for side in _SIDES:
+                n = self.count(side)
+                attr, pref, neigh = self._attr[side], self._pref[side], self._neigh[side]
+                raw = np.empty_like(pref)
+                for start in range(0, n, self.batch_size):
+                    ids = np.arange(start, min(start + self.batch_size, n), dtype=np.int64)
+                    raw[ids] = self.model.raw_node_embeddings(side, attr, pref, ids)
+                refined = np.empty_like(raw)
+                for start in range(0, n, self.batch_size):
+                    stop = min(start + self.batch_size, n)
+                    refined[start:stop] = self.model.refine_node_embeddings(
+                        side, raw[start:stop], raw[neigh[start:stop]]
+                    )
+                self._raw[side] = raw
+                self._refined[side] = refined
+                set_gauge(f"serve.nodes.{side}", float(n))
+            self._cache.clear()
+
+    def refined_embeddings(self, side: str) -> np.ndarray:
+        """The cached post-gated-GNN embedding matrix (read-only view)."""
+        return self._refined[side]
+
+    def resample_neighbourhoods(self, seed: int = 0) -> None:
+        """Redraw the bundle's base nodes from their candidate pools (the
+        paper's dynamic-diversity sampling as a live operation).  Onboarded
+        nodes keep their spliced neighbourhoods; all refined embeddings are
+        recomputed and the result cache is invalidated."""
+        rng = np.random.default_rng(seed)
+        with self._lock:
+            for side in _SIDES:
+                k = self._neigh[side].shape[1]
+                base = self._base_count[side]
+                fresh = self.bundle.graphs[side].neighbours(k, rng)
+                self._neigh[side][:base] = fresh[:base]
+            self._derive_embeddings()
+
+    # ---------------------------------------------------------------- scoring
+    def _check_ids(self, side: str, ids: np.ndarray) -> None:
+        n = self.count(side)
+        if ids.size and (ids.min() < 0 or ids.max() >= n):
+            bad = ids[(ids < 0) | (ids >= n)]
+            raise IndexError(f"unknown {side} id(s) {np.unique(bad).tolist()} (have {n})")
+
+    def _compute_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Uncached score path: gather refined rows, run the prediction head."""
+        scores = self.model.pairwise_scores(
+            self._refined["user"][users],
+            self._refined["item"][items],
+            self._bias["user"][users],
+            self._bias["item"][items],
+        )
+        low, high = self.rating_scale
+        return np.clip(scores, low, high)
+
+    def score(self, users, items) -> np.ndarray:
+        """Clipped rating predictions for aligned id arrays, LRU-cached per pair."""
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        items = np.atleast_1d(np.asarray(items, dtype=np.int64))
+        if users.shape != items.shape:
+            raise ValueError("users and items must align")
+        if users.size == 0:
+            return np.empty(0, dtype=np.float64)
+        with self._lock, span("serve.score"):
+            self._check_ids("user", users)
+            self._check_ids("item", items)
+            out = np.empty(len(users), dtype=np.float64)
+            misses: List[int] = []
+            with span("serve.cache"):
+                for j, key in enumerate(zip(users.tolist(), items.tolist())):
+                    cached = self._cache.get(key)
+                    if cached is None:
+                        misses.append(j)
+                    else:
+                        self._cache.move_to_end(key)
+                        out[j] = cached
+            if misses:
+                with span("serve.score_cold"):
+                    rows = np.asarray(misses, dtype=np.int64)
+                    fresh = self._compute_scores(users[rows], items[rows])
+                out[rows] = fresh
+                if self.cache_size:
+                    for j, value in zip(misses, fresh.tolist()):
+                        self._cache[(int(users[j]), int(items[j]))] = value
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+            increment("serve.scores", len(users))
+            increment("serve.cache.hits", len(users) - len(misses))
+            increment("serve.cache.misses", len(misses))
+            return out
+
+    def predict_batch(self, users, items, batch_size: Optional[int] = None) -> np.ndarray:
+        """Bulk scoring that bypasses the result cache (bench / evaluation path)."""
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        items = np.atleast_1d(np.asarray(items, dtype=np.int64))
+        if users.shape != items.shape:
+            raise ValueError("users and items must align")
+        if users.size == 0:
+            return np.empty(0, dtype=np.float64)
+        step = batch_size or self.batch_size
+        with self._lock, span("serve.score"):
+            self._check_ids("user", users)
+            self._check_ids("item", items)
+            with span("serve.score_cold"):
+                chunks = [
+                    self._compute_scores(users[start : start + step], items[start : start + step])
+                    for start in range(0, len(users), step)
+                ]
+            increment("serve.scores", len(users))
+            increment("serve.cache.misses", len(users))
+            return np.concatenate(chunks)
+
+    def top_n(self, user: int, k: int = 10, exclude_seen: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``k`` highest-scoring items for ``user`` → (item ids, scores).
+
+        With ``exclude_seen`` the user's training-time items are removed —
+        recommendation, not rating prediction.  Onboarded items compete on
+        equal footing with catalogue items."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        user = int(user)
+        with self._lock, span("serve.topn"):
+            self._check_ids("user", np.asarray([user]))
+            items = np.arange(self.num_items, dtype=np.int64)
+            scores = self._compute_scores(np.full(len(items), user, dtype=np.int64), items)
+            if exclude_seen:
+                seen = self._seen.get(user)
+                if seen:
+                    scores = scores.copy()
+                    scores[np.fromiter(seen, dtype=np.int64)] = -np.inf
+            valid = np.flatnonzero(np.isfinite(scores))
+            k = min(k, len(valid))
+            top = valid[np.argsort(-scores[valid], kind="stable")[:k]]
+            increment("serve.topn.requests")
+            return top, scores[top]
+
+    # ------------------------------------------------------------- onboarding
+    def add_user(self, attributes) -> int:
+        """Onboard a brand-new strict-cold-start user from attributes alone."""
+        return self._add_node("user", attributes)
+
+    def add_item(self, attributes) -> int:
+        """Onboard a brand-new strict-cold-start item from attributes alone."""
+        return self._add_node("item", attributes)
+
+    def _add_node(self, side: str, attributes) -> int:
+        model = self.model
+        with self._lock, span("serve.onboard"):
+            row = encode_attribute_row(
+                attributes, self.bundle.schema(side), self._attr[side].shape[1]
+            )
+            # Eq. 6–8 at runtime: the eVAE generates the preference embedding
+            # the node never trained.
+            pref_row = model.generate_cold_preference(side, row[None])
+            # Splice into the attribute graph: proximity against every known
+            # node, top-p% candidate pool, neighbourhood from the pool head.
+            neighbour_ids, _, _ = splice_neighbours(
+                row,
+                self._attr[side],
+                pool_percent=model.config.pool_percent,
+                k=self._neigh[side].shape[1],
+                min_pool=model.config.num_neighbors,
+            )
+            raw_row = model.raw_node_embeddings(
+                side, row[None], pref_row, np.zeros(1, dtype=np.int64)
+            )
+            refined_row = model.refine_node_embeddings(
+                side, raw_row, self._raw[side][neighbour_ids][None]
+            )
+
+            new_id = self.count(side)
+            self._attr[side] = np.vstack([self._attr[side], row[None]])
+            self._pref[side] = np.vstack([self._pref[side], pref_row])
+            self._neigh[side] = np.vstack([self._neigh[side], neighbour_ids[None]])
+            self._raw[side] = np.vstack([self._raw[side], raw_row])
+            self._refined[side] = np.vstack([self._refined[side], refined_row])
+            self._bias[side] = np.append(self._bias[side], 0.0)
+            if side == "user":
+                self._seen[new_id] = set()
+            # The node set changed: cached (user, item) results may be stale
+            # for retrieval purposes, so the result cache is invalidated.
+            self._cache.clear()
+            increment(f"serve.onboarded.{side}s")
+            set_gauge(f"serve.nodes.{side}", float(self.count(side)))
+            return new_id

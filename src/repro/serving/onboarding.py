@@ -1,0 +1,96 @@
+"""Live strict-cold-start onboarding: attributes in, a servable node out.
+
+This is the paper's SCS story as a runtime API instead of a batch split.  A
+new user/item arrives with nothing but attributes; onboarding
+
+1. **encodes** them — either a schema-validated ``{field: value}`` mapping
+   (via the bundle's :class:`~repro.data.schema.AttributeSchema`) or a raw
+   multi-hot row;
+2. **generates** the missing preference embedding with the trained eVAE
+   (Eq. 6–8, handled by :meth:`AGNN.generate_cold_preference`);
+3. **splices** the node into the attribute graph: cosine attribute proximity
+   against every known node (the preference term is undefined for a node with
+   no history — exactly the paper's fallback), a top-``p%`` candidate pool,
+   and a neighbourhood drawn from the head of that pool;
+4. **refines** the node through the gated-GNN over its spliced neighbours.
+
+Steps 2–4 are orchestrated by :meth:`InferenceEngine.add_user` /
+:meth:`~InferenceEngine.add_item`; this module owns the attribute encoding
+and the graph-splice math so they are testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..data.schema import AttributeSchema
+from ..nn.functional import cosine_similarity_matrix
+
+__all__ = ["encode_attribute_row", "splice_neighbours"]
+
+
+def encode_attribute_row(
+    attributes,
+    schema: Optional[AttributeSchema],
+    dim: int,
+) -> np.ndarray:
+    """Normalise onboarding input to one multi-hot row of width ``dim``.
+
+    Accepts a ``{field: value}`` mapping (requires the bundle to carry a
+    schema) or an already-encoded row (validated for width and finiteness —
+    Yelp-style bundles have no schema, their social rows come pre-encoded).
+    """
+    if isinstance(attributes, Mapping):
+        if schema is None:
+            raise ValueError(
+                "this bundle has no attribute schema; pass a raw multi-hot row instead"
+            )
+        return schema.encode(dict(attributes))
+    row = np.asarray(attributes, dtype=np.float64).reshape(-1)
+    if row.shape != (dim,):
+        raise ValueError(f"attribute row has {row.shape[0]} entries, expected {dim}")
+    if not np.all(np.isfinite(row)):
+        raise ValueError("attribute row contains non-finite values")
+    if not row.any():
+        raise ValueError("attribute row is all-zero; a node needs at least one attribute")
+    return row
+
+
+def splice_neighbours(
+    row: np.ndarray,
+    attributes: np.ndarray,
+    pool_percent: float,
+    k: int,
+    min_pool: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Neighbourhood for a history-less node: attribute proximity only.
+
+    Mirrors :func:`repro.graphs.construction.build_attribute_graph` for a
+    single incoming node: the candidate pool is the top ``p%`` most proximal
+    existing nodes (at least ``min_pool``), with shifted-positive sampling
+    weights.  Deterministic serving takes the pool head; passing ``rng``
+    re-enables the paper's proximity-weighted sampling.
+
+    Returns ``(neighbour_ids, pool_ids, pool_weights)``.
+    """
+    n = attributes.shape[0]
+    if n == 0:
+        raise ValueError("cannot splice a node into an empty graph")
+    similarity = cosine_similarity_matrix(row[None, :], attributes)[0]
+    pool_size = int(np.clip(max(round(n * pool_percent / 100.0), min_pool), 1, n))
+    pool = np.argpartition(-similarity, pool_size - 1)[:pool_size]
+    pool = pool[np.argsort(-similarity[pool], kind="stable")].astype(np.int64)
+    weights = similarity[pool] - similarity[pool].min() + 1e-6
+
+    if rng is not None:
+        probs = weights / weights.sum()
+        neighbours = rng.choice(pool, size=k, replace=len(pool) < k, p=probs)
+    elif len(pool) >= k:
+        neighbours = pool[:k]
+    else:
+        reps = -(-k // len(pool))  # ceil division, pad by repetition
+        neighbours = np.tile(pool, reps)[:k]
+    return neighbours.astype(np.int64), pool, weights

@@ -1,0 +1,178 @@
+"""A dependency-free JSON front-end over :class:`InferenceEngine`.
+
+Built on the stdlib threading ``http.server`` — the engine's lock makes the
+handler re-entrant.  Endpoints:
+
+====== ============ ==========================================================
+Method Path         Body / response
+====== ============ ==========================================================
+GET    /healthz     ``{"status": "ok", "users": M, "items": N, ...}``
+GET    /metrics     the full telemetry snapshot (``repro.telemetry.snapshot``)
+POST   /score       ``{"users": [...], "items": [...]}`` → ``{"scores": [...]}``
+POST   /topn        ``{"user": u, "k": 10, "exclude_seen": true}`` →
+                    ``{"items": [...], "scores": [...]}``
+POST   /users       ``{"attributes": {...} | [multi-hot row]}`` →
+                    ``{"user": new_id}`` (201) — live SCS onboarding
+POST   /items       symmetric → ``{"item": new_id}`` (201)
+====== ============ ==========================================================
+
+Every request runs inside a ``serve.request`` span and bumps the
+``serve.requests`` counter; client errors bump ``serve.request_errors``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+
+from ..telemetry import increment, snapshot, span
+from .engine import InferenceEngine
+
+__all__ = ["ServingHTTPServer", "make_server", "serve_forever"]
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _RequestError(Exception):
+    """A client error carrying an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ plumbing
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _RequestError(400, "request body required")
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(413, "request body too large")
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _RequestError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "JSON body must be an object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        increment("serve.requests")
+        with span("serve.request"):
+            try:
+                status, payload = handler()
+            except _RequestError as exc:
+                increment("serve.request_errors")
+                status, payload = exc.status, {"error": str(exc)}
+            except (ValueError, IndexError, KeyError, TypeError) as exc:
+                increment("serve.request_errors")
+                status, payload = 400, {"error": str(exc)}
+        self._reply(status, payload)
+
+    # ------------------------------------------------------------------ routes
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        routes = {"/healthz": self._get_healthz, "/metrics": self._get_metrics}
+        handler = routes.get(self.path.split("?")[0])
+        if handler is None:
+            self._dispatch(lambda: (404, {"error": f"unknown path {self.path!r}"}))
+        else:
+            self._dispatch(handler)
+
+    def do_POST(self) -> None:  # noqa: N802
+        routes = {
+            "/score": self._post_score,
+            "/topn": self._post_topn,
+            "/users": lambda: self._post_onboard("user"),
+            "/items": lambda: self._post_onboard("item"),
+        }
+        handler = routes.get(self.path.split("?")[0])
+        if handler is None:
+            self._dispatch(lambda: (404, {"error": f"unknown path {self.path!r}"}))
+        else:
+            self._dispatch(handler)
+
+    def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        stats = self.server.engine.stats()
+        return 200, {"status": "ok", **stats}
+
+    def _get_metrics(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, snapshot(note="serve.metrics")
+
+    def _post_score(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_json()
+        if "users" not in body or "items" not in body:
+            raise _RequestError(400, "body must contain 'users' and 'items' id arrays")
+        scores = self.server.engine.score(body["users"], body["items"])
+        return 200, {"scores": scores.tolist()}
+
+    def _post_topn(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_json()
+        if "user" not in body:
+            raise _RequestError(400, "body must contain 'user'")
+        items, scores = self.server.engine.top_n(
+            int(body["user"]),
+            k=int(body.get("k", 10)),
+            exclude_seen=bool(body.get("exclude_seen", True)),
+        )
+        return 200, {"user": int(body["user"]), "items": items.tolist(), "scores": scores.tolist()}
+
+    def _post_onboard(self, side: str) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_json()
+        if "attributes" not in body:
+            raise _RequestError(400, "body must contain 'attributes'")
+        engine = self.server.engine
+        add = engine.add_user if side == "user" else engine.add_item
+        new_id = add(body["attributes"])
+        return 201, {side: new_id, "onboarded": engine.onboarded(side)}
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one engine."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], engine: InferenceEngine, verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def make_server(
+    engine: InferenceEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServingHTTPServer:
+    """Bind a server (``port=0`` → ephemeral) without starting its loop."""
+    return ServingHTTPServer((host, port), engine, verbose=verbose)
+
+
+def serve_forever(server: ServingHTTPServer) -> None:
+    """Run until interrupted; always releases the socket."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -184,6 +184,8 @@ class Recommender(Module):
         items = np.asarray(items, dtype=np.int64)
         if users.shape != items.shape:
             raise ValueError("users and items must align")
+        if users.size == 0:
+            return np.empty(0, dtype=np.float64)
         was_training = self.training
         self.eval()
         chunks = []

@@ -1,0 +1,85 @@
+"""Bundle export/load: a server must start from the directory alone."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import MANIFEST_SCHEMA_VERSION, load_bundle
+from repro.serving.bundle import export_bundle
+
+pytestmark = pytest.mark.serving
+
+
+class TestExport:
+    def test_writes_all_artifacts(self, bundle_dir):
+        for name in ("manifest.json", "model.npz", "graphs.npz", "attributes.npz"):
+            assert (bundle_dir / name).is_file(), f"bundle is missing {name}"
+
+    def test_manifest_contents(self, bundle_dir, ics_task):
+        manifest = json.loads((bundle_dir / "manifest.json").read_text())
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["model_name"] == "AGNN"
+        assert manifest["num_users"] == ics_task.dataset.num_users
+        assert manifest["num_items"] == ics_task.dataset.num_items
+        assert manifest["rating_scale"] == list(ics_task.dataset.rating_scale)
+        assert manifest["config"]["embedding_dim"] == 6
+        assert manifest["dataset"]["scenario"] == "item_cold"
+        assert manifest["dataset"]["cold_items"] > 0
+
+    def test_rejects_unfitted_model(self, ics_task, tmp_path):
+        from repro.core import AGNN
+
+        with pytest.raises(RuntimeError, match="fitted"):
+            export_bundle(AGNN(), ics_task, tmp_path / "nope")
+
+    def test_rejects_non_agnn(self, ics_task, tmp_path):
+        from repro.baselines import make_baseline
+
+        with pytest.raises(TypeError, match="AGNN"):
+            export_bundle(make_baseline("NFM", embedding_dim=4), ics_task, tmp_path / "nope")
+
+
+class TestLoad:
+    def test_rebuilds_model_and_state(self, bundle, fitted_model, ics_task):
+        assert bundle.model is not fitted_model
+        np.testing.assert_array_equal(
+            bundle.user_attributes, ics_task.dataset.user_attributes
+        )
+        np.testing.assert_array_equal(
+            bundle.neighbours["item"], fitted_model.neighbour_matrix("item")
+        )
+        np.testing.assert_array_equal(
+            bundle.cold_nodes["item"], fitted_model.cold_node_ids("item")
+        )
+        assert bundle.user_schema.field_names == ics_task.dataset.user_schema.field_names
+
+    def test_weights_round_trip(self, bundle, fitted_model):
+        theirs = fitted_model.state_dict()
+        ours = bundle.model.state_dict()
+        assert set(theirs) == set(ours)
+        for name in theirs:
+            np.testing.assert_array_equal(ours[name], theirs[name])
+
+    def test_candidate_graphs_round_trip(self, bundle, fitted_model):
+        for side in ("user", "item"):
+            original = fitted_model.candidate_graph(side)
+            loaded = bundle.graphs[side]
+            assert loaded.num_nodes == original.num_nodes
+            for ours, theirs in zip(loaded.pools, original.pools):
+                np.testing.assert_array_equal(ours, theirs)
+
+    def test_missing_manifest_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            load_bundle(tmp_path)
+
+    def test_unsupported_version_fails(self, bundle_dir, tmp_path):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(bundle_dir, broken)
+        manifest = json.loads((broken / "manifest.json").read_text())
+        manifest["schema_version"] = 99
+        (broken / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="schema version"):
+            load_bundle(broken)

@@ -1,0 +1,151 @@
+"""InferenceEngine: offline parity, caching, batch scoring and top-N."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.serving import InferenceEngine
+
+pytestmark = pytest.mark.serving
+
+
+class TestParity:
+    def test_predict_batch_matches_offline_model(self, engine, fitted_model, ics_task):
+        """The engine, fed only the bundle directory, must reproduce the
+        fitted model's test-set predictions bit for bit."""
+        offline = fitted_model.predict(ics_task.test_users, ics_task.test_items)
+        online = engine.predict_batch(ics_task.test_users, ics_task.test_items)
+        np.testing.assert_array_equal(online, offline)
+
+    def test_score_matches_predict_batch(self, engine, ics_task):
+        users, items = ics_task.test_users[:25], ics_task.test_items[:25]
+        np.testing.assert_array_equal(
+            engine.score(users, items), engine.predict_batch(users, items)
+        )
+
+    def test_scores_respect_rating_scale(self, engine):
+        users = np.repeat(np.arange(engine.num_users), 4)
+        items = np.tile(np.arange(4), engine.num_users)
+        scores = engine.predict_batch(users, items)
+        low, high = engine.rating_scale
+        assert scores.min() >= low and scores.max() <= high
+
+
+class TestCache:
+    def test_cached_repeat_is_identical(self, engine, ics_task):
+        users, items = ics_task.test_users[:10], ics_task.test_items[:10]
+        first = engine.score(users, items)
+        second = engine.score(users, items)
+        np.testing.assert_array_equal(second, first)
+
+    def test_hit_miss_counters(self, engine):
+        engine.score([0, 1], [0, 1])  # 2 misses
+        engine.score([0, 1], [0, 1])  # 2 hits
+        counters = telemetry.get_registry().counters()
+        assert counters["serve.scores"] == 4
+        assert counters["serve.cache.misses"] == 2
+        assert counters["serve.cache.hits"] == 2
+
+    def test_lru_eviction_bounds_entries(self, bundle):
+        small = InferenceEngine(bundle, cache_size=5)
+        small.score(np.zeros(8, dtype=np.int64), np.arange(8))
+        assert small.stats()["cache_entries"] == 5
+
+    def test_cache_size_zero_disables_memoisation(self, bundle):
+        uncached = InferenceEngine(bundle, cache_size=0)
+        uncached.score([0], [0])
+        assert uncached.stats()["cache_entries"] == 0
+
+    def test_negative_cache_size_rejected(self, bundle):
+        with pytest.raises(ValueError, match="cache_size"):
+            InferenceEngine(bundle, cache_size=-1)
+
+
+class TestValidation:
+    def test_empty_inputs_return_empty(self, engine):
+        assert engine.score([], []).shape == (0,)
+        assert engine.predict_batch([], []).shape == (0,)
+
+    def test_misaligned_inputs_rejected(self, engine):
+        with pytest.raises(ValueError, match="align"):
+            engine.score([0, 1], [0])
+
+    def test_unknown_ids_rejected(self, engine):
+        with pytest.raises(IndexError, match="unknown user"):
+            engine.score([engine.num_users], [0])
+        with pytest.raises(IndexError, match="unknown item"):
+            engine.predict_batch([0], [-1])
+
+
+class TestTopN:
+    def test_returns_k_sorted_items(self, engine):
+        items, scores = engine.top_n(0, k=5, exclude_seen=False)
+        assert items.shape == scores.shape == (5,)
+        assert np.all(np.diff(scores) <= 0)
+        low, high = engine.rating_scale
+        assert scores.min() >= low and scores.max() <= high
+
+    def test_excludes_training_items(self, engine):
+        seen = engine.seen_items(0)
+        assert seen, "fixture user 0 should have training history"
+        items, _ = engine.top_n(0, k=engine.num_items, exclude_seen=True)
+        assert not seen & set(items.tolist())
+        assert len(items) == engine.num_items - len(seen)
+
+    def test_include_seen_covers_catalogue(self, engine):
+        items, _ = engine.top_n(0, k=engine.num_items + 50, exclude_seen=False)
+        assert len(items) == engine.num_items
+
+    def test_matches_pointwise_scores(self, engine):
+        items, scores = engine.top_n(3, k=4, exclude_seen=False)
+        np.testing.assert_array_equal(
+            scores, engine.predict_batch(np.full(4, 3), items)
+        )
+
+    def test_invalid_arguments(self, engine):
+        with pytest.raises(ValueError, match="k must be positive"):
+            engine.top_n(0, k=0)
+        with pytest.raises(IndexError, match="unknown user"):
+            engine.top_n(engine.num_users)
+
+
+class TestResampling:
+    def test_resample_keeps_parity_shape_and_clears_cache(self, engine):
+        before = engine.refined_embeddings("item").copy()
+        engine.score([0], [0])
+        engine.resample_neighbourhoods(seed=123)
+        assert engine.stats()["cache_entries"] == 0
+        after = engine.refined_embeddings("item")
+        assert after.shape == before.shape
+        assert np.all(np.isfinite(after))
+
+    def test_resample_is_seeded(self, bundle):
+        a, b = InferenceEngine(bundle), InferenceEngine(bundle)
+        a.resample_neighbourhoods(seed=7)
+        b.resample_neighbourhoods(seed=7)
+        np.testing.assert_array_equal(
+            a.refined_embeddings("user"), b.refined_embeddings("user")
+        )
+
+
+class TestIntrospection:
+    def test_stats_shape(self, engine, ics_task):
+        stats = engine.stats()
+        assert stats["users"] == ics_task.dataset.num_users
+        assert stats["items"] == ics_task.dataset.num_items
+        assert stats["onboarded_users"] == stats["onboarded_items"] == 0
+
+    def test_refined_embeddings_cover_all_nodes(self, engine):
+        for side, count in (("user", engine.num_users), ("item", engine.num_items)):
+            refined = engine.refined_embeddings(side)
+            assert refined.shape[0] == count
+            assert np.all(np.isfinite(refined))
+
+    def test_score_emits_spans(self, engine):
+        telemetry.reset_spans()
+        engine.score([0], [0])
+        engine.score([0], [0])
+        summaries = telemetry.span_summaries()
+        assert "serve.score" in summaries
+        assert "serve.score/serve.cache" in summaries
+        assert "serve.score/serve.score_cold" in summaries

@@ -1,0 +1,161 @@
+"""Live strict-cold-start onboarding: encoding, graph splice, engine adds."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.serving import encode_attribute_row, splice_neighbours
+
+pytestmark = pytest.mark.serving
+
+USER_ATTRS = {"gender": 1, "age": 3, "occupation": 5}
+ITEM_ATTRS = {"category": [0, 4], "star": 2, "director": 7, "writer": 1, "country": 0}
+
+
+class TestEncodeAttributeRow:
+    def test_mapping_goes_through_schema(self, bundle):
+        row = encode_attribute_row(USER_ATTRS, bundle.user_schema, bundle.user_attributes.shape[1])
+        assert row.shape == (bundle.user_attributes.shape[1],)
+        assert row.sum() == 3  # one hot per categorical field
+
+    def test_raw_row_passes_validation(self, bundle):
+        source = bundle.item_attributes[0]
+        row = encode_attribute_row(source.tolist(), bundle.item_schema, source.shape[0])
+        np.testing.assert_array_equal(row, source)
+
+    def test_wrong_width_rejected(self, bundle):
+        with pytest.raises(ValueError, match="expected"):
+            encode_attribute_row([1.0, 0.0], bundle.user_schema, bundle.user_attributes.shape[1])
+
+    def test_non_finite_rejected(self, bundle):
+        dim = bundle.user_attributes.shape[1]
+        row = np.zeros(dim)
+        row[0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            encode_attribute_row(row, bundle.user_schema, dim)
+
+    def test_all_zero_rejected(self, bundle):
+        dim = bundle.user_attributes.shape[1]
+        with pytest.raises(ValueError, match="all-zero"):
+            encode_attribute_row(np.zeros(dim), bundle.user_schema, dim)
+
+    def test_mapping_without_schema_rejected(self):
+        with pytest.raises(ValueError, match="no attribute schema"):
+            encode_attribute_row({"city": 1}, None, 4)
+
+
+class TestSpliceNeighbours:
+    def test_deterministic_splice_takes_pool_head(self, bundle):
+        attrs = bundle.user_attributes
+        row = attrs[0]
+        neighbours, pool, weights = splice_neighbours(
+            row, attrs, pool_percent=15.0, k=3, min_pool=3
+        )
+        assert neighbours.shape == (3,)
+        np.testing.assert_array_equal(neighbours, pool[:3])
+        assert len(pool) == len(weights)
+        assert np.all(weights > 0)
+        # The node's own duplicate profile (if any) or itself tops the pool.
+        assert pool[0] in np.flatnonzero((attrs == row).all(axis=1))
+
+    def test_pool_respects_percent_and_floor(self, bundle):
+        attrs = bundle.user_attributes
+        _, pool, _ = splice_neighbours(attrs[1], attrs, pool_percent=15.0, k=3, min_pool=3)
+        assert len(pool) == max(round(len(attrs) * 0.15), 3)
+        _, floored, _ = splice_neighbours(attrs[1], attrs, pool_percent=0.0, k=2, min_pool=5)
+        assert len(floored) == 5
+
+    def test_small_pool_pads_by_repetition(self, bundle):
+        attrs = bundle.user_attributes[:2]
+        neighbours, pool, _ = splice_neighbours(
+            bundle.user_attributes[5], attrs, pool_percent=1.0, k=5, min_pool=1
+        )
+        assert len(pool) == 1
+        np.testing.assert_array_equal(neighbours, np.repeat(pool[0], 5))
+
+    def test_rng_sampling_draws_from_pool(self, bundle):
+        attrs = bundle.user_attributes
+        rng = np.random.default_rng(0)
+        neighbours, pool, _ = splice_neighbours(
+            attrs[2], attrs, pool_percent=25.0, k=4, min_pool=3, rng=rng
+        )
+        assert set(neighbours.tolist()) <= set(pool.tolist())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="empty graph"):
+            splice_neighbours(np.ones(4), np.empty((0, 4)), pool_percent=10.0, k=2, min_pool=1)
+
+
+class TestEngineOnboarding:
+    def test_add_user_allocates_sequential_ids(self, engine):
+        base = engine.num_users
+        first = engine.add_user(USER_ATTRS)
+        second = engine.add_user({"gender": 0, "age": 1, "occupation": 2})
+        assert (first, second) == (base, base + 1)
+        assert engine.onboarded("user") == 2
+        assert engine.num_users == base + 2
+
+    def test_new_user_scores_are_finite_and_clipped(self, engine):
+        user = engine.add_user(USER_ATTRS)
+        scores = engine.score(np.full(5, user), np.arange(5))
+        assert np.all(np.isfinite(scores))
+        low, high = engine.rating_scale
+        assert scores.min() >= low and scores.max() <= high
+
+    def test_new_user_gets_valid_top_n(self, engine):
+        user = engine.add_user(USER_ATTRS)
+        items, scores = engine.top_n(user, k=10)
+        assert len(items) == 10
+        assert len(set(items.tolist())) == 10
+        assert np.all(np.isfinite(scores))
+        assert engine.seen_items(user) == set()
+
+    def test_add_item_becomes_scoreable_and_retrievable(self, engine):
+        item = engine.add_item(ITEM_ATTRS)
+        assert item == engine.num_items - 1
+        score = engine.score([0], [item])
+        assert np.isfinite(score[0])
+        items, _ = engine.top_n(0, k=engine.num_items)
+        assert item in items
+
+    def test_cold_cross_score_between_onboarded_nodes(self, engine):
+        user = engine.add_user(USER_ATTRS)
+        item = engine.add_item(ITEM_ATTRS)
+        low, high = engine.rating_scale
+        assert low <= engine.score([user], [item])[0] <= high
+
+    def test_onboarding_invalidates_result_cache(self, engine):
+        engine.score([0], [0])
+        assert engine.stats()["cache_entries"] == 1
+        engine.add_user(USER_ATTRS)
+        assert engine.stats()["cache_entries"] == 0
+
+    def test_onboarding_preserves_existing_embeddings(self, engine):
+        before = engine.refined_embeddings("user")[: engine.num_users].copy()
+        engine.add_user(USER_ATTRS)
+        np.testing.assert_array_equal(engine.refined_embeddings("user")[: len(before)], before)
+
+    def test_onboarding_with_raw_row_matches_schema_dict(self, bundle):
+        # Two fresh engines: within one engine the second add would see the
+        # first onboarded node in the graph and splice differently.
+        from repro.serving import InferenceEngine
+
+        a, b = InferenceEngine(bundle), InferenceEngine(bundle)
+        via_dict = a.add_user(USER_ATTRS)
+        via_row = b.add_user(bundle.user_schema.encode(USER_ATTRS))
+        assert via_dict == via_row
+        np.testing.assert_array_equal(
+            a.refined_embeddings("user")[via_dict],
+            b.refined_embeddings("user")[via_row],
+        )
+
+    def test_onboarding_telemetry(self, engine):
+        telemetry.reset_spans()
+        engine.add_user(USER_ATTRS)
+        engine.add_item(ITEM_ATTRS)
+        counters = telemetry.get_registry().counters()
+        assert counters["serve.onboarded.users"] == 1
+        assert counters["serve.onboarded.items"] == 1
+        assert "serve.onboard" in telemetry.span_summaries()
+        gauges = telemetry.get_registry().gauges()
+        assert gauges["serve.nodes.user"] == engine.num_users

@@ -1,0 +1,127 @@
+"""HTTP front-end on an ephemeral localhost port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import make_server
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture()
+def server(engine):
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _get(server, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{server.port}{path}", timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_healthz(self, server, engine):
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["users"] == engine.num_users
+        assert body["items"] == engine.num_items
+
+    def test_score_matches_engine(self, server, engine):
+        status, body = _post(server, "/score", {"users": [0, 1, 2], "items": [3, 4, 5]})
+        assert status == 200
+        np.testing.assert_allclose(body["scores"], engine.score([0, 1, 2], [3, 4, 5]))
+
+    def test_topn(self, server, engine):
+        status, body = _post(server, "/topn", {"user": 0, "k": 5})
+        assert status == 200
+        assert body["user"] == 0
+        assert len(body["items"]) == len(body["scores"]) == 5
+        expected_items, expected_scores = engine.top_n(0, k=5)
+        assert body["items"] == expected_items.tolist()
+        np.testing.assert_allclose(body["scores"], expected_scores)
+
+    def test_onboard_user_and_item(self, server, engine):
+        base_users, base_items = engine.num_users, engine.num_items
+        status, body = _post(
+            server, "/users", {"attributes": {"gender": 0, "age": 2, "occupation": 4}}
+        )
+        assert status == 201
+        assert body == {"user": base_users, "onboarded": 1}
+
+        item_row = engine.bundle.item_attributes[0].tolist()
+        status, body = _post(server, "/items", {"attributes": item_row})
+        assert status == 201
+        assert body == {"item": base_items, "onboarded": 1}
+
+        status, body = _post(server, "/score", {"users": [base_users], "items": [base_items]})
+        assert status == 200
+        assert np.isfinite(body["scores"][0])
+
+    def test_metrics_snapshot(self, server):
+        _post(server, "/score", {"users": [0], "items": [0]})
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        assert {"schema_version", "counters", "spans"} <= set(body)
+        assert body["counters"]["serve.requests"] >= 2
+        assert any(path.startswith("serve.request") for path in body["spans"])
+
+
+class TestErrors:
+    def test_unknown_path_is_404(self, server):
+        status, body = _post(server, "/nope", {"x": 1})
+        assert status == 404
+        assert "unknown path" in body["error"]
+
+    def test_missing_body_is_400(self, server):
+        status, body = _post(server, "/score", {})
+        assert status == 400
+        assert "users" in body["error"]
+
+    def test_bad_ids_are_400(self, server, engine):
+        status, body = _post(
+            server, "/score", {"users": [engine.num_users + 5], "items": [0]}
+        )
+        assert status == 400
+        assert "unknown user" in body["error"]
+
+    def test_invalid_json_is_400(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/score",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_error_counter_increments(self, server):
+        _post(server, "/score", {})
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        assert body["counters"]["serve.request_errors"] >= 1

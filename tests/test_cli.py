@@ -23,6 +23,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_export_bundle_defaults(self):
+        args = build_parser().parse_args(["export-bundle", "--output", "bundles/x"])
+        assert args.model == "AGNN"
+        assert args.scale == "smoke"
+        assert args.output == "bundles/x"
+
+    def test_export_bundle_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export-bundle"])
+
+    def test_export_bundle_rejects_baselines(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export-bundle", "--model", "NFM", "--output", "x"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--bundle", "bundles/x"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.cache_size == 100_000
+        assert not args.verbose
+
+    def test_serve_requires_bundle(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serving_bench_defaults(self):
+        args = build_parser().parse_args(["serving-bench"])
+        assert args.output == "BENCH_serving.json"
+        assert args.pairs == 200
+        assert args.scale == "smoke"
+
 
 class TestModelFactory:
     def test_agnn_variant(self):
@@ -67,6 +98,19 @@ class TestCommands:
         assert payload["model"] == "NFM"
         assert payload["epochs_trained"] >= 1
         assert payload["rmse"] > 0
+
+    def test_export_bundle_writes_loadable_bundle(self, capsys, tmp_path):
+        code = main(
+            ["export-bundle", "--scale", "smoke", "--epochs", "1",
+             "--output", str(tmp_path / "bundle"), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "AGNN"
+        from repro.serving import load_bundle
+
+        bundle = load_bundle(payload["bundle"])
+        assert bundle.manifest["model_name"] == "AGNN"
 
     def test_run_multi_seed(self, capsys):
         code = main(

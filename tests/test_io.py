@@ -77,3 +77,72 @@ class TestModelRoundTrip:
         other.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
         with pytest.raises(ValueError):
             load_model_into(other, path)
+
+    def test_bitwise_round_trip_on_warm_and_cold_pairs(self, ics_task, tmp_path):
+        """Save → load into a fresh model must be *bitwise* lossless, for
+        warm (training) pairs and strict-cold (test) pairs alike."""
+        config = AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0)
+        train = TrainConfig(epochs=1, batch_size=64, patience=None, seed=0)
+
+        nn.init.seed(0)
+        model = AGNN(config, rng_seed=0)
+        model.fit(ics_task, train)
+        warm_ref = model.predict(ics_task.train_users[:30], ics_task.train_items[:30])
+        cold_ref = model.predict(ics_task.test_users[:30], ics_task.test_items[:30])
+
+        path = tmp_path / "agnn.npz"
+        save_model(model, path)
+
+        nn.init.seed(99)  # different init: every weight must come from disk
+        fresh = AGNN(config, rng_seed=0)
+        fresh.fit(ics_task, train)
+        load_model_into(fresh, path)
+        fresh._invalidate_inference_cache()
+        np.testing.assert_array_equal(
+            fresh.predict(ics_task.train_users[:30], ics_task.train_items[:30]), warm_ref
+        )
+        np.testing.assert_array_equal(
+            fresh.predict(ics_task.test_users[:30], ics_task.test_items[:30]), cold_ref
+        )
+
+
+class TestLoadDiagnostics:
+    """``load_model_into`` reports the full file↔model diff in one error."""
+
+    @pytest.fixture()
+    def small_fitted(self, ics_task):
+        nn.init.seed(0)
+        model = AGNN(AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        model.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
+        return model
+
+    def test_shape_mismatches_are_listed(self, small_fitted, ics_task, tmp_path):
+        path = tmp_path / "agnn.npz"
+        save_model(small_fitted, path)
+        nn.init.seed(0)
+        other = AGNN(AGNNConfig(embedding_dim=8, num_neighbors=3, pool_percent=15.0), rng_seed=0)
+        other.fit(ics_task, TrainConfig(epochs=1, batch_size=64, patience=None))
+        with pytest.raises(ValueError, match="shape mismatches") as excinfo:
+            load_model_into(other, path)
+        message = str(excinfo.value)
+        assert "cannot load" in message and "AGNN" in message
+        assert "file (" in message and "vs model (" in message
+
+    def test_missing_and_unexpected_keys_are_listed(self, small_fitted, tmp_path):
+        state = small_fitted.state_dict()
+        dropped = sorted(state)[0]
+        del state[dropped]
+        state["bogus.extra"] = np.zeros(3)
+        path = tmp_path / "edited.npz"
+        np.savez_compressed(path, **{k.replace(".", "__"): v for k, v in state.items()})
+
+        with pytest.raises(ValueError) as excinfo:
+            load_model_into(small_fitted, path)
+        message = str(excinfo.value)
+        assert f"missing parameters (in model, not in file): ['{dropped}']" in message
+        assert "unexpected parameters (in file, not in model): ['bogus.extra']" in message
+
+    def test_clean_archive_loads_without_error(self, small_fitted, tmp_path):
+        path = tmp_path / "agnn.npz"
+        save_model(small_fitted, path)
+        assert load_model_into(small_fitted, path) is small_fitted

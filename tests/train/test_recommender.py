@@ -107,6 +107,13 @@ class TestPredictionProtocol:
         with pytest.raises(ValueError):
             model.predict(np.array([0, 1]), np.array([0]))
 
+    def test_empty_inputs_short_circuit(self, warm_task):
+        model = BiasOnly()
+        model.fit(warm_task, TrainConfig(epochs=1, patience=None))
+        preds = model.predict(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert preds.shape == (0,)
+        assert preds.dtype == np.float64
+
     def test_evaluate_without_task_raises(self):
         with pytest.raises(RuntimeError):
             BiasOnly().evaluate()
