@@ -11,6 +11,8 @@ Examples:
     python -m repro.cli export-bundle --scale smoke --output bundles/agnn
     python -m repro.cli serve --bundle bundles/agnn --port 8080
     python -m repro.cli serving-bench --output BENCH_serving.json
+    python -m repro.cli verify --fuzz-iterations 200
+    python -m repro.cli verify --update-goldens --skip fuzz invariants
 
 The heavy lifting lives in ``repro.experiments``; this is a thin, scriptable
 front end that prints either human-readable text or machine-readable JSON.
@@ -110,6 +112,23 @@ def build_parser() -> argparse.ArgumentParser:
     sbench.add_argument("--output", default="BENCH_serving.json",
                         help="snapshot path ('-' to skip writing)")
     sbench.add_argument("--json", action="store_true", help="print the snapshot JSON instead of a summary")
+
+    verify = commands.add_parser(
+        "verify",
+        help="pre-merge correctness gate: autograd fuzzing + golden baselines + invariant sweep",
+    )
+    verify.add_argument("--fuzz-iterations", type=int, default=200,
+                        help="random op graphs to check against finite differences")
+    verify.add_argument("--seed", type=int, default=0, help="fuzzing campaign seed")
+    verify.add_argument("--rtol", type=float, default=1e-4,
+                        help="finite-difference relative tolerance")
+    verify.add_argument("--goldens-dir", default=None,
+                        help="golden baseline directory (default: tests/goldens)")
+    verify.add_argument("--update-goldens", action="store_true",
+                        help="regenerate the golden files instead of comparing against them")
+    verify.add_argument("--skip", nargs="+", default=None, choices=["fuzz", "goldens", "invariants"],
+                        help="stages to skip")
+    verify.add_argument("--json", action="store_true", help="emit the full report as JSON")
     return parser
 
 
@@ -267,6 +286,28 @@ def _command_serving_bench(args) -> int:
     return 0
 
 
+def _command_verify(args) -> int:
+    from .verify import run_verify
+
+    report = run_verify(
+        fuzz_iterations=args.fuzz_iterations,
+        seed=args.seed,
+        rtol=args.rtol,
+        goldens_dir=args.goldens_dir,
+        update_goldens_flag=args.update_goldens,
+        skip=args.skip,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        for stage in report["stages"].values():
+            print(stage["summary"])
+        for name in report["skipped"]:
+            print(f"{name}: skipped")
+        print("verify:", "OK" if report["ok"] else "FAILED")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -277,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
         "export-bundle": _command_export_bundle,
         "serve": _command_serve,
         "serving-bench": _command_serving_bench,
+        "verify": _command_verify,
     }
     return handlers[args.command](args)
 

@@ -15,7 +15,11 @@ AGNN_GCN / AGNN_GAT; both are strictly coarser than per-dimension gating.
 
 from __future__ import annotations
 
-from ..autograd import Tensor, ops
+from typing import Dict
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad, ops
 from ..nn import Linear, Module, Parameter, init
 
 __all__ = ["GatedGNN", "GCNAggregator", "GATAggregator", "IdentityAggregator", "make_aggregator"]
@@ -67,6 +71,28 @@ class GatedGNN(Module):
             remaining = target  # AGNN_-fgate: keep the target intact
 
         return ops.leaky_relu(ops.add(remaining, aggregated), self.leaky_slope)  # Eq. 13
+
+    def gate_values(self, target, neighbours) -> Dict[str, np.ndarray]:
+        """Diagnostic: the raw sigmoid activations of Eq. 9 / Eq. 11.
+
+        Returns ``{"aggregate_gate": (B, k, D), "filter_gate": (B, D)}`` for
+        whichever gates are enabled — the invariant sweep asserts both lie
+        strictly inside (0, 1).  Runs under ``no_grad``; never mutates state.
+        """
+        target = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+        neighbours = neighbours if isinstance(neighbours, Tensor) else Tensor(np.asarray(neighbours))
+        batch, k, dim = neighbours.shape
+        gates: Dict[str, np.ndarray] = {}
+        with no_grad():
+            if self.use_aggregate_gate:
+                target_rep = ops.broadcast_to(target.reshape(batch, 1, dim), (batch, k, dim))
+                gate_in = ops.concatenate([target_rep, neighbours], axis=2)
+                gates["aggregate_gate"] = ops.sigmoid(self.w_aggregate(gate_in)).data
+            if self.use_filter_gate:
+                mean_neigh = ops.mean(neighbours, axis=1)
+                combined = ops.concatenate([target, mean_neigh], axis=1)
+                gates["filter_gate"] = ops.sigmoid(self.w_filter(combined)).data
+        return gates
 
 
 class GCNAggregator(Module):

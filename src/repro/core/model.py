@@ -50,9 +50,13 @@ class AGNN(Recommender):
 
     name = "AGNN"
 
-    def __init__(self, config: AGNNConfig = AGNNConfig(), rng_seed: int = 0) -> None:
+    def __init__(self, config: Optional[AGNNConfig] = None, rng_seed: int = 0) -> None:
         super().__init__()
-        self.config = config
+        # A `config: AGNNConfig = AGNNConfig()` default would be evaluated once
+        # at class definition and shared by every default-constructed model;
+        # AGNNConfig is frozen today, but per-instance construction keeps two
+        # models from ever aliasing the same config object.
+        self.config = config if config is not None else AGNNConfig()
         self._rng = np.random.default_rng(rng_seed)
         self._built = False
         # Per-task state, created in prepare():

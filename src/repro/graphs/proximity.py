@@ -78,7 +78,11 @@ def min_max_normalise(matrix: np.ndarray, mask: Optional[np.ndarray] = None) -> 
     normalised = (matrix - low) / (high - low)
     if mask is not None:
         normalised = np.where(mask, normalised, 0.0)
-    return np.clip(normalised, 0.0, 1.0)
+    normalised = np.clip(normalised, 0.0, 1.0)
+    # ±inf clip to the interval ends, but NaN survives np.clip — zero it so a
+    # poisoned similarity entry cannot leak into downstream neighbour ranking.
+    normalised[np.isnan(normalised)] = 0.0
+    return normalised
 
 
 def combined_proximity(

@@ -90,6 +90,11 @@ class InferenceEngine:
         self._refined: Dict[str, np.ndarray] = {}
         self._cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
         self._derive_embeddings()
+        # Opt-in construction-time invariant sweep (REPRO_VERIFY=1); imported
+        # at call time to keep repro.serving importable without repro.verify.
+        from ..verify.invariants import maybe_verify_engine
+
+        maybe_verify_engine(self)
 
     # ------------------------------------------------------------------ state
     @property

@@ -87,10 +87,10 @@ class Recommender(Module):
         raise NotImplementedError
 
     # ------------------------------------------------------------------ training
-    def fit(self, task: RecommendationTask, config: TrainConfig = TrainConfig()) -> TrainHistory:
+    def fit(self, task: RecommendationTask, config: Optional[TrainConfig] = None) -> TrainHistory:
         """Mini-batch training on ``task``'s training interactions."""
         with span("fit"):
-            return self._fit(task, config)
+            return self._fit(task, config if config is not None else TrainConfig())
 
     def _fit(self, task: RecommendationTask, config: TrainConfig) -> TrainHistory:
         self.task = task
@@ -172,6 +172,12 @@ class Recommender(Module):
             self.load_state_dict(best_state)
             self._invalidate_inference_cache()
         self.eval()
+        # Opt-in post-fit invariant sweep (REPRO_VERIFY=1).  Imported at call
+        # time: repro.verify.invariants inspects core model types, so a
+        # top-level import here would be circular.
+        from ..verify.invariants import maybe_verify_fit
+
+        maybe_verify_fit(self)
         return self.history
 
     def _invalidate_inference_cache(self) -> None:

@@ -1,0 +1,93 @@
+"""Correctness harness: differential fuzzing, golden baselines, invariants.
+
+Three pillars guard the numerical core of this repository:
+
+* :mod:`repro.verify.fuzz` — a property-based fuzzer that samples random op
+  graphs over ``repro.autograd.ops``, checks every forward against a pure-
+  NumPy reference and every backward against central finite differences,
+  shrinks failures and reports the seed that reproduces them;
+* :mod:`repro.verify.goldens` — seeded train+predict runs whose loss curves,
+  metrics, eVAE terms and generated cold-start embeddings are frozen into
+  ``tests/goldens/*.json`` with tolerance-tiered comparison;
+* :mod:`repro.verify.invariants` — reusable model/engine invariant checks,
+  callable from tests and (behind ``REPRO_VERIFY=1``) from ``Recommender.fit``
+  and ``InferenceEngine``.
+
+``repro.verify.runner.run_verify`` chains all three as a pre-merge gate;
+``python -m repro.cli verify`` is the command-line front end.
+"""
+
+from .fuzz import FuzzFailure, FuzzReport, run_fuzz, run_single
+from .goldens import (
+    GOLDEN_SPECS,
+    GoldenSpec,
+    Mismatch,
+    check_goldens,
+    compare_golden,
+    default_goldens_dir,
+    fit_golden_model,
+    run_golden,
+    update_goldens,
+)
+from .invariants import (
+    InvariantViolation,
+    check_engine_consistency,
+    check_evae_sigma,
+    check_finite_parameters,
+    check_gate_ranges,
+    check_generated_preferences,
+    check_index_matrix,
+    check_neighbour_indices,
+    check_offline_parity,
+    check_onboarding_determinism,
+    check_proximity_matrix,
+    check_symmetric,
+    check_unit_interval,
+    engine_invariant_report,
+    model_invariant_report,
+    runtime_verification_enabled,
+    verify_engine,
+    verify_model,
+)
+from .opspecs import OP_NAMES
+from .runner import run_verify
+
+__all__ = [
+    # fuzz
+    "run_fuzz",
+    "run_single",
+    "FuzzReport",
+    "FuzzFailure",
+    "OP_NAMES",
+    # goldens
+    "GoldenSpec",
+    "GOLDEN_SPECS",
+    "Mismatch",
+    "run_golden",
+    "fit_golden_model",
+    "compare_golden",
+    "update_goldens",
+    "check_goldens",
+    "default_goldens_dir",
+    # invariants
+    "InvariantViolation",
+    "runtime_verification_enabled",
+    "check_unit_interval",
+    "check_symmetric",
+    "check_proximity_matrix",
+    "check_index_matrix",
+    "check_finite_parameters",
+    "check_gate_ranges",
+    "check_neighbour_indices",
+    "check_evae_sigma",
+    "check_generated_preferences",
+    "check_engine_consistency",
+    "check_offline_parity",
+    "check_onboarding_determinism",
+    "model_invariant_report",
+    "engine_invariant_report",
+    "verify_model",
+    "verify_engine",
+    # runner
+    "run_verify",
+]

@@ -1,0 +1,326 @@
+"""Differential autograd fuzzing: random op graphs vs. references.
+
+For each sampled program (see :mod:`repro.verify.opspecs`) three properties
+are checked:
+
+1. **forward differential** — the Tensor forward must match a pure-NumPy
+   reference implementation of the same graph to near machine precision;
+2. **backward vs. finite differences** — every gradient leaf's analytic
+   gradient must match a central finite difference of the (Tensor) forward;
+3. **no crashes** — any exception raised while executing or differentiating
+   the graph is itself a failure.
+
+Finite differences are unreliable within ``eps`` of a kink (``relu(0)``,
+``maximum`` ties, ``clip`` edges), so a backward mismatch is *confirmed* by
+re-running the same program twice with jittered leaf values: a genuine
+backward bug persists, a kink coincidence evaporates.  Confirmed failures are
+shrunk by greedily deleting graph nodes while the check still fails, and the
+report carries ``(seed, iteration)`` so ``run_single(seed, iteration)``
+reproduces any failure exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .opspecs import Node, build_program, program_trace, run_numpy, run_tensor
+
+__all__ = ["FuzzFailure", "FuzzReport", "check_program", "run_fuzz", "run_single", "shrink_program"]
+
+_FORWARD_RTOL = 1e-9
+_FORWARD_ATOL = 1e-10
+
+
+@dataclass
+class FuzzFailure:
+    """One confirmed property violation, with everything needed to replay it."""
+
+    kind: str  # "forward" | "backward" | "exception"
+    seed: int
+    iteration: int
+    message: str
+    max_abs_err: float = 0.0
+    trace: List[str] = field(default_factory=list)
+    shrunk_trace: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [
+            f"[{self.kind}] iteration {self.iteration} (reproduce: run_single(seed={self.seed}, "
+            f"iteration={self.iteration}))",
+            f"  {self.message}",
+        ]
+        if self.shrunk_trace:
+            lines.append("  shrunk program:")
+            lines.extend(f"    {step}" for step in self.shrunk_trace)
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing campaign."""
+
+    iterations: int
+    seed: int
+    rtol: float
+    atol: float
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def ops_covered(self) -> int:
+        return len(self.op_counts)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        lines = [
+            f"fuzz: {self.iterations} graphs, {sum(self.op_counts.values())} op applications, "
+            f"{self.ops_covered} distinct ops, rtol={self.rtol:g} — {status}"
+        ]
+        lines.extend(str(failure) for failure in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "rtol": self.rtol,
+            "atol": self.atol,
+            "ops_covered": self.ops_covered,
+            "op_applications": int(sum(self.op_counts.values())),
+            "ok": self.ok,
+            "failures": [
+                {
+                    "kind": f.kind,
+                    "iteration": f.iteration,
+                    "message": f.message,
+                    "max_abs_err": f.max_abs_err,
+                    "shrunk_trace": f.shrunk_trace,
+                }
+                for f in self.failures
+            ],
+        }
+
+
+# ------------------------------------------------------------------- checking
+def _fd_gradient(program: List[Node], leaf_idx: int, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of the scalar output w.r.t. one leaf."""
+    base = program[leaf_idx].value
+    grad = np.zeros_like(base)
+    flat_base = base.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for i in range(flat_base.size):
+        bumped = flat_base.copy()
+        bumped[i] = flat_base[i] + eps
+        plus, _ = run_tensor(program, {leaf_idx: bumped.reshape(base.shape)}, with_grad=False)
+        bumped[i] = flat_base[i] - eps
+        minus, _ = run_tensor(program, {leaf_idx: bumped.reshape(base.shape)}, with_grad=False)
+        flat_grad[i] = (float(plus.data) - float(minus.data)) / (2.0 * eps)
+    return grad
+
+
+def check_program(program: List[Node], rtol: float = 1e-4, atol: float = 1e-5) -> Optional[Tuple[str, str, float]]:
+    """Run the differential + finite-difference check on one program.
+
+    Returns ``None`` on success or ``(kind, message, max_abs_err)``.
+    """
+    reference = run_numpy(program)[-1]
+    out, leaves = run_tensor(program)
+    if not np.allclose(out.data, reference, rtol=_FORWARD_RTOL, atol=_FORWARD_ATOL):
+        err = float(np.max(np.abs(out.data - reference)))
+        return ("forward", f"tensor forward deviates from numpy reference by {err:.3e}", err)
+    if not out.requires_grad:
+        return None
+    out.backward()
+    for leaf_idx, tensor in leaves.items():
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = _fd_gradient(program, leaf_idx)
+        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+            err = float(np.max(np.abs(analytic - numeric)))
+            ops_used = sorted({n.op for n in program if n.op != "leaf"})
+            return (
+                "backward",
+                f"gradient of leaf %{leaf_idx} deviates from finite differences by "
+                f"{err:.3e} (ops: {', '.join(ops_used)})",
+                err,
+            )
+    return None
+
+
+def _jittered(program: List[Node], rng: np.random.Generator) -> List[Node]:
+    """Copy of the program with gradient-leaf values nudged off any kink."""
+    clone = copy.deepcopy(program)
+    for node in clone:
+        if node.op == "leaf" and node.requires_grad:
+            node.value = node.value + rng.uniform(0.005, 0.02, size=node.value.shape)
+    return clone
+
+
+def _confirm_failure(program: List[Node], rng: np.random.Generator, rtol: float, atol: float) -> bool:
+    """A backward mismatch is real only if it survives input jitter.
+
+    Finite differences lie within ``eps`` of relu/abs/clip/maximum kinks; a
+    genuine backward bug fails for (almost) all inputs.  Two jittered replays
+    must reproduce the failure at least once for it to count.
+    """
+    hits = 0
+    for _ in range(2):
+        try:
+            if check_program(_jittered(program, rng), rtol=rtol, atol=atol) is not None:
+                hits += 1
+        except Exception:
+            hits += 1
+    return hits >= 1
+
+
+# ------------------------------------------------------------------ shrinking
+def _program_valid(program: List[Node]) -> bool:
+    try:
+        values = run_numpy(program)
+    except Exception:
+        return False
+    if values[-1].shape != ():
+        return False
+    has_grad_leaf = any(n.op == "leaf" and n.requires_grad for n in program)
+    return has_grad_leaf and all(np.all(np.isfinite(v)) for v in values)
+
+
+def _drop_node(program: List[Node], index: int) -> Optional[List[Node]]:
+    """Remove op node ``index``, rewiring its consumers to its first input."""
+    node = program[index]
+    if node.op == "leaf" or not node.args:
+        return None
+    replacement = node.args[0]
+    clone: List[Node] = []
+    remap: Dict[int, int] = {}
+    for i, other in enumerate(program):
+        if i == index:
+            remap[i] = remap[replacement]
+            continue
+        copied = copy.deepcopy(other)
+        copied.args = tuple(remap[a] for a in copied.args)
+        remap[i] = len(clone)
+        clone.append(copied)
+    # Garbage-collect leaves/ops nothing references any more.
+    used = {len(clone) - 1}
+    for i in range(len(clone) - 1, -1, -1):
+        if i in used:
+            used.update(clone[i].args)
+    keep = sorted(used)
+    final_map = {old: new for new, old in enumerate(keep)}
+    pruned = []
+    for old in keep:
+        copied = clone[old]
+        copied.args = tuple(final_map[a] for a in copied.args)
+        pruned.append(copied)
+    return pruned
+
+
+def shrink_program(program: List[Node], rtol: float, atol: float) -> List[Node]:
+    """Greedy delta-debugging: drop nodes while the check still fails."""
+
+    def still_fails(candidate: List[Node]) -> bool:
+        if not _program_valid(candidate):
+            return False
+        try:
+            return check_program(candidate, rtol=rtol, atol=atol) is not None
+        except Exception:
+            return True
+
+    current = program
+    progress = True
+    while progress:
+        progress = False
+        for index in range(len(current) - 1, -1, -1):
+            candidate = _drop_node(current, index)
+            if candidate is not None and len(candidate) < len(current) and still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+# -------------------------------------------------------------------- driving
+def _iteration_rng(seed: int, iteration: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(iteration,)))
+
+
+def run_single(
+    seed: int,
+    iteration: int,
+    max_ops: int = 6,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+    include: Optional[set] = None,
+) -> Tuple[List[Node], Optional[Tuple[str, str, float]]]:
+    """Re-run exactly one fuzz iteration; returns (program, check result)."""
+    rng = _iteration_rng(seed, iteration)
+    program = build_program(rng, max_ops=max_ops, include=include)
+    try:
+        return program, check_program(program, rtol=rtol, atol=atol)
+    except Exception as exc:  # noqa: BLE001 — crashes are findings, not errors
+        return program, ("exception", f"{type(exc).__name__}: {exc}", float("nan"))
+
+
+def run_fuzz(
+    iterations: int = 200,
+    seed: int = 0,
+    max_ops: int = 6,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+    include: Optional[set] = None,
+    max_failures: int = 10,
+) -> FuzzReport:
+    """Fuzz ``iterations`` random graphs; stop early after ``max_failures``.
+
+    Every iteration derives its own RNG from ``(seed, iteration)``, so any
+    failure can be replayed in isolation with :func:`run_single`.
+    """
+    report = FuzzReport(iterations=iterations, seed=seed, rtol=rtol, atol=atol)
+    for iteration in range(iterations):
+        rng = _iteration_rng(seed, iteration)
+        program = build_program(rng, max_ops=max_ops, include=include)
+        for node in program:
+            if node.op != "leaf":
+                report.op_counts[node.op] = report.op_counts.get(node.op, 0) + 1
+        try:
+            result = check_program(program, rtol=rtol, atol=atol)
+        except Exception as exc:  # noqa: BLE001
+            report.failures.append(
+                FuzzFailure(
+                    kind="exception",
+                    seed=seed,
+                    iteration=iteration,
+                    message=f"{type(exc).__name__}: {exc}",
+                    trace=program_trace(program),
+                    shrunk_trace=program_trace(shrink_program(program, rtol, atol)),
+                )
+            )
+        else:
+            if result is not None:
+                kind, message, err = result
+                confirm_rng = _iteration_rng(seed ^ 0x5EED, iteration)
+                if kind == "backward" and not _confirm_failure(program, confirm_rng, rtol, atol):
+                    continue  # finite-difference kink coincidence, not a bug
+                shrunk = shrink_program(program, rtol, atol)
+                report.failures.append(
+                    FuzzFailure(
+                        kind=kind,
+                        seed=seed,
+                        iteration=iteration,
+                        message=message,
+                        max_abs_err=err,
+                        trace=program_trace(program),
+                        shrunk_trace=program_trace(shrunk),
+                    )
+                )
+        if len(report.failures) >= max_failures:
+            break
+    return report

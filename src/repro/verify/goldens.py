@@ -1,0 +1,278 @@
+"""Golden regression baselines: frozen seeded train+predict runs.
+
+Each :class:`GoldenSpec` pins a fully deterministic SMOKE-scale run — a tiny
+dedicated MovieLens-like dataset, fixed init/model/optimiser seeds, a fixed
+epoch budget — and captures the quantities the ISSUE freezes:
+
+* per-epoch loss curves (prediction / reconstruction / validation RMSE);
+* test-set RMSE / MAE and a sample of raw predictions;
+* eVAE KL / approximation / σ terms per side;
+* fingerprints of the generated cold-start preference embeddings.
+
+The payload has two tolerance tiers.  ``exact`` holds integers and shapes and
+is compared with ``==`` (these are bitwise-deterministic on any platform);
+``close`` holds floats compared with ``rtol=1e-6`` — loose enough to absorb
+BLAS reduction-order differences across machines, tight enough that a 1e-3
+drift in any metric fails loudly.
+
+``update_goldens`` regenerates ``tests/goldens/*.json`` (the intentional
+route: ``repro verify --update-goldens``); ``check_goldens`` replays every
+spec and diffs against the frozen files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import no_grad, ops
+from ..core import AGNN
+from ..core.cold_modules import EVAEStrategy
+from ..data import MovieLensConfig, make_split
+from ..data.splits import RecommendationTask
+from ..experiments.configs import SMOKE, dataset_factory
+from ..nn import init as nn_init
+from ..nn.functional import gaussian_kl, l2_distance
+from ..train.history import TrainHistory
+
+__all__ = [
+    "GOLDEN_SEED",
+    "GOLDEN_SPECS",
+    "GoldenSpec",
+    "Mismatch",
+    "check_goldens",
+    "compare_golden",
+    "default_goldens_dir",
+    "fit_golden_model",
+    "run_golden",
+    "update_goldens",
+]
+
+GOLDEN_SEED = 7
+
+#: Dedicated dataset for the goldens: smaller than SMOKE's ML-100K so the two
+#: frozen runs stay cheap enough for every pre-merge gate, but dense enough
+#: that both cold-start scenarios keep non-trivial train/test splits.
+VERIFY_DATASET = MovieLensConfig(
+    name="verify-ml",
+    num_users=48,
+    num_items=64,
+    num_ratings=900,
+    num_stars=20,
+    num_directors=12,
+    num_writers=16,
+)
+
+
+@dataclass(frozen=True)
+class GoldenSpec:
+    """One frozen run: scenario + epoch budget over the verify dataset."""
+
+    name: str
+    scenario: str
+    epochs: int = 4
+    seed: int = GOLDEN_SEED
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.json"
+
+
+GOLDEN_SPECS: Tuple[GoldenSpec, ...] = (
+    GoldenSpec(name="golden_item_cold", scenario="item_cold"),
+    GoldenSpec(name="golden_user_cold", scenario="user_cold"),
+)
+
+
+@dataclass
+class Mismatch:
+    """One divergence between a frozen golden and the current run."""
+
+    path: str
+    expected: Any
+    actual: Any
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.detail} (frozen {self.expected!r} vs current {self.actual!r})"
+
+
+def default_goldens_dir() -> Path:
+    """``tests/goldens`` next to the source tree (repo layout)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "goldens"
+
+
+# ------------------------------------------------------------------ generation
+def fit_golden_model(spec: GoldenSpec) -> Tuple[AGNN, RecommendationTask, TrainHistory]:
+    """Deterministically train the golden run for ``spec`` from scratch."""
+    nn_init.seed(spec.seed)
+    dataset = dataset_factory(VERIFY_DATASET)()
+    task = make_split(dataset, spec.scenario, fraction=0.2, seed=spec.seed)
+    model = AGNN(SMOKE.agnn, rng_seed=spec.seed)
+    history = model.fit(task, replace(SMOKE.train, epochs=spec.epochs, seed=spec.seed))
+    return model, task, history
+
+
+def _evae_terms(model: AGNN, side: str) -> Optional[Dict[str, float]]:
+    """Deterministic eVAE diagnostics (Eq. 6–8) over the first warm nodes."""
+    module = model._cold_module(side)
+    if not isinstance(module, EVAEStrategy):
+        return None
+    attributes = model._attributes[side]
+    ids = np.arange(min(attributes.shape[0], 24), dtype=np.int64)
+    encoder = model._encoder(side)
+    with no_grad():
+        attr_embed = encoder.attribute_embedding(ids, attributes)
+        mu, log_var = module.vae.encode(attr_embed)
+        sigma = ops.exp(ops.mul(log_var, 0.5))
+        kl = gaussian_kl(mu, log_var)
+        generated = module.vae.decode(mu)
+        preference = encoder.preference_embedding(ids)
+        approx = ops.mean(l2_distance(generated, preference))
+    return {
+        "kl": float(kl.data),
+        "approximation": float(approx.data),
+        "sigma_mean": float(np.mean(sigma.data)),
+        "sigma_min": float(np.min(sigma.data)),
+        "mu_norm": float(np.linalg.norm(mu.data)),
+    }
+
+
+def _preference_fingerprint(model: AGNN, side: str) -> Dict[str, Any]:
+    """Mean/std plus a few raw values of the generated preference matrix."""
+    matrix = model.generated_preferences(side)
+    cold = model.cold_node_ids(side)
+    sample_rows = matrix[cold[: min(len(cold), 4)]] if len(cold) else matrix[:2]
+    return {
+        "mean": float(matrix.mean()),
+        "std": float(matrix.std()),
+        "cold_rows_sample": [float(v) for v in sample_rows.reshape(-1)[:16]],
+    }
+
+
+def run_golden(spec: GoldenSpec) -> Dict[str, Any]:
+    """Train the golden run and collect its frozen payload."""
+    model, task, history = fit_golden_model(spec)
+    evaluation = model.evaluate(task)
+    predictions = model.predict(task.test_users, task.test_items)
+
+    exact: Dict[str, Any] = {
+        "num_epochs": history.num_epochs,
+        "num_users": task.dataset.num_users,
+        "num_items": task.dataset.num_items,
+        "num_train": int(len(task.train_users)),
+        "num_test": int(len(task.test_users)),
+        "num_cold_users": int(len(model.cold_node_ids("user"))),
+        "num_cold_items": int(len(model.cold_node_ids("item"))),
+        "embedding_dim": model.config.embedding_dim,
+        "loss_names": sorted(history.losses),
+    }
+    close: Dict[str, Any] = {
+        "history": {name: [float(v) for v in curve] for name, curve in history.losses.items()},
+        "eval": {"rmse": evaluation.rmse, "mae": evaluation.mae},
+        "predictions_sample": [float(v) for v in predictions[:16]],
+        "preference": {side: _preference_fingerprint(model, side) for side in ("user", "item")},
+    }
+    evae = {side: _evae_terms(model, side) for side in ("user", "item")}
+    close["evae"] = {side: terms for side, terms in evae.items() if terms is not None}
+    return {
+        "meta": {
+            "spec": spec.name,
+            "scenario": spec.scenario,
+            "epochs": spec.epochs,
+            "seed": spec.seed,
+            "dataset": VERIFY_DATASET.name,
+        },
+        "exact": exact,
+        "close": close,
+    }
+
+
+# ------------------------------------------------------------------ comparison
+def _walk(path: str, frozen: Any, current: Any, close: bool, rtol: float, atol: float,
+          out: List[Mismatch]) -> None:
+    if isinstance(frozen, dict):
+        if not isinstance(current, dict):
+            out.append(Mismatch(path, frozen, current, "frozen value is a mapping, current is not"))
+            return
+        for key in frozen:
+            if key not in current:
+                out.append(Mismatch(f"{path}.{key}", frozen[key], None, "key missing from current run"))
+            else:
+                _walk(f"{path}.{key}", frozen[key], current[key], close, rtol, atol, out)
+        for key in current:
+            if key not in frozen:
+                out.append(Mismatch(f"{path}.{key}", None, current[key], "key not present in frozen golden"))
+        return
+    if isinstance(frozen, list):
+        if not isinstance(current, list):
+            out.append(Mismatch(path, frozen, current, "frozen value is a list, current is not"))
+            return
+        if len(frozen) != len(current):
+            out.append(Mismatch(path, len(frozen), len(current), "length changed"))
+            return
+        for i, (f, c) in enumerate(zip(frozen, current)):
+            _walk(f"{path}[{i}]", f, c, close, rtol, atol, out)
+        return
+    if close and isinstance(frozen, float) and isinstance(current, (int, float)):
+        if not math.isclose(frozen, float(current), rel_tol=rtol, abs_tol=atol):
+            err = abs(frozen - float(current))
+            out.append(Mismatch(path, frozen, current, f"drifted by {err:.3e} (rtol {rtol:g})"))
+        return
+    if frozen != current:
+        out.append(Mismatch(path, frozen, current, "exact-tier value changed"))
+
+
+def compare_golden(frozen: Dict[str, Any], current: Dict[str, Any],
+                   rtol: float = 1e-6, atol: float = 1e-9) -> List[Mismatch]:
+    """Diff two golden payloads; ``exact`` bitwise, ``close`` within rtol."""
+    out: List[Mismatch] = []
+    _walk("meta", frozen.get("meta", {}), current.get("meta", {}), False, rtol, atol, out)
+    _walk("exact", frozen.get("exact", {}), current.get("exact", {}), False, rtol, atol, out)
+    _walk("close", frozen.get("close", {}), current.get("close", {}), True, rtol, atol, out)
+    return out
+
+
+# ------------------------------------------------------------------ file layer
+def update_goldens(directory: Optional[Path] = None) -> List[Path]:
+    """Regenerate every golden file (the ``--update-goldens`` path)."""
+    directory = Path(directory) if directory is not None else default_goldens_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for spec in GOLDEN_SPECS:
+        payload = run_golden(spec)
+        target = directory / spec.filename
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(target)
+    return written
+
+
+def check_goldens(directory: Optional[Path] = None,
+                  rtol: float = 1e-6, atol: float = 1e-9) -> Dict[str, List[Mismatch]]:
+    """Replay every spec and diff against its frozen file.
+
+    Returns ``{spec name: mismatches}`` — all lists empty when the goldens
+    hold.  A missing frozen file is itself a mismatch (run
+    ``repro verify --update-goldens`` to create it).
+    """
+    directory = Path(directory) if directory is not None else default_goldens_dir()
+    results: Dict[str, List[Mismatch]] = {}
+    for spec in GOLDEN_SPECS:
+        target = directory / spec.filename
+        if not target.exists():
+            results[spec.name] = [
+                Mismatch(spec.filename, "frozen golden file", None,
+                         "missing — generate it with `repro verify --update-goldens`")
+            ]
+            continue
+        with open(target, "r", encoding="utf-8") as handle:
+            frozen = json.load(handle)
+        results[spec.name] = compare_golden(frozen, run_golden(spec), rtol=rtol, atol=atol)
+    return results

@@ -1,0 +1,368 @@
+"""Model and engine invariant checks (ISSUE pillar 3).
+
+Each ``check_*`` helper returns a list of human-readable violation strings —
+empty when the invariant holds — so callers can aggregate many checks into one
+report.  ``verify_model`` / ``verify_engine`` raise :class:`InvariantViolation`
+with the full list when anything fails.
+
+The module keeps its top-level imports to numpy / autograd / telemetry only;
+``repro.core`` and ``repro.serving`` are imported inside functions so that
+``repro.train.recommender`` and ``repro.serving.engine`` can import *this*
+module at call time without creating an import cycle.
+
+Runtime hooks: with ``REPRO_VERIFY=1`` in the environment,
+``Recommender.fit`` calls :func:`maybe_verify_fit` after training and
+``InferenceEngine.__init__`` calls :func:`maybe_verify_engine` after deriving
+its embeddings; both sweep every applicable invariant and raise on violation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..autograd import no_grad, ops
+from ..telemetry import increment, span
+
+__all__ = [
+    "InvariantViolation",
+    "runtime_verification_enabled",
+    "check_unit_interval",
+    "check_symmetric",
+    "check_proximity_matrix",
+    "check_index_matrix",
+    "check_finite_parameters",
+    "check_gate_ranges",
+    "check_neighbour_indices",
+    "check_evae_sigma",
+    "check_generated_preferences",
+    "check_engine_consistency",
+    "check_offline_parity",
+    "check_onboarding_determinism",
+    "model_invariant_report",
+    "engine_invariant_report",
+    "verify_model",
+    "verify_engine",
+    "maybe_verify_fit",
+    "maybe_verify_engine",
+]
+
+_SIDES = ("user", "item")
+
+
+class InvariantViolation(AssertionError):
+    """One or more model/engine invariants do not hold."""
+
+    def __init__(self, context: str, violations: List[str]) -> None:
+        self.context = context
+        self.violations = list(violations)
+        lines = [f"{context}: {len(violations)} invariant violation(s)"]
+        lines.extend(f"  - {v}" for v in violations)
+        super().__init__("\n".join(lines))
+
+
+def runtime_verification_enabled() -> bool:
+    """True when ``REPRO_VERIFY`` is set to a truthy value in the environment."""
+    return os.environ.get("REPRO_VERIFY", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+# ------------------------------------------------------------ array primitives
+def check_unit_interval(name: str, values: np.ndarray, open_interval: bool = False) -> List[str]:
+    """All values in [0, 1] (or strictly (0, 1) for sigmoid outputs)."""
+    values = np.asarray(values)
+    out: List[str] = []
+    if values.size == 0:
+        return out
+    if not np.all(np.isfinite(values)):
+        out.append(f"{name}: contains non-finite values")
+        return out
+    low, high = float(values.min()), float(values.max())
+    if open_interval:
+        if low <= 0.0 or high >= 1.0:
+            out.append(f"{name}: values must lie strictly in (0, 1); range is [{low:.3e}, {high:.3e}]")
+    elif low < 0.0 or high > 1.0:
+        out.append(f"{name}: values must lie in [0, 1]; range is [{low:.3e}, {high:.3e}]")
+    return out
+
+
+def check_symmetric(name: str, matrix: np.ndarray, atol: float = 1e-12) -> List[str]:
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return [f"{name}: expected a square matrix, got shape {matrix.shape}"]
+    err = float(np.max(np.abs(matrix - matrix.T))) if matrix.size else 0.0
+    if err > atol:
+        return [f"{name}: not symmetric (max |A - Aᵀ| = {err:.3e})"]
+    return []
+
+
+def check_proximity_matrix(name: str, matrix: np.ndarray) -> List[str]:
+    """A normalised proximity matrix is symmetric with entries in [0, 1]."""
+    return check_symmetric(name, matrix) + check_unit_interval(name, matrix)
+
+
+def check_index_matrix(name: str, indices: np.ndarray, upper: int) -> List[str]:
+    """Integer indices in ``[0, upper)`` — neighbour tables, id arrays."""
+    indices = np.asarray(indices)
+    out: List[str] = []
+    if not np.issubdtype(indices.dtype, np.integer):
+        out.append(f"{name}: expected integer dtype, got {indices.dtype}")
+        return out
+    if indices.size == 0:
+        return out
+    low, high = int(indices.min()), int(indices.max())
+    if low < 0 or high >= upper:
+        out.append(f"{name}: indices must lie in [0, {upper}); range is [{low}, {high}]")
+    return out
+
+
+def check_finite_parameters(model) -> List[str]:
+    """Every named parameter (and its gradient, if any) is finite."""
+    out: List[str] = []
+    for name, param in model.named_parameters():
+        if not np.all(np.isfinite(param.data)):
+            out.append(f"parameter {name}: contains non-finite values")
+        if param.grad is not None and not np.all(np.isfinite(param.grad)):
+            out.append(f"parameter {name}: gradient contains non-finite values")
+    return out
+
+
+# ------------------------------------------------------------- model invariants
+def _sample_ids(n: int, limit: int = 32) -> np.ndarray:
+    return np.arange(min(n, limit), dtype=np.int64)
+
+
+def check_neighbour_indices(model) -> List[str]:
+    """Eq. 9–13 gather: every sampled neighbour id addresses a real node."""
+    out: List[str] = []
+    for side in _SIDES:
+        try:
+            neighbours = model.neighbour_matrix(side)
+        except RuntimeError:
+            continue
+        n = model._attributes[side].shape[0]
+        out += check_index_matrix(f"{side} neighbour matrix", neighbours, n)
+        if neighbours.ndim != 2:
+            out.append(f"{side} neighbour matrix: expected (n, k), got shape {neighbours.shape}")
+    return out
+
+
+def check_gate_ranges(model) -> List[str]:
+    """Gated-GNN aggregate/filter gates are sigmoids: strictly inside (0, 1)."""
+    from ..core.gated_gnn import GatedGNN
+
+    out: List[str] = []
+    for side in _SIDES:
+        aggregator = model._aggregator(side)
+        if not isinstance(aggregator, GatedGNN):
+            continue
+        try:
+            neighbours = model.neighbour_matrix(side)
+        except RuntimeError:
+            continue
+        ids = _sample_ids(neighbours.shape[0])
+        attributes = model._attributes[side]
+        preferences = model.generated_preferences(side)
+        targets = model.raw_node_embeddings(side, attributes, preferences, ids)
+        neighbour_rows = model.raw_node_embeddings(
+            side, attributes, preferences, neighbours[ids].reshape(-1)
+        ).reshape(len(ids), neighbours.shape[1], -1)
+        gates = aggregator.gate_values(targets, neighbour_rows)
+        for gate_name, values in gates.items():
+            out += check_unit_interval(f"{side} {gate_name}", values, open_interval=True)
+    return out
+
+
+def check_evae_sigma(model) -> List[str]:
+    """The eVAE inference network must produce σ = exp(½ log σ²) > 0, finite."""
+    from ..core.cold_modules import EVAEStrategy
+
+    out: List[str] = []
+    for side in _SIDES:
+        module = model._cold_module(side)
+        if not isinstance(module, EVAEStrategy):
+            continue
+        if side not in model._attributes:
+            continue
+        attributes = model._attributes[side]
+        ids = _sample_ids(attributes.shape[0])
+        with no_grad():
+            attr_embed = model._encoder(side).attribute_embedding(ids, attributes)
+            mu, log_var = module.vae.encode(attr_embed)
+            sigma = ops.exp(ops.mul(log_var, 0.5)).data
+        if not np.all(np.isfinite(mu.data)):
+            out.append(f"{side} eVAE μ: contains non-finite values")
+        if not np.all(np.isfinite(sigma)):
+            out.append(f"{side} eVAE σ: contains non-finite values")
+        elif sigma.size and float(sigma.min()) <= 0.0:
+            out.append(f"{side} eVAE σ: must be strictly positive, min is {float(sigma.min()):.3e}")
+    return out
+
+
+def check_generated_preferences(model) -> List[str]:
+    """Generated cold-start preference rows are finite and deterministic."""
+    out: List[str] = []
+    for side in _SIDES:
+        if side not in model._attributes:
+            continue
+        matrix = model.generated_preferences(side)
+        if not np.all(np.isfinite(matrix)):
+            out.append(f"{side} preference matrix: contains non-finite values")
+        cold = model.cold_node_ids(side)
+        if len(cold) == 0:
+            continue
+        rows = model._attributes[side][cold[: min(len(cold), 16)]]
+        first = model.generate_cold_preference(side, rows)
+        second = model.generate_cold_preference(side, rows)
+        if not np.array_equal(first, second):
+            out.append(f"{side} generate_cold_preference: not deterministic (eVAE must decode μ, not sample)")
+    return out
+
+
+def model_invariant_report(model) -> List[str]:
+    """Sweep every invariant that applies to ``model``; return violations.
+
+    Finite parameters are checked for any :class:`~repro.nn.Module`; the
+    AGNN-specific checks (gates, neighbours, eVAE, generated preferences)
+    run only when the model is a prepared AGNN.
+    """
+    from ..core.model import AGNN
+
+    out = check_finite_parameters(model)
+    if isinstance(model, AGNN) and model._built and model._neighbours:
+        index_violations = check_neighbour_indices(model)
+        out += index_violations
+        if index_violations:
+            # Gate/preference checks gather embeddings by neighbour index;
+            # running them against a known-bad matrix would just crash.
+            return out
+        out += check_gate_ranges(model)
+        out += check_evae_sigma(model)
+        out += check_generated_preferences(model)
+    return out
+
+
+def verify_model(model, context: str = "model") -> None:
+    """Raise :class:`InvariantViolation` if any model invariant fails."""
+    violations = model_invariant_report(model)
+    if violations:
+        raise InvariantViolation(context, violations)
+
+
+# ------------------------------------------------------------ engine invariants
+def check_engine_consistency(engine, pairs: int = 16) -> List[str]:
+    """``score`` (cached path) and ``predict_batch`` agree bitwise, twice."""
+    out: List[str] = []
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, engine.num_users, size=pairs)
+    items = rng.integers(0, engine.num_items, size=pairs)
+    batched = engine.predict_batch(users, items)
+    again = engine.predict_batch(users, items)
+    if not np.array_equal(batched, again):
+        out.append("predict_batch: not deterministic across repeated calls")
+    scored = engine.score(users, items)
+    if not np.array_equal(scored, batched):
+        err = float(np.max(np.abs(scored - batched)))
+        out.append(f"score vs predict_batch: differ (max |Δ| = {err:.3e})")
+    cached = engine.score(users, items)
+    if not np.array_equal(cached, scored):
+        out.append("score: cache hit returns a different value than the computed score")
+    low, high = engine.rating_scale
+    if batched.size and (batched.min() < low or batched.max() > high):
+        out.append(f"predict_batch: scores escape the rating scale [{low}, {high}]")
+    return out
+
+
+def check_offline_parity(engine, model, users: np.ndarray, items: np.ndarray) -> List[str]:
+    """The serving engine reproduces the offline model bitwise (ISSUE pillar 3).
+
+    Both paths gather the same trained weights over the same neighbour tables,
+    so the float pipelines are identical — the comparison is exact, matching
+    ``tests/serving/test_engine.py`` and the serving bench baseline.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    items = np.asarray(items, dtype=np.int64)
+    offline = model.predict(users, items)
+    online = engine.predict_batch(users, items)
+    if not np.array_equal(offline, online):
+        err = float(np.max(np.abs(offline - online))) if users.size else 0.0
+        return [f"offline parity: engine.predict_batch deviates from model.predict (max |Δ| = {err:.3e})"]
+    return []
+
+
+def check_onboarding_determinism(engine, side: str = "user") -> List[str]:
+    """Onboarding is a pure function of attributes: the generated preference
+    row and spliced neighbourhood must be bitwise-stable across repeats.
+
+    Checked without mutating the engine — the generation and splice steps are
+    re-run directly instead of calling ``add_user``/``add_item`` twice.
+    """
+    from ..serving.onboarding import splice_neighbours
+
+    out: List[str] = []
+    attr = engine._attr[side]
+    if attr.shape[0] == 0:
+        return out
+    row = attr[0]
+    first = engine.model.generate_cold_preference(side, row[None])
+    second = engine.model.generate_cold_preference(side, row[None])
+    if not np.array_equal(first, second):
+        out.append(f"{side} onboarding: generated preference row is not deterministic")
+    k = engine._neigh[side].shape[1]
+    splice_a, _, _ = splice_neighbours(
+        row, attr, pool_percent=engine.model.config.pool_percent, k=k,
+        min_pool=engine.model.config.num_neighbors,
+    )
+    splice_b, _, _ = splice_neighbours(
+        row, attr, pool_percent=engine.model.config.pool_percent, k=k,
+        min_pool=engine.model.config.num_neighbors,
+    )
+    if not np.array_equal(splice_a, splice_b):
+        out.append(f"{side} onboarding: spliced neighbourhood is not deterministic")
+    out += check_index_matrix(f"{side} spliced neighbourhood", np.asarray(splice_a), attr.shape[0])
+    return out
+
+
+def engine_invariant_report(engine) -> List[str]:
+    """Sweep the serving-side invariants over a live engine."""
+    out: List[str] = []
+    for side in _SIDES:
+        n = engine.count(side)
+        out += check_index_matrix(f"{side} engine neighbour matrix", engine._neigh[side], n)
+        for name, matrix in (("raw", engine._raw[side]), ("refined", engine._refined[side]),
+                             ("preference", engine._pref[side])):
+            if not np.all(np.isfinite(matrix)):
+                out.append(f"{side} {name} embeddings: contain non-finite values")
+    out += check_engine_consistency(engine)
+    for side in _SIDES:
+        out += check_onboarding_determinism(engine, side)
+    out += check_finite_parameters(engine.model)
+    return out
+
+
+def verify_engine(engine, context: str = "engine") -> None:
+    """Raise :class:`InvariantViolation` if any engine invariant fails."""
+    violations = engine_invariant_report(engine)
+    if violations:
+        raise InvariantViolation(context, violations)
+
+
+# ----------------------------------------------------------------- runtime hooks
+def maybe_verify_fit(model) -> None:
+    """Post-fit sweep, active only under ``REPRO_VERIFY=1`` (called by
+    ``Recommender.fit``); raises on violation so a bad run fails loudly."""
+    if not runtime_verification_enabled():
+        return
+    with span("verify.fit"):
+        increment("verify.fit_sweeps")
+        verify_model(model, context=f"REPRO_VERIFY fit sweep ({model.name})")
+
+
+def maybe_verify_engine(engine) -> None:
+    """Post-construction sweep for ``InferenceEngine`` under ``REPRO_VERIFY=1``."""
+    if not runtime_verification_enabled():
+        return
+    with span("verify.engine"):
+        increment("verify.engine_sweeps")
+        verify_engine(engine, context="REPRO_VERIFY engine sweep")

@@ -1,0 +1,103 @@
+"""One-shot verification gate: fuzz + goldens + invariant sweep.
+
+``run_verify`` is the engine behind ``repro verify`` — it chains the three
+pillars of :mod:`repro.verify` into a single pass/fail report suitable as a
+pre-merge gate:
+
+1. bounded differential autograd fuzzing (default 200 graphs);
+2. golden baseline comparison (or regeneration with ``update_goldens=True``);
+3. an invariant sweep over a freshly fitted golden model, a bundle round
+   trip, the serving engine it loads into, and offline↔online parity.
+
+Each stage contributes a section to the returned report dict; ``ok`` is the
+conjunction.  Stages can be skipped individually (``skip={"fuzz"}``) so the
+CLI can, e.g., regenerate goldens without paying for a fuzz campaign.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+import numpy as np
+
+from .fuzz import run_fuzz
+from .goldens import GOLDEN_SPECS, check_goldens, fit_golden_model, update_goldens
+from .invariants import engine_invariant_report, check_offline_parity, model_invariant_report
+
+__all__ = ["STAGES", "run_verify"]
+
+STAGES = ("fuzz", "goldens", "invariants")
+
+
+def _fuzz_stage(iterations: int, seed: int, rtol: float) -> Dict[str, Any]:
+    report = run_fuzz(iterations=iterations, seed=seed, rtol=rtol)
+    return {"ok": report.ok, "summary": report.summary(), **report.to_dict()}
+
+
+def _goldens_stage(directory: Optional[Path], update: bool) -> Dict[str, Any]:
+    if update:
+        written = update_goldens(directory)
+        return {
+            "ok": True,
+            "updated": [str(p) for p in written],
+            "summary": f"goldens: regenerated {len(written)} file(s)",
+        }
+    results = check_goldens(directory)
+    mismatches = {name: [str(m) for m in found] for name, found in results.items() if found}
+    total = sum(len(found) for found in mismatches.values())
+    status = "OK" if not total else f"{total} MISMATCH(ES)"
+    lines = [f"goldens: {len(results)} spec(s) replayed — {status}"]
+    for name, found in mismatches.items():
+        lines.append(f"  {name}:")
+        lines.extend(f"    {m}" for m in found)
+    return {"ok": not total, "mismatches": mismatches, "summary": "\n".join(lines)}
+
+
+def _invariants_stage(parity_pairs: int = 64) -> Dict[str, Any]:
+    from ..serving.bundle import export_bundle, load_bundle
+    from ..serving.engine import InferenceEngine
+
+    spec = GOLDEN_SPECS[0]
+    model, task, _ = fit_golden_model(spec)
+    violations = [f"model: {v}" for v in model_invariant_report(model)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = load_bundle(export_bundle(model, task, Path(tmp) / "bundle", note="verify-sweep"))
+        engine = InferenceEngine(bundle)
+        violations += [f"engine: {v}" for v in engine_invariant_report(engine)]
+        count = min(parity_pairs, len(task.test_users))
+        users = np.asarray(task.test_users[:count])
+        items = np.asarray(task.test_items[:count])
+        violations += [f"parity: {v}" for v in check_offline_parity(engine, model, users, items)]
+
+    status = "OK" if not violations else f"{len(violations)} VIOLATION(S)"
+    lines = [f"invariants: model + bundle round trip + engine + parity ({count} pairs) — {status}"]
+    lines.extend(f"  {v}" for v in violations)
+    return {"ok": not violations, "violations": violations, "summary": "\n".join(lines)}
+
+
+def run_verify(
+    fuzz_iterations: int = 200,
+    seed: int = 0,
+    rtol: float = 1e-4,
+    goldens_dir: Optional[Path] = None,
+    update_goldens_flag: bool = False,
+    skip: Optional[Iterable[str]] = None,
+) -> Dict[str, Any]:
+    """Run the verification gate; returns a report dict with an ``ok`` flag."""
+    skipped = set(skip or ())
+    unknown = skipped - set(STAGES)
+    if unknown:
+        raise ValueError(f"unknown verify stage(s) {sorted(unknown)}; choose from {STAGES}")
+
+    report: Dict[str, Any] = {"stages": {}, "skipped": sorted(skipped)}
+    if "fuzz" not in skipped:
+        report["stages"]["fuzz"] = _fuzz_stage(fuzz_iterations, seed, rtol)
+    if "goldens" not in skipped:
+        report["stages"]["goldens"] = _goldens_stage(goldens_dir, update_goldens_flag)
+    if "invariants" not in skipped:
+        report["stages"]["invariants"] = _invariants_stage()
+    report["ok"] = all(stage["ok"] for stage in report["stages"].values())
+    return report

@@ -40,6 +40,13 @@ class TestConfig:
         assert cfg.embedding_dim == 8
         assert cfg.pool_percent == 5.0
 
+    def test_default_constructed_models_do_not_share_config(self):
+        # Regression: a mutable default AGNNConfig() in the signature would be
+        # evaluated once and aliased across every default-constructed model.
+        first, second = AGNN(), AGNN()
+        assert first.config is not second.config
+        assert first.config == second.config
+
 
 class TestTraining:
     def test_fit_and_evaluate_ics(self, ics_task):

@@ -91,6 +91,38 @@ class TestMinMaxNormalise:
             out = min_max_normalise(x)
         np.testing.assert_array_equal(out, np.zeros((2, 2)))
 
+    def test_nan_entries_do_not_leak_into_output(self):
+        x = np.array([[np.nan, 0.0], [2.0, 4.0]])
+        out = min_max_normalise(x)
+        assert np.isfinite(out).all()
+        assert out[0, 0] == 0.0
+        np.testing.assert_allclose(out[1], [0.5, 1.0])
+
+    def test_positive_inf_clips_to_one(self):
+        x = np.array([[np.inf, 0.0], [1.0, 2.0]])
+        out = min_max_normalise(x)
+        assert out[0, 0] == 1.0
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_all_nan_maps_to_zero(self):
+        with np.errstate(divide="raise", invalid="raise"):
+            out = min_max_normalise(np.full((3, 3), np.nan))
+        np.testing.assert_array_equal(out, np.zeros((3, 3)))
+
+    def test_empty_matrix(self):
+        out = min_max_normalise(np.empty((0, 0)))
+        assert out.shape == (0, 0)
+        out = min_max_normalise(np.empty((0, 4)), np.empty((0, 4), dtype=bool))
+        assert out.shape == (0, 4)
+
+    def test_nan_mixed_with_mask(self):
+        x = np.array([[np.nan, 5.0], [1.0, 3.0]])
+        mask = np.array([[True, False], [True, True]])
+        out = min_max_normalise(x, mask)
+        assert out[0, 0] == 0.0  # NaN zeroed, not propagated
+        assert out[0, 1] == 0.0  # unmasked
+        np.testing.assert_allclose(out[1], [0.0, 1.0])  # range from finite masked entries
+
     @given(
         hnp.arrays(
             np.float64,

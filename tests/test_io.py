@@ -142,6 +142,23 @@ class TestLoadDiagnostics:
         assert f"missing parameters (in model, not in file): ['{dropped}']" in message
         assert "unexpected parameters (in file, not in model): ['bogus.extra']" in message
 
+    def test_all_three_problem_classes_reported_in_one_error(self, small_fitted, tmp_path):
+        state = small_fitted.state_dict()
+        dropped = sorted(state)[0]
+        del state[dropped]
+        reshaped = sorted(state)[0]
+        state[reshaped] = np.zeros(np.asarray(state[reshaped]).size + 1)
+        state["bogus.extra"] = np.zeros(3)
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, **{k.replace(".", "__"): v for k, v in state.items()})
+
+        with pytest.raises(ValueError) as excinfo:
+            load_model_into(small_fitted, path)
+        message = str(excinfo.value)
+        assert dropped in message and "missing parameters" in message
+        assert "bogus.extra" in message and "unexpected parameters" in message
+        assert reshaped in message and "shape mismatches" in message
+
     def test_clean_archive_loads_without_error(self, small_fitted, tmp_path):
         path = tmp_path / "agnn.npz"
         save_model(small_fitted, path)

@@ -1,0 +1,35 @@
+"""Fixtures for the correctness-harness suite: one golden model + engine."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.serving import InferenceEngine, export_bundle, load_bundle
+from repro.verify.goldens import GOLDEN_SPECS, fit_golden_model
+
+
+@pytest.fixture(scope="session")
+def golden_fit():
+    """The item-cold golden run: (model, task, history), fitted once."""
+    return fit_golden_model(GOLDEN_SPECS[0])
+
+
+@pytest.fixture(scope="session")
+def golden_model(golden_fit):
+    return golden_fit[0]
+
+
+@pytest.fixture(scope="session")
+def golden_task(golden_fit):
+    return golden_fit[1]
+
+
+@pytest.fixture(scope="session")
+def golden_engine(golden_fit):
+    model, task, _ = golden_fit
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = load_bundle(export_bundle(model, task, Path(tmp) / "bundle", note="verify-tests"))
+    return InferenceEngine(bundle)

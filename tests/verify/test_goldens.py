@@ -1,0 +1,121 @@
+"""Golden regression baselines: round trips, drift detection, frozen files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify.goldens import (
+    GOLDEN_SPECS,
+    check_goldens,
+    compare_golden,
+    default_goldens_dir,
+    run_golden,
+    update_goldens,
+)
+
+pytestmark = pytest.mark.verify
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One golden payload, generated once for the comparison tests."""
+    return run_golden(GOLDEN_SPECS[0])
+
+
+class TestFrozenGoldens:
+    def test_repo_goldens_exist_for_every_spec(self):
+        directory = default_goldens_dir()
+        for spec in GOLDEN_SPECS:
+            assert (directory / spec.filename).exists(), (
+                f"{spec.filename} missing — run `repro verify --update-goldens`"
+            )
+
+    def test_current_code_matches_frozen_goldens(self):
+        """The regression gate: replay every spec against tests/goldens."""
+        results = check_goldens()
+        failed = {name: [str(m) for m in found] for name, found in results.items() if found}
+        assert not failed, f"golden drift: {json.dumps(failed, indent=2)}"
+
+
+class TestRoundTrip:
+    def test_update_then_check_is_clean(self, tmp_path):
+        written = update_goldens(tmp_path)
+        assert sorted(p.name for p in written) == sorted(s.filename for s in GOLDEN_SPECS)
+        results = check_goldens(tmp_path)
+        assert all(not found for found in results.values())
+
+    def test_missing_file_is_reported(self, tmp_path):
+        results = check_goldens(tmp_path)
+        assert all(found for found in results.values())
+        assert any("missing" in str(m) for found in results.values() for m in found)
+
+
+class TestComparison:
+    def test_identical_payloads_match(self, payload):
+        assert compare_golden(payload, payload) == []
+
+    def test_json_round_trip_is_exact(self, payload):
+        rehydrated = json.loads(json.dumps(payload))
+        assert compare_golden(payload, rehydrated) == []
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p["close"]["eval"].__setitem__("rmse", p["close"]["eval"]["rmse"] + 1e-3),
+            lambda p: p["close"]["eval"].__setitem__("mae", p["close"]["eval"]["mae"] - 1e-3),
+            lambda p: p["close"]["history"]["prediction"].__setitem__(
+                0, p["close"]["history"]["prediction"][0] + 1e-3
+            ),
+            lambda p: p["close"]["predictions_sample"].__setitem__(
+                3, p["close"]["predictions_sample"][3] + 1e-3
+            ),
+            lambda p: p["close"]["evae"]["item"].__setitem__(
+                "kl", p["close"]["evae"]["item"]["kl"] + 1e-3
+            ),
+            lambda p: p["close"]["preference"]["item"].__setitem__(
+                "mean", p["close"]["preference"]["item"]["mean"] + 1e-3
+            ),
+        ],
+        ids=["rmse", "mae", "loss-curve", "prediction", "evae-kl", "pref-mean"],
+    )
+    def test_1e3_perturbation_to_any_metric_is_detected(self, payload, mutate):
+        """The ISSUE acceptance criterion: every frozen float guards 1e-3 drift."""
+        perturbed = json.loads(json.dumps(payload))
+        mutate(perturbed)
+        mismatches = compare_golden(perturbed, payload)
+        assert mismatches, "1e-3 perturbation slipped through"
+        assert all("drifted" in m.detail for m in mismatches)
+
+    def test_exact_tier_catches_integer_changes(self, payload):
+        perturbed = json.loads(json.dumps(payload))
+        perturbed["exact"]["num_epochs"] += 1
+        mismatches = compare_golden(perturbed, payload)
+        assert any(m.path == "exact.num_epochs" for m in mismatches)
+
+    def test_missing_and_extra_keys_are_reported(self, payload):
+        perturbed = json.loads(json.dumps(payload))
+        del perturbed["close"]["eval"]["rmse"]
+        perturbed["close"]["eval"]["new_metric"] = 1.0
+        paths = {m.path for m in compare_golden(payload, perturbed)}
+        assert "close.eval.rmse" in paths
+        assert "close.eval.new_metric" in paths
+
+    def test_curve_length_change_is_reported(self, payload):
+        perturbed = json.loads(json.dumps(payload))
+        perturbed["close"]["history"]["prediction"].append(0.0)
+        mismatches = compare_golden(payload, perturbed)
+        assert any("length changed" in m.detail for m in mismatches)
+
+
+class TestDeterminism:
+    def test_two_golden_runs_are_bitwise_identical(self):
+        spec = GOLDEN_SPECS[1]
+        assert compare_golden(run_golden(spec), run_golden(spec), rtol=0.0, atol=0.0) == []
+
+    def test_goldens_dir_points_into_tests(self):
+        directory = default_goldens_dir()
+        assert directory.parts[-2:] == ("tests", "goldens")
+        assert Path(__file__).resolve().parent.parent == directory.parent

@@ -1,0 +1,151 @@
+"""Model/engine invariant checks: clean on a trained model, loud on corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify import (
+    InvariantViolation,
+    check_engine_consistency,
+    check_finite_parameters,
+    check_index_matrix,
+    check_offline_parity,
+    check_onboarding_determinism,
+    check_proximity_matrix,
+    check_symmetric,
+    check_unit_interval,
+    engine_invariant_report,
+    model_invariant_report,
+    verify_engine,
+    verify_model,
+)
+
+pytestmark = pytest.mark.verify
+
+
+class TestPrimitives:
+    def test_unit_interval_accepts_probabilities(self):
+        assert check_unit_interval("p", np.array([0.0, 0.5, 1.0])) == []
+
+    def test_unit_interval_rejects_out_of_range(self):
+        assert check_unit_interval("p", np.array([0.5, 1.5]))
+        assert check_unit_interval("p", np.array([-0.1]))
+
+    def test_open_interval_rejects_saturated_gates(self):
+        assert check_unit_interval("gate", np.array([0.0, 0.5]), open_interval=True)
+        assert check_unit_interval("gate", np.array([0.5, 1.0]), open_interval=True)
+        assert check_unit_interval("gate", np.array([0.01, 0.99]), open_interval=True) == []
+
+    def test_unit_interval_rejects_nan(self):
+        assert check_unit_interval("p", np.array([0.5, np.nan]))
+
+    def test_symmetric(self):
+        assert check_symmetric("m", np.eye(3)) == []
+        assert check_symmetric("m", np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert check_symmetric("m", np.zeros((2, 3)))
+
+    def test_proximity_matrix(self):
+        good = np.array([[0.0, 0.4], [0.4, 1.0]])
+        assert check_proximity_matrix("prox", good) == []
+        assert check_proximity_matrix("prox", good * 2.0)
+
+    def test_index_matrix(self):
+        assert check_index_matrix("idx", np.array([[0, 1], [2, 0]]), 3) == []
+        assert check_index_matrix("idx", np.array([[0, 3]]), 3)
+        assert check_index_matrix("idx", np.array([[-1, 0]]), 3)
+        assert check_index_matrix("idx", np.array([[0.5]]), 3)
+
+
+class TestModelInvariants:
+    def test_trained_golden_model_is_clean(self, golden_model):
+        assert model_invariant_report(golden_model) == []
+
+    def test_verify_model_passes_silently(self, golden_model):
+        verify_model(golden_model)
+
+    def test_gate_values_lie_strictly_inside_unit_interval(self, golden_model):
+        neighbours = golden_model.neighbour_matrix("user")
+        ids = np.arange(8, dtype=np.int64)
+        attributes = golden_model._attributes["user"]
+        preferences = golden_model.generated_preferences("user")
+        targets = golden_model.raw_node_embeddings("user", attributes, preferences, ids)
+        rows = golden_model.raw_node_embeddings(
+            "user", attributes, preferences, neighbours[ids].reshape(-1)
+        ).reshape(len(ids), neighbours.shape[1], -1)
+        gates = golden_model.user_aggregator.gate_values(targets, rows)
+        assert set(gates) == {"aggregate_gate", "filter_gate"}
+        for values in gates.values():
+            assert values.min() > 0.0 and values.max() < 1.0
+
+    def test_nan_parameter_is_caught(self, golden_model):
+        _, weight = next(iter(golden_model.head.named_parameters()))
+        original = weight.data.copy()
+        try:
+            weight.data.flat[0] = np.nan
+            violations = check_finite_parameters(golden_model)
+            assert violations and "non-finite" in violations[0]
+            with pytest.raises(InvariantViolation) as excinfo:
+                verify_model(golden_model)
+            assert "non-finite" in str(excinfo.value)
+        finally:
+            weight.data[...] = original
+
+    def test_out_of_range_neighbour_is_caught(self, golden_model):
+        neighbours = golden_model._neighbours["item"]
+        original = neighbours[0, 0]
+        try:
+            neighbours[0, 0] = golden_model._attributes["item"].shape[0] + 5
+            violations = model_invariant_report(golden_model)
+            assert any("neighbour matrix" in v for v in violations)
+        finally:
+            neighbours[0, 0] = original
+
+    def test_nan_in_evae_encoder_is_caught(self, golden_model):
+        vae = golden_model.item_cold.vae
+        original = vae.logvar_head.weight.data.copy()
+        try:
+            vae.logvar_head.weight.data[...] = np.nan
+            violations = model_invariant_report(golden_model)
+            assert any("eVAE" in v for v in violations)
+        finally:
+            vae.logvar_head.weight.data[...] = original
+
+
+class TestEngineInvariants:
+    def test_fresh_engine_is_clean(self, golden_engine):
+        assert engine_invariant_report(golden_engine) == []
+
+    def test_verify_engine_passes_silently(self, golden_engine):
+        verify_engine(golden_engine)
+
+    def test_offline_parity_holds_bitwise(self, golden_engine, golden_model, golden_task):
+        users = golden_task.test_users[:48]
+        items = golden_task.test_items[:48]
+        assert check_offline_parity(golden_engine, golden_model, users, items) == []
+
+    def test_corrupted_refined_embeddings_break_parity(self, golden_engine, golden_model, golden_task):
+        users = golden_task.test_users[:16]
+        items = golden_task.test_items[:16]
+        original = golden_engine._refined["user"].copy()
+        try:
+            golden_engine._refined["user"] += 0.01
+            golden_engine._cache.clear()
+            violations = check_offline_parity(golden_engine, golden_model, users, items)
+            assert violations and "parity" in violations[0]
+        finally:
+            golden_engine._refined["user"][...] = original
+            golden_engine._cache.clear()
+
+    def test_score_and_predict_batch_agree(self, golden_engine):
+        assert check_engine_consistency(golden_engine) == []
+
+    def test_onboarding_is_deterministic(self, golden_engine):
+        for side in ("user", "item"):
+            assert check_onboarding_determinism(golden_engine, side) == []
+
+    def test_onboarding_check_does_not_mutate_the_engine(self, golden_engine):
+        before = golden_engine.stats()
+        check_onboarding_determinism(golden_engine, "user")
+        assert golden_engine.stats()["users"] == before["users"]
+        assert golden_engine.stats()["onboarded_users"] == before["onboarded_users"]

@@ -1,0 +1,83 @@
+"""The one-shot verify gate (runner + `repro verify` CLI front end)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.verify.runner import STAGES, run_verify
+
+pytestmark = pytest.mark.verify
+
+
+class TestRunner:
+    def test_full_gate_passes(self, tmp_path):
+        report = run_verify(fuzz_iterations=25, goldens_dir=tmp_path, update_goldens_flag=True)
+        assert report["ok"], report
+        assert set(report["stages"]) == set(STAGES)
+        assert report["stages"]["goldens"]["updated"]
+
+    def test_skip_stages(self, tmp_path):
+        report = run_verify(goldens_dir=tmp_path, update_goldens_flag=True,
+                            skip={"fuzz", "invariants"})
+        assert report["ok"]
+        assert set(report["stages"]) == {"goldens"}
+        assert report["skipped"] == ["fuzz", "invariants"]
+
+    def test_unknown_skip_stage_raises(self):
+        with pytest.raises(ValueError, match="unknown verify stage"):
+            run_verify(skip={"everything"})
+
+    def test_missing_goldens_fail_the_gate(self, tmp_path):
+        report = run_verify(goldens_dir=tmp_path, skip={"fuzz", "invariants"})
+        assert not report["ok"]
+        assert report["stages"]["goldens"]["mismatches"]
+
+
+class TestParser:
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.command == "verify"
+        assert args.fuzz_iterations == 200
+        assert args.seed == 0
+        assert args.rtol == pytest.approx(1e-4)
+        assert args.goldens_dir is None
+        assert not args.update_goldens
+        assert args.skip is None
+
+    def test_verify_skip_choices(self):
+        args = build_parser().parse_args(["verify", "--skip", "fuzz", "goldens"])
+        assert args.skip == ["fuzz", "goldens"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--skip", "nonsense"])
+
+
+class TestCommand:
+    def test_update_goldens_round_trips_cleanly(self, tmp_path, capsys):
+        """The ISSUE acceptance criterion for the CLI workflow."""
+        goldens = tmp_path / "goldens"
+        code = main(["verify", "--update-goldens", "--skip", "fuzz", "invariants",
+                     "--goldens-dir", str(goldens)])
+        assert code == 0
+        assert "regenerated" in capsys.readouterr().out
+        code = main(["verify", "--skip", "fuzz", "invariants", "--goldens-dir", str(goldens)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verify: OK" in out
+
+    def test_failure_sets_exit_code(self, tmp_path, capsys):
+        code = main(["verify", "--skip", "fuzz", "invariants",
+                     "--goldens-dir", str(tmp_path / "empty")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verify: FAILED" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        goldens = tmp_path / "goldens"
+        main(["verify", "--update-goldens", "--skip", "fuzz", "invariants",
+              "--goldens-dir", str(goldens), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "goldens" in payload["stages"]

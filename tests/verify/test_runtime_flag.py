@@ -1,0 +1,102 @@
+"""The REPRO_VERIFY=1 runtime hooks in Recommender.fit and InferenceEngine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify import InvariantViolation
+from repro.verify.invariants import (
+    maybe_verify_engine,
+    maybe_verify_fit,
+    runtime_verification_enabled,
+)
+
+pytestmark = pytest.mark.verify
+
+
+class TestFlagParsing:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert runtime_verification_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "banana"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert not runtime_verification_enabled()
+
+    def test_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert not runtime_verification_enabled()
+
+
+class TestFitHook:
+    def test_flag_off_is_a_no_op_even_on_a_corrupted_model(self, monkeypatch, golden_model):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        _, weight = next(iter(golden_model.head.named_parameters()))
+        original = weight.data.copy()
+        try:
+            weight.data.flat[0] = np.nan
+            maybe_verify_fit(golden_model)  # must not raise
+        finally:
+            weight.data[...] = original
+
+    def test_flag_on_sweeps_and_passes_on_a_healthy_model(self, monkeypatch, golden_model):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        maybe_verify_fit(golden_model)
+
+    def test_flag_on_raises_on_a_corrupted_model(self, monkeypatch, golden_model):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        _, weight = next(iter(golden_model.head.named_parameters()))
+        original = weight.data.copy()
+        try:
+            weight.data.flat[0] = np.nan
+            with pytest.raises(InvariantViolation, match="REPRO_VERIFY fit sweep"):
+                maybe_verify_fit(golden_model)
+        finally:
+            weight.data[...] = original
+
+    def test_fit_invokes_the_sweep_under_the_flag(self, monkeypatch):
+        """End-to-end: a real fit with the flag set bumps the sweep counter."""
+        from repro.telemetry import metrics
+        from repro.verify.goldens import GOLDEN_SPECS, fit_golden_model
+
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        metrics.reset()
+        with metrics.enabled():
+            fit_golden_model(GOLDEN_SPECS[0])
+            counters = metrics.get_registry().counters()
+        metrics.reset()
+        assert counters.get("verify.fit_sweeps") == 1
+
+
+class TestEngineHook:
+    def test_flag_on_sweeps_the_engine(self, monkeypatch, golden_engine):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        maybe_verify_engine(golden_engine)
+
+    def test_flag_on_raises_on_a_corrupted_engine(self, monkeypatch, golden_engine):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        original = golden_engine._refined["user"].copy()
+        try:
+            golden_engine._refined["user"][...] = np.nan
+            golden_engine._cache.clear()
+            with pytest.raises(InvariantViolation, match="REPRO_VERIFY engine sweep"):
+                maybe_verify_engine(golden_engine)
+        finally:
+            golden_engine._refined["user"][...] = original
+            golden_engine._cache.clear()
+
+    def test_engine_construction_sweeps_under_the_flag(self, monkeypatch, golden_model, golden_task, tmp_path):
+        from repro.serving import InferenceEngine, export_bundle, load_bundle
+        from repro.telemetry import metrics
+
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        bundle = load_bundle(export_bundle(golden_model, golden_task, tmp_path / "bundle"))
+        metrics.reset()
+        with metrics.enabled():
+            InferenceEngine(bundle)
+            counters = metrics.get_registry().counters()
+        metrics.reset()
+        assert counters.get("verify.engine_sweeps") == 1
