@@ -1,0 +1,109 @@
+"""The training-throughput tripwire against the committed ``BENCH_training.json``.
+
+Re-runs the metered SMOKE training cycle that ``repro train-bench`` records
+and holds it to the committed baseline:
+
+* determinism must hold — repeated seeded runs bitwise-equal, and the fresh
+  RMSE must reproduce the committed one exactly (same seed, same code path);
+* throughput may drift with the machine, so the tripwire is generous: a fresh
+  run must stay within ``SLOWDOWN_BUDGET``× of the committed batches/sec —
+  catching an accidentally reverted hot path, not a noisy neighbour;
+* the fused graph build must not be slower than the materialise-then-pool
+  reference it replaced.
+
+Absolute millisecond numbers belong in ``BENCH_training.json`` diffs reviewed
+per PR, not in pass/fail assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import run_train_bench
+
+pytestmark = pytest.mark.perf
+
+# A fresh run may be slower than the committed baseline by at most this factor
+# (shared CI machines are noisy; a reverted optimisation costs well over 4x
+# on the paths this guards).
+SLOWDOWN_BUDGET = 4.0
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    assert BASELINE_PATH.exists(), "BENCH_training.json missing — run `repro train-bench`"
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def fresh(tmp_path_factory) -> dict:
+    out = tmp_path_factory.mktemp("perf") / "BENCH_training.json"
+    # Smaller/fewer graph micro-bench repeats than the committed defaults:
+    # only the speedup ratios are asserted, not the absolute milliseconds.
+    return run_train_bench(output=str(out), graph_n=800, graph_pool=60, graph_repeats=2)
+
+
+def test_committed_baseline_shape(committed):
+    assert committed["schema_version"] == 1
+    training = committed["training"]
+    for key in (
+        "batches_per_sec",
+        "batches",
+        "fit_s",
+        "encode_total_s",
+        "backward_total_s",
+        "dedup_ratio",
+        "unique_nodes",
+        "total_nodes",
+    ):
+        assert key in training, f"training.{key} missing from BENCH_training.json"
+    assert committed["determinism"]["repeat_runs_bitwise_equal"] is True
+    assert committed["graph_microbench"]["pool_speedup"] >= 1.0
+    assert committed["graph_microbench"]["build_speedup"] >= 1.0
+
+
+def test_fresh_run_is_deterministic(fresh):
+    determinism = fresh["determinism"]
+    assert determinism["checked"] is True
+    assert determinism["repeat_runs_bitwise_equal"] is True
+    assert determinism["test_pairs"] > 0
+
+
+def test_fresh_run_reproduces_committed_quality(fresh, committed):
+    # Same seed, same scale, same code: the committed RMSE must reproduce
+    # bitwise.  A drift here means the numerics changed without the sanctioned
+    # golden re-freeze (repro verify --update-goldens + regenerated baseline).
+    assert fresh["meta"]["rmse"] == committed["meta"]["rmse"]
+    assert fresh["training"]["batches"] == committed["training"]["batches"]
+    assert fresh["training"]["unique_nodes"] == committed["training"]["unique_nodes"]
+    assert fresh["training"]["total_nodes"] == committed["training"]["total_nodes"]
+
+
+def test_dedup_actually_deduplicates(fresh):
+    training = fresh["training"]
+    assert 0.0 < training["dedup_ratio"] < 1.0
+    assert training["unique_nodes"] < training["total_nodes"]
+
+
+def test_throughput_within_budget_of_committed(fresh, committed):
+    fresh_bps = fresh["training"]["batches_per_sec"]
+    committed_bps = committed["training"]["batches_per_sec"]
+    assert fresh_bps > 0
+    assert fresh_bps * SLOWDOWN_BUDGET >= committed_bps, (
+        f"training throughput collapsed: {fresh_bps:.1f} batches/s vs "
+        f"committed {committed_bps:.1f} (budget {SLOWDOWN_BUDGET}x) — "
+        "was a hot-path optimisation reverted?"
+    )
+
+
+def test_fused_graph_build_not_slower_than_reference(fresh):
+    micro = fresh["graph_microbench"]
+    # 0.8 rather than 1.0: tiny shapes + a noisy machine can jitter the ratio,
+    # but a genuinely reverted fusion lands far below this.
+    assert micro["pool_speedup"] >= 0.8
+    assert micro["build_speedup"] >= 0.8

@@ -3,6 +3,7 @@
 from . import ops
 from .grad_mode import is_grad_enabled, no_grad, set_grad_enabled
 from .gradcheck import gradcheck, numerical_gradient
+from .sparse import SparseRowGrad
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "is_grad_enabled",
     "gradcheck",
     "numerical_gradient",
+    "SparseRowGrad",
 ]

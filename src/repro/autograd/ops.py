@@ -13,13 +13,14 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from .sparse import SparseRowGrad, segment_sum_rows
 from .tensor import Tensor, _unbroadcast, as_tensor
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "power", "matmul",
     "exp", "log", "sqrt", "square", "absolute",
     "sigmoid", "tanh", "relu", "leaky_relu", "softplus", "clip",
-    "sum", "mean", "reshape", "transpose", "getitem",
+    "sum", "mean", "linear", "reshape", "transpose", "getitem",
     "concatenate", "stack", "embedding", "softmax", "log_softmax",
     "maximum", "where", "norm", "broadcast_to",
 ]
@@ -265,7 +266,8 @@ def sum(a, axis=None, keepdims: bool = False) -> Tensor:
             axes = axis if isinstance(axis, tuple) else (axis,)
             for ax in sorted(ax % a.data.ndim for ax in axes):
                 g = np.expand_dims(g, ax)
-        a.accumulate_grad(np.broadcast_to(g, a.shape).copy())
+        # No .copy(): accumulate_grad copies (or adds) the broadcast view itself.
+        a.accumulate_grad(np.broadcast_to(g, a.shape))
 
     return Tensor._result(out_data, (a,), backward, "sum")
 
@@ -277,7 +279,55 @@ def mean(a, axis=None, keepdims: bool = False) -> Tensor:
     else:
         axes = axis if isinstance(axis, tuple) else (axis,)
         count = int(np.prod([a.data.shape[ax] for ax in axes]))
-    return mul(sum(a, axis=axis, keepdims=keepdims), 1.0 / count)
+    scale = 1.0 / count
+    # One graph node doing sum-then-scale directly.  Bitwise-identical to the
+    # mul(sum(...), 1/count) composition it replaces, forward and backward.
+    out_data = a.data.sum(axis=axis, keepdims=keepdims) * scale
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        g = grad * scale
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+        a.accumulate_grad(np.broadcast_to(g, a.shape))
+
+    return Tensor._result(out_data, (a,), backward, "mean")
+
+
+def linear(x, weight, bias=None) -> Tensor:
+    """Fused affine map ``x @ weight (+ bias)``: one node instead of two.
+
+    Forward and backward run exactly the expressions the matmul+add
+    composition runs (``weight`` 2-D, ``bias`` 1-D broadcast over rows), so
+    results and gradients are bitwise-identical — the fusion only removes a
+    graph node, a closure call, and a gradient hand-off per layer call.
+    """
+    if bias is None:
+        return matmul(x, weight)
+    x, weight, bias = as_tensor(x), as_tensor(weight), as_tensor(bias)
+    out_data = x.data @ weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        x_data, w_data = x.data, weight.data
+        if x.requires_grad:
+            if x_data.ndim == 1:
+                grad_x = grad @ w_data.T
+            else:
+                grad_x = _unbroadcast(grad @ np.swapaxes(w_data, -1, -2), x_data.shape)
+            x.accumulate_grad(grad_x.reshape(x_data.shape))
+        if weight.requires_grad:
+            if x_data.ndim == 1:
+                grad_w = np.outer(x_data, grad)
+            else:
+                grad_w = _unbroadcast(np.swapaxes(x_data, -1, -2) @ grad, w_data.shape)
+            weight.accumulate_grad(grad_w.reshape(w_data.shape))
+        if bias.requires_grad:
+            bias.accumulate_grad(_unbroadcast(grad, bias.shape))
+
+    return Tensor._result(out_data, (x, weight, bias), backward, "linear")
 
 
 def reshape(a, shape: tuple) -> Tensor:
@@ -347,20 +397,34 @@ def stack(tensors: Sequence, axis: int = 0) -> Tensor:
     return Tensor._result(out_data, tuple(tensors), backward, "stack")
 
 
-def embedding(weight, indices) -> Tensor:
-    """Row gather ``weight[indices]`` with scatter-add backward.
+def embedding(weight, indices, sparse_grad: bool = False) -> Tensor:
+    """Row gather ``weight[indices]`` with segment-sum backward.
 
     ``indices`` may be any integer array shape; the result has shape
-    ``indices.shape + (embedding_dim,)``.
+    ``indices.shape + (embedding_dim,)``.  The backward sums duplicate rows
+    with a per-column ``np.bincount`` (sequential per bin, so bitwise-equal to
+    the ``np.add.at`` scatter it replaces).  With ``sparse_grad=True`` the
+    summed rows are accumulated as a :class:`~repro.autograd.SparseRowGrad`
+    instead of a dense ``zeros_like(weight)`` — only valid when ``weight`` is
+    a leaf, since backward closures expect dense upstream gradients.
     """
     weight = as_tensor(weight)
     idx = np.asarray(indices, dtype=np.int64)
     out_data = weight.data[idx]
 
     def backward(grad: np.ndarray) -> None:
-        if weight.requires_grad:
+        if not weight.requires_grad:
+            return
+        flat = grad.reshape(-1, weight.data.shape[-1])
+        if flat.shape[0] == 0:
+            weight.accumulate_grad(np.zeros_like(weight.data))
+            return
+        rows, sums = segment_sum_rows(idx.reshape(-1), flat)
+        if sparse_grad:
+            weight.accumulate_grad(SparseRowGrad(rows, sums, weight.data.shape))
+        else:
             full = np.zeros_like(weight.data)
-            np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+            full[rows] = sums
             weight.accumulate_grad(full)
 
     return Tensor._result(out_data, (weight,), backward, "embedding")

@@ -1,0 +1,97 @@
+"""Sparse row gradients for embedding-style parameters.
+
+An embedding gather touches only a handful of rows of its ``(V, D)`` weight
+table, yet the dense backward materialises a full ``zeros_like(weight)`` and
+the optimiser then walks every row.  :class:`SparseRowGrad` carries just the
+touched rows — sorted unique indices plus their summed gradient rows — so the
+whole chain (``accumulate_grad`` → ``clip_grad_norm`` → ``Adam``) can stay
+proportional to the batch instead of the vocabulary.
+
+The representation is *opt-in* (``Embedding(..., sparse_grad=True)``) and only
+ever attached to leaf parameters: op backward closures always receive dense
+arrays, so a sparse gradient must never propagate through ``_run_backward``.
+
+Numerical contract: every operation here is elementwise per touched row, so a
+sparse training run is bitwise-identical to its dense counterpart (rows that
+receive no gradient have first/second moments of exactly zero, making their
+dense Adam update exactly ``-lr * 0 / (sqrt(0) + eps) == 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparseRowGrad", "segment_sum_rows"]
+
+
+def segment_sum_rows(indices: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``values`` rows that share an index: ``(unique_rows, sums)``.
+
+    ``np.bincount`` accumulates each bin sequentially in occurrence order —
+    the same order ``np.add.at`` uses — so the sums are bitwise-identical to a
+    dense scatter-add (``np.add.reduceat`` is *not*: its pairwise reduction
+    regroups the additions).
+    """
+    unique, inverse = np.unique(indices, return_inverse=True)
+    sums = np.empty((unique.size, values.shape[1]), dtype=values.dtype)
+    for column in range(values.shape[1]):
+        sums[:, column] = np.bincount(inverse, weights=values[:, column], minlength=unique.size)
+    return unique, sums
+
+
+class SparseRowGrad:
+    """Gradient of a 2-D parameter restricted to its touched rows.
+
+    ``rows`` are sorted unique int64 row indices, ``values`` the matching
+    ``(len(rows), D)`` gradient rows, and ``shape`` the full parameter shape.
+    """
+
+    __slots__ = ("rows", "values", "shape")
+
+    def __init__(self, rows: np.ndarray, values: np.ndarray, shape: tuple) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if len(shape) != 2:
+            raise ValueError(f"SparseRowGrad needs a 2-D parameter shape, got {shape}")
+        if values.shape != (rows.size, shape[1]):
+            raise ValueError(f"values shape {values.shape} does not match {rows.size} rows of width {shape[1]}")
+        self.rows = rows
+        self.values = values
+        self.shape = tuple(shape)
+
+    @classmethod
+    def from_indices(cls, indices: np.ndarray, values: np.ndarray, shape: tuple) -> "SparseRowGrad":
+        """Build from possibly-duplicated row indices, summing duplicates."""
+        unique, sums = segment_sum_rows(np.asarray(indices, dtype=np.int64).reshape(-1), values)
+        return cls(unique, sums, shape)
+
+    @property
+    def nnz_rows(self) -> int:
+        return int(self.rows.size)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense[self.rows] = self.values
+        return dense
+
+    def add_into(self, dense: np.ndarray) -> None:
+        """Accumulate into an existing dense gradient (rows are unique)."""
+        dense[self.rows] += self.values
+
+    def merge(self, other: "SparseRowGrad") -> "SparseRowGrad":
+        """Sum of two sparse gradients (existing-then-incoming add order)."""
+        if other.shape != self.shape:
+            raise ValueError(f"cannot merge gradients of shapes {self.shape} and {other.shape}")
+        rows = np.concatenate([self.rows, other.rows])
+        values = np.concatenate([self.values, other.values], axis=0)
+        return SparseRowGrad.from_indices(rows, values, self.shape)
+
+    def scale_(self, factor: float) -> None:
+        self.values *= factor
+
+    def sq_sum(self) -> float:
+        """Sum of squared entries — untouched rows contribute exactly zero."""
+        return float((self.values ** 2).sum())
+
+    def __repr__(self) -> str:
+        return f"SparseRowGrad(rows={self.rows.size}/{self.shape[0]}, dim={self.shape[1]})"

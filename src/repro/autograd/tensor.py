@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from .grad_mode import is_grad_enabled
+from .sparse import SparseRowGrad
 
 __all__ = ["Tensor", "as_tensor"]
 
@@ -104,12 +105,23 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op_name: str,
     ) -> "Tensor":
-        """Build an op result, recording the graph only when useful."""
+        """Build an op result, recording the graph only when useful.
+
+        Bypasses ``__init__``: op outputs are already float64 ndarrays on the
+        hot path, and grad mode was just checked — this constructor runs once
+        per recorded op, so the redundant coercion checks add up.
+        """
         parents = tuple(parents)
         needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=needs_grad, _parents=parents if needs_grad else (), op_name=op_name)
-        if needs_grad:
-            out._backward = backward
+        out = Tensor.__new__(Tensor)
+        if type(data) is not np.ndarray or data.dtype != np.float64:
+            data = np.asarray(data, dtype=np.float64)
+        out.data = data
+        out.grad = None
+        out.requires_grad = needs_grad
+        out._backward = backward if needs_grad else None
+        out._parents = parents if needs_grad else ()
+        out.op_name = op_name
         return out
 
     # ------------------------------------------------------------------ backward
@@ -154,10 +166,34 @@ class Tensor:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
-    def accumulate_grad(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad``, allocating on first use."""
+    def accumulate_grad(self, grad) -> None:
+        """Add ``grad`` into ``self.grad``, allocating on first use.
+
+        ``grad`` may be a dense array or a :class:`SparseRowGrad` (emitted by
+        opt-in sparse embedding gathers, leaf parameters only).  Mixed
+        accumulation densifies: sparsity survives only while every contribution
+        is sparse, which is exactly the embedding-table case it exists for.
+        """
+        if isinstance(grad, SparseRowGrad):
+            if self.grad is None:
+                self.grad = grad
+            elif isinstance(self.grad, SparseRowGrad):
+                self.grad = self.grad.merge(grad)
+            else:
+                grad.add_into(self.grad)
+            return
+        if isinstance(self.grad, SparseRowGrad):
+            self.grad = self.grad.to_dense()
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
+            grad = np.asarray(grad)
+            if grad.shape == self.data.shape and grad.dtype == self.data.dtype:
+                # Copy instead of zeros+add: closures may hand us views or
+                # arrays they still reference, so we must own the buffer.
+                self.grad = grad.copy()
+            else:  # scalar or broadcastable grad: let += broadcast it up
+                self.grad = np.zeros_like(self.data)
+                self.grad += grad
+            return
         self.grad += grad
 
     # ------------------------------------------------------------------ operators

@@ -8,6 +8,7 @@ Examples:
     python -m repro.cli list-models
     python -m repro.cli datasets --scale bench
     python -m repro.cli telemetry-bench --output BENCH_telemetry.json
+    python -m repro.cli train-bench --output BENCH_training.json
     python -m repro.cli export-bundle --scale smoke --output bundles/agnn
     python -m repro.cli serve --bundle bundles/agnn --port 8080
     python -m repro.cli serving-bench --output BENCH_serving.json
@@ -79,6 +80,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_telemetry.json",
                        help="snapshot path ('-' to skip writing)")
     bench.add_argument("--json", action="store_true", help="print the snapshot JSON instead of the table")
+
+    tbench = commands.add_parser(
+        "train-bench",
+        help="run the seeded training benchmark (throughput + graph micro-bench) "
+        "and write the baseline",
+    )
+    tbench.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    tbench.add_argument("--scenario", default="item_cold", choices=["warm", "item_cold", "user_cold"])
+    tbench.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    tbench.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
+    tbench.add_argument("--graph-n", type=int, default=2000,
+                        help="node count for the graph-construction micro-benchmark")
+    tbench.add_argument("--graph-pool", type=int, default=100,
+                        help="pool size for the graph-construction micro-benchmark")
+    tbench.add_argument("--repeats", type=int, default=5, help="micro-benchmark repetitions (best-of)")
+    tbench.add_argument("--no-determinism", action="store_true",
+                        help="skip the bitwise repeat-run determinism check")
+    tbench.add_argument("--output", default="BENCH_training.json",
+                        help="baseline path ('-' to skip writing)")
+    tbench.add_argument("--json", action="store_true",
+                        help="print the payload JSON instead of the summary")
 
     export = commands.add_parser(
         "export-bundle",
@@ -204,6 +226,26 @@ def _command_telemetry_bench(args) -> int:
     return 0
 
 
+def _command_train_bench(args) -> int:
+    from .perf import render, run_train_bench
+
+    payload = run_train_bench(
+        dataset=args.dataset,
+        scenario=args.scenario,
+        scale_name=args.scale,
+        epochs=args.epochs,
+        output=None if args.output == "-" else args.output,
+        graph_n=args.graph_n,
+        graph_pool=args.graph_pool,
+        graph_repeats=args.repeats,
+        check_determinism=not args.no_determinism,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True) if args.json else render(payload))
+    if args.output != "-":
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def _command_export_bundle(args) -> int:
     from .data import make_split
     from .nn import init as nn_init
@@ -315,6 +357,7 @@ def main(argv: list[str] | None = None) -> int:
         "list-models": _command_list_models,
         "datasets": _command_datasets,
         "telemetry-bench": _command_telemetry_bench,
+        "train-bench": _command_train_bench,
         "export-bundle": _command_export_bundle,
         "serve": _command_serve,
         "serving-bench": _command_serving_bench,

@@ -34,7 +34,7 @@ from ..graphs import (
     build_knn_graph,
 )
 from ..nn.functional import mse_loss
-from ..telemetry import increment, span
+from ..telemetry import increment, set_gauge, span
 from ..train.recommender import Recommender
 from .cold_modules import CorruptionStrategy, make_cold_module
 from .config import AGNNConfig
@@ -43,6 +43,11 @@ from .interaction import NodeEncoder
 from .prediction import PredictionHead
 
 __all__ = ["AGNN"]
+
+#: Row-block size for the precomputed inference embeddings.  Must match the
+#: serving engine's block size: the offline↔online bitwise-parity invariant
+#: relies on both sides refining identically-sliced blocks.
+INFERENCE_BLOCK = 2048
 
 
 class AGNN(Recommender):
@@ -64,7 +69,12 @@ class AGNN(Recommender):
         self._neighbours: Dict[str, np.ndarray] = {}
         self._attributes: Dict[str, np.ndarray] = {}
         self._inference_pref: Dict[str, Optional[np.ndarray]] = {"user": None, "item": None}
+        self._inference_refined: Dict[str, Optional[np.ndarray]] = {"user": None, "item": None}
         self._cold_nodes: Dict[str, np.ndarray] = {}
+        # Per-batch scratch: the deduped attribute embeddings computed by
+        # _encode_side, reused by the eVAE reconstruction loss in the same
+        # batch_loss call (refreshed on every encode, never serialized).
+        self._encode_attr_cache: Dict[str, Optional[Tuple[np.ndarray, np.ndarray]]] = {}
 
     # ------------------------------------------------------------------ setup
     def build_architecture(
@@ -164,6 +174,7 @@ class AGNN(Recommender):
             "item": np.flatnonzero(~train_item_set),
         }
         self._inference_pref = {"user": None, "item": None}
+        self._inference_refined = {"user": None, "item": None}
 
     def begin_epoch(self, epoch: int, rng: np.random.Generator) -> None:
         """Dynamic graph construction: fresh neighbourhood sample each round."""
@@ -173,10 +184,12 @@ class AGNN(Recommender):
             }
         increment("agnn.resamples")
         self._inference_pref = {"user": None, "item": None}
+        self._inference_refined = {"user": None, "item": None}
 
     def _invalidate_inference_cache(self) -> None:
         """Weights were restored (early stopping): regenerate cold preferences."""
         self._inference_pref = {"user": None, "item": None}
+        self._inference_refined = {"user": None, "item": None}
 
     # ------------------------------------------------------------------ encoding
     def _encoder(self, side: str) -> NodeEncoder:
@@ -195,14 +208,40 @@ class AGNN(Recommender):
         preference_override: Optional[np.ndarray] = None,
         corruption_mask: Optional[np.ndarray] = None,
     ) -> Tuple[Tensor, Tensor]:
-        """Return (p̃ after aggregation, p before aggregation) for node ids."""
+        """Return (p̃ after aggregation, p before aggregation) for node ids.
+
+        A batch references ``B×(k+1)`` node occurrences but typically far
+        fewer *distinct* nodes (popular nodes recur as neighbours), so the
+        expensive interaction+fusion stack runs once per distinct node and the
+        per-occurrence tensors are differentiable gathers from that stack.
+        """
         encoder = self._encoder(side)
         attributes = self._attributes[side]
-        target = encoder.node_embedding(ids, attributes, preference_override, corruption_mask)
-        neighbour_ids = self._neighbours[side][np.asarray(ids, dtype=np.int64)]  # (B, k)
+        ids = np.asarray(ids, dtype=np.int64)
+        neighbour_ids = self._neighbours[side][ids]  # (B, k)
         batch, k = neighbour_ids.shape
-        flat = encoder.node_embedding(neighbour_ids.reshape(-1), attributes, preference_override)
-        neighbours = flat.reshape(batch, k, self.config.embedding_dim)
+        with span("agnn.encode"):
+            if corruption_mask is None:
+                stacked = np.concatenate([ids, neighbour_ids.reshape(-1)])
+                unique, inverse = np.unique(stacked, return_inverse=True)
+                encoded, attr_embed = encoder.node_embedding_with_attr(unique, attributes, preference_override)
+                target = ops.embedding(encoded, inverse[:batch])
+                neighbours = ops.embedding(encoded, inverse[batch:].reshape(batch, k))
+                self._encode_attr_cache[side] = (unique, attr_embed.data)
+                distinct = int(unique.size)
+            else:
+                # Corruption masks are per-occurrence, so the target rows keep
+                # their own masked encode; the (unmasked) neighbours still dedup.
+                target = encoder.node_embedding(ids, attributes, preference_override, corruption_mask)
+                unique, inverse = np.unique(neighbour_ids.reshape(-1), return_inverse=True)
+                encoded = encoder.node_embedding(unique, attributes, preference_override)
+                neighbours = ops.embedding(encoded, inverse.reshape(batch, k))
+                self._encode_attr_cache[side] = None
+                distinct = int(unique.size) + batch
+            total = batch * (k + 1)
+            increment("agnn.encode.total_nodes", total)
+            increment("agnn.encode.unique_nodes", distinct)
+            set_gauge("agnn.encode.dedup_ratio", distinct / total if total else 1.0)
         aggregated = self._aggregator(side)(target, neighbours)
         return aggregated, target
 
@@ -253,7 +292,13 @@ class AGNN(Recommender):
                 # the attribute→preference map; letting reconstruction
                 # gradients reshape the attribute-interaction weights trades
                 # predictive attribute embeddings for reconstructable ones.
-                attr_embed = encoder.attribute_embedding(unique, self._attributes[side]).detach()
+                # _encode_side already computed these rows (detached reuse);
+                # fall back to a fresh encode when no cache covers the batch.
+                cache = self._encode_attr_cache.get(side)
+                if cache is not None and np.isin(unique, cache[0], assume_unique=True).all():
+                    attr_embed = Tensor(cache[1][np.searchsorted(cache[0], unique)])
+                else:
+                    attr_embed = encoder.attribute_embedding(unique, self._attributes[side]).detach()
                 preference = encoder.preference(unique)
                 terms.append(module.reconstruction_loss(attr_embed, preference))
         if not terms:
@@ -281,12 +326,48 @@ class AGNN(Recommender):
         self._inference_pref[side] = matrix
         return matrix
 
+    def _refined_matrix(self, side: str) -> np.ndarray:
+        """Full (n, D) post-gated-GNN embedding matrix for inference.
+
+        Inference embeddings are static once the preferences are frozen, so
+        the encode + aggregation runs once per side and every prediction batch
+        becomes a row gather + prediction head.  Mirrors the serving engine's
+        precompute block-for-block (same INFERENCE_BLOCK slices) so offline
+        predictions stay bitwise-equal to the online engine.  Invalidated with
+        the preference cache (begin_epoch / _invalidate_inference_cache).
+        """
+        cached = self._inference_refined[side]
+        if cached is not None:
+            return cached
+        preferences = self._inference_preferences(side)
+        attributes = self._attributes[side]
+        neighbour_ids = self._neighbours[side]
+        encoder = self._encoder(side)
+        aggregator = self._aggregator(side)
+        n = attributes.shape[0]
+        with span("agnn.refine_cache"), no_grad():
+            raw = np.empty((n, self.config.embedding_dim))
+            for start in range(0, n, INFERENCE_BLOCK):
+                stop = min(start + INFERENCE_BLOCK, n)
+                block = np.arange(start, stop, dtype=np.int64)
+                raw[start:stop] = encoder.node_embedding(block, attributes, preference_override=preferences).data
+            refined = np.empty_like(raw)
+            for start in range(0, n, INFERENCE_BLOCK):
+                stop = min(start + INFERENCE_BLOCK, n)
+                refined[start:stop] = aggregator(
+                    Tensor(raw[start:stop]), Tensor(raw[neighbour_ids[start:stop]])
+                ).data
+        self._inference_refined[side] = refined
+        return refined
+
     def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         if not self._built:
             raise RuntimeError("AGNN must be fitted before predicting")
         with span("agnn.predict_scores"):
-            p_tilde, _ = self._encode_side("user", users, preference_override=self._inference_preferences("user"))
-            q_tilde, _ = self._encode_side("item", items, preference_override=self._inference_preferences("item"))
+            users = np.asarray(users, dtype=np.int64)
+            items = np.asarray(items, dtype=np.int64)
+            p_tilde = Tensor(self._refined_matrix("user")[users])
+            q_tilde = Tensor(self._refined_matrix("item")[items])
             return self.head(p_tilde, q_tilde, users, items).data
 
     def generated_preferences(self, side: str) -> np.ndarray:

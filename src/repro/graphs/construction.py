@@ -18,7 +18,7 @@ import numpy as np
 
 from ..data.splits import RecommendationTask
 from ..telemetry import increment, span
-from .proximity import combined_proximity
+from .proximity import BlockwiseProximity, combined_proximity
 
 __all__ = [
     "NeighborGraph",
@@ -101,31 +101,67 @@ class FixedNeighborGraph(NeighborGraph):
         stored = self.matrix.shape[1]
         if k <= stored:
             return self.matrix[:, :k]
-        reps = -(-k // stored)  # ceil division
-        return np.tile(self.matrix, (1, reps))[:, :k]
+        # Pad by repetition without materialising the tiled copy: column j of
+        # the tiled matrix is just stored column j % stored.
+        return self.matrix[:, np.arange(k) % stored]
 
 
-def _pool_from_proximity(proximity: np.ndarray, pool_size: int) -> DynamicNeighborGraph:
-    """Top-``pool_size`` candidates per node, with shifted-positive weights."""
+def _extend_pools_from_rows(
+    rows: np.ndarray,
+    pool_size: int,
+    pools: List[np.ndarray],
+    weights: List[np.ndarray],
+) -> None:
+    """Vectorised top-``pool_size`` extraction for a block of proximity rows.
+
+    Matrix-level argpartition + take_along_axis replaces the per-row Python
+    loop; the per-row introselect/quicksort calls are identical to the scalar
+    path, so pools and weights match the reference implementation exactly.
+    Rows whose pool contains non-finite entries (possible only when a row has
+    fewer than ``pool_size`` finite candidates) drop to a per-row fallback.
+    """
+    top = np.argpartition(-rows, pool_size - 1, axis=1)[:, :pool_size]
+    vals = np.take_along_axis(rows, top, axis=1)
+    order = np.argsort(-vals, axis=1)
+    top = np.take_along_axis(top, order, axis=1).astype(np.int64, copy=False)
+    vals = np.take_along_axis(vals, order, axis=1)
+    finite = np.isfinite(vals)
+    clean = finite.all(axis=1)
+    shifted = vals - vals.min(axis=1, keepdims=True) + 1e-6  # strictly positive
+    if clean.all():
+        pools.extend(top)
+        weights.extend(shifted)
+        return
+    for i in range(rows.shape[0]):
+        if clean[i]:
+            pools.append(top[i])
+            weights.append(shifted[i])
+            continue
+        keep = finite[i]
+        selected, w = top[i][keep], vals[i][keep]
+        if selected.size == 0:  # pathological: keep the single best finite entry
+            row = rows[i]
+            finite_all = np.flatnonzero(np.isfinite(row))
+            selected = finite_all[np.argsort(-row[finite_all])][:1]
+            w = row[selected]
+        pools.append(selected)
+        weights.append(w - w.min() + 1e-6)
+
+
+def _pool_from_proximity(
+    proximity: np.ndarray, pool_size: int, block_rows: int = 512
+) -> DynamicNeighborGraph:
+    """Top-``pool_size`` candidates per node, with shifted-positive weights.
+
+    Processed in row blocks of ``block_rows`` so peak intermediate memory is
+    O(block × n) even for large proximity matrices.
+    """
     n = proximity.shape[0]
     pool_size = int(np.clip(pool_size, 1, n - 1))
     pools: List[np.ndarray] = []
     weights: List[np.ndarray] = []
-    # argpartition then sort for descending proximity inside the pool.
-    for i in range(n):
-        row = proximity[i]
-        top = np.argpartition(-row, pool_size - 1)[:pool_size]
-        top = top[np.argsort(-row[top])]
-        w = row[top]
-        finite = np.isfinite(w)
-        top, w = top[finite], w[finite]
-        if len(top) == 0:  # pathological: keep the single best finite entry
-            finite_all = np.flatnonzero(np.isfinite(row))
-            top = finite_all[np.argsort(-row[finite_all])][:1]
-            w = row[top]
-        w = w - w.min() + 1e-6  # strictly positive sampling weights
-        pools.append(top.astype(np.int64))
-        weights.append(w)
+    for start in range(0, n, block_rows):
+        _extend_pools_from_rows(proximity[start : start + block_rows], pool_size, pools, weights)
     return DynamicNeighborGraph(pools=pools, weights=weights)
 
 
@@ -152,17 +188,26 @@ def build_attribute_graph(
     else:
         attributes = task.dataset.item_attributes
         rating_vectors = matrix.T
+    # Fused build: proximity rows are normalised, summed, and consumed by the
+    # pool extraction one block at a time — the dense n×n similarity matrices
+    # and their normalisation temporaries are never materialised.
     with span("graph.proximity"):
-        proximity = combined_proximity(
+        builder = BlockwiseProximity(
             attributes,
             rating_vectors if use_preference else None,
             use_attribute=use_attribute,
             use_preference=use_preference,
         )
-    n = proximity.shape[0]
+    n = builder.num_nodes
     pool_size = max(int(round(n * pool_percent / 100.0)), min_pool)
+    pool_size = int(np.clip(pool_size, 1, n - 1))
     with span("graph.pool"):
-        return _pool_from_proximity(proximity, pool_size)
+        pools: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+        for start in range(0, n, builder.block_rows):
+            block = builder.block(start, start + builder.block_rows)
+            _extend_pools_from_rows(block, pool_size, pools, weights)
+        return DynamicNeighborGraph(pools=pools, weights=weights)
 
 
 def build_knn_graph(

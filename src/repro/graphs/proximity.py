@@ -27,6 +27,7 @@ __all__ = [
     "preference_proximity",
     "min_max_normalise",
     "combined_proximity",
+    "BlockwiseProximity",
 ]
 
 
@@ -68,11 +69,15 @@ def min_max_normalise(matrix: np.ndarray, mask: Optional[np.ndarray] = None) -> 
     matrix = np.asarray(matrix, dtype=np.float64)
     if mask is not None and not mask.any():
         return np.zeros_like(matrix)
-    valid = matrix if mask is None else matrix[mask]
-    valid = valid[np.isfinite(valid)]
-    if valid.size == 0:
+    # Range over finite (and, with a mask, masked-True) entries via where=
+    # reductions — no matrix[mask] extraction copy, same min/max values.
+    valid = np.isfinite(matrix)
+    if mask is not None:
+        valid &= mask
+    if not valid.any():
         return np.zeros_like(matrix)
-    low, high = float(valid.min()), float(valid.max())
+    low = float(np.min(matrix, where=valid, initial=np.inf))
+    high = float(np.max(matrix, where=valid, initial=-np.inf))
     if high - low < 1e-12:
         return np.zeros_like(matrix)
     normalised = (matrix - low) / (high - low)
@@ -112,3 +117,160 @@ def combined_proximity(
         total += min_max_normalise(similarity, mask=both)
     np.fill_diagonal(total, -np.inf)
     return total
+
+
+def _unit_rows(vectors: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Rows scaled to unit norm (cosine_similarity_matrix's normalisation)."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    return vectors / np.maximum(np.linalg.norm(vectors, axis=1, keepdims=True), eps)
+
+
+class BlockwiseProximity:
+    """:func:`combined_proximity` assembled in row blocks.
+
+    Graph construction only ever consumes proximity rows (top-``p`` pool
+    extraction), so the dense n×n similarity matrices never need to exist at
+    once.  This builder keeps the O(n·d) normalised factors and streams
+    normalised, summed, diagonal-masked proximity rows block by block: peak
+    memory is O(block_rows × n) and the full-matrix normalisation temporaries
+    (the dominant cost of the materialised path) disappear.
+
+    Two passes: construction scans all blocks once for the global min–max
+    statistics :func:`min_max_normalise` would compute (identical edge-case
+    semantics: finite-only range, empty mask → zeros, ``max − min < 1e-12`` →
+    zeros); :meth:`block` then yields rows identical to the corresponding
+    slice of :func:`combined_proximity` up to GEMM blocking (same values to
+    the last ulp at BLAS-stable shapes).
+    """
+
+    def __init__(
+        self,
+        attributes: np.ndarray,
+        rating_vectors: Optional[np.ndarray] = None,
+        use_attribute: bool = True,
+        use_preference: bool = True,
+        block_rows: int = 512,
+    ) -> None:
+        if not use_attribute and not use_preference:
+            raise ValueError("at least one proximity type must be enabled")
+        if use_preference and rating_vectors is None:
+            raise ValueError("preference proximity requested but no rating vectors given")
+        attributes = np.asarray(attributes, dtype=np.float64)
+        self.num_nodes = int(attributes.shape[0])
+        self.block_rows = int(block_rows)
+        self.use_attribute = use_attribute
+        self.use_preference = use_preference
+        self._attr_unit = _unit_rows(attributes) if use_attribute else None
+        if use_preference:
+            rating_vectors = np.asarray(rating_vectors, dtype=np.float64)
+            self._has_history = rating_vectors.any(axis=1)
+            self._pref_unit = _unit_rows(rating_vectors)
+        else:
+            self._has_history = None
+            self._pref_unit = None
+        self._attr_range = self._attr_stats() if use_attribute else None
+        self._pref_range = self._pref_stats() if use_preference else None
+
+    # ------------------------------------------------------------ raw blocks
+    def _attr_rows(self, start: int, stop: int) -> np.ndarray:
+        return self._attr_unit[start:stop] @ self._attr_unit.T
+
+    # ------------------------------------------------------------ statistics
+    @staticmethod
+    def _block_extrema(block: np.ndarray) -> Optional[tuple[float, float]]:
+        """Finite min/max of a block, or None when nothing is finite."""
+        finite = np.isfinite(block)
+        if finite.all():  # the overwhelmingly common case: plain SIMD reductions
+            return float(block.min()), float(block.max())
+        if not finite.any():
+            return None
+        return (
+            float(np.min(block, where=finite, initial=np.inf)),
+            float(np.max(block, where=finite, initial=-np.inf)),
+        )
+
+    def _reduce_stats(self, extrema) -> Optional[tuple[float, float]]:
+        low, high = np.inf, -np.inf
+        seen = False
+        for pair in extrema:
+            if pair is None:
+                continue
+            seen = True
+            low, high = min(low, pair[0]), max(high, pair[1])
+        if not seen or high - low < 1e-12:
+            return None  # min_max_normalise's degenerate cases → all zeros
+        return low, high
+
+    def _attr_stats(self) -> Optional[tuple[float, float]]:
+        return self._reduce_stats(
+            self._block_extrema(self._attr_rows(start, min(start + self.block_rows, self.num_nodes)))
+            for start in range(0, self.num_nodes, self.block_rows)
+        )
+
+    def _pref_stats(self) -> Optional[tuple[float, float]]:
+        """Range over masked (both-have-history) entries only.
+
+        The mask is the outer product of ``has_history``, so the masked
+        entries are exactly the similarities between history rows — computed
+        directly on the history submatrix, no masked reductions needed.
+        """
+        history = np.flatnonzero(self._has_history)
+        if history.size == 0:
+            return None  # empty mask: min_max_normalise short-circuits to zeros
+        unit = self._pref_unit[history]
+        return self._reduce_stats(
+            self._block_extrema(unit[start : start + self.block_rows] @ unit.T)
+            for start in range(0, history.size, self.block_rows)
+        )
+
+    def _normalise_inplace(
+        self, block: np.ndarray, value_range: Optional[tuple[float, float]]
+    ) -> np.ndarray:
+        # Mirrors min_max_normalise elementwise (same scalar range, same
+        # mask/clip/NaN-zeroing order), but mutates the freshly-built block
+        # instead of allocating normalisation temporaries.
+        if value_range is None:
+            block[:] = 0.0
+            return block
+        low, high = value_range
+        block -= low
+        block /= high - low
+        np.clip(block, 0.0, 1.0, out=block)
+        block[np.isnan(block)] = 0.0
+        return block
+
+    # ------------------------------------------------------------------ rows
+    def block(self, start: int, stop: int) -> np.ndarray:
+        """Proximity rows ``[start, stop)`` with the −inf self-loop diagonal."""
+        stop = min(stop, self.num_nodes)
+        total: Optional[np.ndarray] = None
+        if self.use_attribute:
+            total = self._normalise_inplace(self._attr_rows(start, stop), self._attr_range)
+        if self.use_preference:
+            pref = self._pref_unit[start:stop] @ self._pref_unit.T
+            if self._pref_range is None:
+                pref[:] = 0.0
+            else:
+                low, high = self._pref_range
+                pref -= low
+                pref /= high - low
+                # min_max_normalise's mask (outer product of has_history) zeroes
+                # exactly the no-history rows and columns — sliced assignments,
+                # no boolean n×n mask matrix.  Zeroing precedes the clip, so
+                # clip(0, 1) keeps the zeros, matching the reference order.
+                pref[~self._has_history[start:stop], :] = 0.0
+                pref[:, ~self._has_history] = 0.0
+                np.clip(pref, 0.0, 1.0, out=pref)
+                pref[np.isnan(pref)] = 0.0
+            total = pref if total is None else np.add(total, pref, out=total)
+        diag = np.arange(start, stop)
+        total[diag - start, diag] = -np.inf
+        return total
+
+    def materialise(self) -> np.ndarray:
+        """Assemble the full matrix (tests / small-n callers)."""
+        out = np.empty((self.num_nodes, self.num_nodes))
+        for start in range(0, self.num_nodes, self.block_rows):
+            stop = min(start + self.block_rows, self.num_nodes)
+            out[start:stop] = self.block(start, stop)
+        return out

@@ -27,10 +27,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = ops.matmul(x, self.weight)
-        if self.bias is not None:
-            out = ops.add(out, self.bias)
-        return out
+        return ops.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
@@ -43,14 +40,20 @@ class Embedding(Module):
     as well as the per-attribute-value embeddings used by Bi-Interaction.
     """
 
-    def __init__(self, num_embeddings: int, embedding_dim: int, std: float = 0.05) -> None:
+    def __init__(
+        self, num_embeddings: int, embedding_dim: int, std: float = 0.05, sparse_grad: bool = False
+    ) -> None:
         super().__init__()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
+        # sparse_grad: backward carries only the gathered rows (SparseRowGrad)
+        # instead of a dense (V, D) array — bitwise-identical updates through
+        # Adam, worthwhile when batches touch a small fraction of the table.
+        self.sparse_grad = sparse_grad
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=std))
 
     def forward(self, indices) -> Tensor:
-        return ops.embedding(self.weight, indices)
+        return ops.embedding(self.weight, indices, sparse_grad=self.sparse_grad)
 
     def __repr__(self) -> str:
         return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

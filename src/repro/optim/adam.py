@@ -6,6 +6,7 @@ from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
+from ..autograd import SparseRowGrad
 from ..nn.module import Parameter
 from .base import Optimizer
 
@@ -13,7 +14,16 @@ __all__ = ["Adam", "AdamW"]
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias correction."""
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    Parameters whose gradient arrives as a :class:`SparseRowGrad` are updated
+    through a row-restricted path that is *bitwise-identical* to the dense
+    update: every row that has ever received gradient is revisited each step
+    (its moments must keep decaying), while never-touched rows have moments of
+    exactly zero and a dense update of exactly zero, so skipping them changes
+    nothing.  Once most rows are live the contiguous dense update is cheaper
+    than gathering, so the sparse path hands over automatically.
+    """
 
     def __init__(
         self,
@@ -33,15 +43,25 @@ class Adam(Optimizer):
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
         self._t: Dict[int, int] = {}
+        self._active_rows: Dict[int, np.ndarray] = {}
 
-    def _grad_with_decay(self, param: Parameter) -> np.ndarray:
+    def _grad_with_decay(self, param: Parameter):
         grad = param.grad
         if self.weight_decay:
+            # L2 decay gradients every row, so a sparse gradient densifies.
+            if isinstance(grad, SparseRowGrad):
+                grad = grad.to_dense()
             grad = grad + self.weight_decay * param.data
         return grad
 
     def _update(self, param: Parameter) -> None:
         grad = self._grad_with_decay(param)
+        if isinstance(grad, SparseRowGrad):
+            self._update_sparse(param, grad)
+        else:
+            self._update_dense(param, grad)
+
+    def _update_dense(self, param: Parameter, grad: np.ndarray) -> None:
         key = id(param)
         m = self._m.setdefault(key, np.zeros_like(param.data))
         v = self._v.setdefault(key, np.zeros_like(param.data))
@@ -51,15 +71,53 @@ class Adam(Optimizer):
         m += (1.0 - self.beta1) * grad
         v *= self.beta2
         v += (1.0 - self.beta2) * grad ** 2
-        m_hat = m / (1.0 - self.beta1 ** t)
-        v_hat = v / (1.0 - self.beta2 ** t)
-        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        # In-place bias-corrected step: the same expressions as
+        # lr * m_hat / (sqrt(v_hat) + eps), evaluated without the temporaries.
+        update = m / (1.0 - self.beta1 ** t)
+        update *= self.lr
+        denom = v / (1.0 - self.beta2 ** t)
+        np.sqrt(denom, out=denom)
+        denom += self.eps
+        update /= denom
+        param.data -= update
+
+    def _update_sparse(self, param: Parameter, grad: SparseRowGrad) -> None:
+        key = id(param)
+        active = self._active_rows.setdefault(key, np.zeros(param.data.shape[0], dtype=bool))
+        active[grad.rows] = True
+        if 2 * int(np.count_nonzero(active)) >= active.size:
+            self._update_dense(param, grad.to_dense())
+            return
+        rows = np.flatnonzero(active)
+        g = np.zeros((rows.size, param.data.shape[1]))
+        g[np.searchsorted(rows, grad.rows)] = grad.values
+        m = self._m.setdefault(key, np.zeros_like(param.data))
+        v = self._v.setdefault(key, np.zeros_like(param.data))
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m_rows = m[rows]
+        m_rows *= self.beta1
+        m_rows += (1.0 - self.beta1) * g
+        m[rows] = m_rows
+        v_rows = v[rows]
+        v_rows *= self.beta2
+        v_rows += (1.0 - self.beta2) * g ** 2
+        v[rows] = v_rows
+        update = m_rows / (1.0 - self.beta1 ** t)
+        update *= self.lr
+        denom = v_rows / (1.0 - self.beta2 ** t)
+        np.sqrt(denom, out=denom)
+        denom += self.eps
+        update /= denom
+        param.data[rows] -= update
 
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter)."""
 
-    def _grad_with_decay(self, param: Parameter) -> np.ndarray:
+    def _grad_with_decay(self, param: Parameter):
+        # Decoupled decay is applied directly to the weights in _update, so
+        # the gradient passes through untouched (and may stay sparse).
         return param.grad
 
     def _update(self, param: Parameter) -> None:

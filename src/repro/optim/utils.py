@@ -6,23 +6,35 @@ from typing import Iterable
 
 import numpy as np
 
+from ..autograd import SparseRowGrad
 from ..nn.module import Parameter
 from .base import Optimizer
 
 __all__ = ["clip_grad_norm", "ExponentialDecay", "StepDecay"]
 
 
+def _grad_sq_sum(grad) -> float:
+    if isinstance(grad, SparseRowGrad):
+        return grad.sq_sum()
+    return float((grad ** 2).sum())
+
+
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm so callers can log it.
+    Returns the pre-clip norm so callers can log it.  Sparse row gradients
+    contribute only their touched rows (the rest are exact zeros) and are
+    scaled in place, so clipping stays O(batch) for embedding tables.
     """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total = float(np.sqrt(sum(_grad_sq_sum(p.grad) for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad *= scale
+            if isinstance(p.grad, SparseRowGrad):
+                p.grad.scale_(scale)
+            else:
+                p.grad *= scale
     return total
 
 

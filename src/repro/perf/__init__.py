@@ -1,0 +1,27 @@
+"""Performance benchmarking: the training-throughput baseline.
+
+``repro train-bench`` produces ``BENCH_training.json`` — wall-clock and span
+numbers for a seeded SMOKE-scale AGNN fit plus graph-construction
+micro-benchmarks.  ``benchmarks/test_training_baseline.py`` reruns a quick
+version and trips when throughput regresses badly against the committed file.
+"""
+
+from .bench import (
+    build_fused,
+    build_reference,
+    graph_microbench,
+    pool_reference,
+    render,
+    run_train_bench,
+    synthetic_graph_inputs,
+)
+
+__all__ = [
+    "build_fused",
+    "build_reference",
+    "graph_microbench",
+    "pool_reference",
+    "render",
+    "run_train_bench",
+    "synthetic_graph_inputs",
+]

@@ -1,0 +1,279 @@
+"""The training benchmark: a seeded SMOKE-scale fit, metered end to end.
+
+This is the producer of ``BENCH_training.json``, the training-throughput
+baseline next to ``BENCH_telemetry.json`` (span shapes) and
+``BENCH_serving.json`` (inference latencies).  It runs:
+
+* a fully-metered AGNN fit + evaluate on the smoke ML-100K split, reporting
+  wall-clock, batches/sec, and the span breakdown of the hot paths (encode,
+  backward, graph build, resampling, predict) plus the encode dedup ratio;
+* the same run a second time to assert seeded determinism — the two test-set
+  prediction vectors must be bitwise equal;
+* graph-construction micro-benchmarks at ``n = 2000``: the pre-vectorisation
+  per-row pool extraction vs :func:`_pool_from_proximity`, and the
+  materialise-then-pool build vs the fused blockwise build.
+
+The reference implementations (:func:`pool_reference`,
+:func:`build_reference`) replicate the pre-optimisation code paths and double
+as parity oracles for ``tests/graphs/test_pool_parity.py``.
+
+Run it via the CLI::
+
+    python -m repro.cli train-bench --output BENCH_training.json
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.construction import DynamicNeighborGraph, _extend_pools_from_rows, _pool_from_proximity
+from ..graphs.proximity import BlockwiseProximity, combined_proximity
+from ..telemetry import metrics, report, span, tracing
+
+__all__ = [
+    "pool_reference",
+    "build_reference",
+    "synthetic_graph_inputs",
+    "graph_microbench",
+    "run_train_bench",
+]
+
+
+# --------------------------------------------------------------------------
+# Reference (pre-optimisation) graph construction — micro-benchmark baselines
+# and the parity-test oracles.
+# --------------------------------------------------------------------------
+
+def pool_reference(proximity: np.ndarray, pool_size: int) -> DynamicNeighborGraph:
+    """Per-row top-``pool_size`` extraction, exactly as before vectorisation."""
+    n = proximity.shape[0]
+    pool_size = int(np.clip(pool_size, 1, n - 1))
+    pools: List[np.ndarray] = []
+    weights: List[np.ndarray] = []
+    for i in range(n):
+        row = proximity[i]
+        top = np.argpartition(-row, pool_size - 1)[:pool_size]
+        top = top[np.argsort(-row[top])]
+        w = row[top]
+        finite = np.isfinite(w)
+        top, w = top[finite], w[finite]
+        if len(top) == 0:  # pathological: keep the single best finite entry
+            finite_all = np.flatnonzero(np.isfinite(row))
+            top = finite_all[np.argsort(-row[finite_all])][:1]
+            w = row[top]
+        w = w - w.min() + 1e-6  # strictly positive sampling weights
+        pools.append(top.astype(np.int64))
+        weights.append(w)
+    return DynamicNeighborGraph(pools=pools, weights=weights)
+
+
+def build_reference(
+    attributes: np.ndarray, rating_vectors: np.ndarray, pool_size: int
+) -> DynamicNeighborGraph:
+    """Materialise the full proximity matrix, then pool — the pre-fusion build."""
+    proximity = combined_proximity(attributes, rating_vectors)
+    return pool_reference(proximity, pool_size)
+
+
+def build_fused(
+    attributes: np.ndarray, rating_vectors: np.ndarray, pool_size: int
+) -> DynamicNeighborGraph:
+    """The fused blockwise build (what :func:`build_attribute_graph` runs)."""
+    builder = BlockwiseProximity(attributes, rating_vectors)
+    pools: List[np.ndarray] = []
+    weights: List[np.ndarray] = []
+    for start in range(0, builder.num_nodes, builder.block_rows):
+        block = builder.block(start, start + builder.block_rows)
+        _extend_pools_from_rows(block, pool_size, pools, weights)
+    return DynamicNeighborGraph(pools=pools, weights=weights)
+
+
+def synthetic_graph_inputs(
+    n: int = 2000, attr_dim: int = 60, num_ratings: int = 300, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded multi-hot attributes (~8% density) + sparse ratings (~2%)."""
+    rng = np.random.default_rng(seed)
+    attributes = (rng.random((n, attr_dim)) < 0.08).astype(np.float64)
+    ratings = np.where(
+        rng.random((n, num_ratings)) < 0.02, rng.integers(1, 6, (n, num_ratings)), 0
+    ).astype(np.float64)
+    return attributes, ratings
+
+
+def _best_ms(fn: Callable[[], Any], repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def graph_microbench(
+    n: int = 2000,
+    pool_size: int = 100,
+    attr_dim: int = 60,
+    num_ratings: int = 300,
+    repeats: int = 5,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Reference-vs-optimised timings for pool extraction and the full build."""
+    attributes, ratings = synthetic_graph_inputs(n, attr_dim, num_ratings, seed)
+    proximity = combined_proximity(attributes, ratings)
+    pool_ref = _best_ms(lambda: pool_reference(proximity, pool_size), repeats)
+    pool_vec = _best_ms(lambda: _pool_from_proximity(proximity, pool_size), repeats)
+    build_ref = _best_ms(lambda: build_reference(attributes, ratings, pool_size), repeats)
+    build_new = _best_ms(lambda: build_fused(attributes, ratings, pool_size), repeats)
+    return {
+        "n": n,
+        "pool_size": pool_size,
+        "repeats": repeats,
+        "pool_reference_ms": pool_ref,
+        "pool_vectorised_ms": pool_vec,
+        "pool_speedup": pool_ref / pool_vec,
+        "build_reference_ms": build_ref,
+        "build_fused_ms": build_new,
+        "build_speedup": build_ref / build_new,
+    }
+
+
+# --------------------------------------------------------------------------
+# Metered training run
+# --------------------------------------------------------------------------
+
+def _span_total(snap: Dict[str, Any], path: str) -> float:
+    return float(snap["spans"].get(path, {}).get("total_s", 0.0))
+
+
+def _metered_fit(dataset, scenario: str, scale, train_config) -> Tuple[Dict[str, Any], Any, Any, np.ndarray]:
+    """One seeded metered fit+evaluate; returns (snapshot, history, result, predictions)."""
+    # Imported here: perf pulls in the full model stack, while repro.perf
+    # stays importable without cycles (cli imports model_factory lazily too).
+    from ..cli import model_factory
+    from ..data import make_split
+    from ..nn import init as nn_init
+
+    metrics.reset()
+    tracing.reset_spans()
+    with metrics.enabled():
+        nn_init.seed(scale.seed)
+        task = make_split(dataset, scenario, scale.split_fraction, seed=scale.seed)
+        model = model_factory("AGNN", scale)()
+        with span("experiment"):
+            history = model.fit(task, train_config)
+            result = model.evaluate(task)
+        predictions = model.predict(task.test_users, task.test_items)
+        snap = report.snapshot(note="train-bench")
+    return snap, history, result, predictions
+
+
+def run_train_bench(
+    dataset: str = "ML-100K",
+    scenario: str = "item_cold",
+    scale_name: str = "smoke",
+    epochs: Optional[int] = None,
+    output: Optional[str] = "BENCH_training.json",
+    graph_n: int = 2000,
+    graph_pool: int = 100,
+    graph_repeats: int = 5,
+    check_determinism: bool = True,
+) -> Dict[str, Any]:
+    """Run the training benchmark; write ``output`` unless ``None``."""
+    from ..experiments.configs import get_scale
+
+    scale = get_scale(scale_name)
+    train_config = scale.train if epochs is None else replace(scale.train, epochs=epochs)
+    data = scale.datasets[dataset]()
+
+    snap, history, result, predictions = _metered_fit(data, scenario, scale, train_config)
+
+    counters = snap["counters"]
+    gauges = snap["gauges"]
+    batches = int(counters.get("train.batches", 0))
+    batch_total = _span_total(snap, "experiment/fit/epoch/batch")
+    epoch_span = snap["spans"].get("experiment/fit/epoch", {})
+    training = {
+        "fit_s": _span_total(snap, "experiment/fit"),
+        "epochs_trained": history.num_epochs,
+        "epoch_mean_s": float(epoch_span.get("mean_s", 0.0)),
+        "batches": batches,
+        "batch_total_s": batch_total,
+        "batches_per_sec": batches / batch_total if batch_total > 0 else 0.0,
+        "graph_build_s": _span_total(snap, "experiment/fit/prepare/agnn.prepare/graph.build"),
+        "encode_total_s": _span_total(snap, "experiment/fit/epoch/batch/agnn.encode"),
+        "backward_total_s": _span_total(snap, "experiment/fit/epoch/batch/autograd.backward"),
+        "resample_total_s": _span_total(snap, "experiment/fit/epoch/agnn.resample"),
+        "predict_total_s": _span_total(snap, "experiment/predict"),
+        "dedup_ratio": float(gauges.get("agnn.encode.dedup_ratio", 1.0)),
+        "unique_nodes": int(counters.get("agnn.encode.unique_nodes", 0)),
+        "total_nodes": int(counters.get("agnn.encode.total_nodes", 0)),
+    }
+
+    determinism: Dict[str, Any] = {"checked": check_determinism}
+    if check_determinism:
+        _, _, result2, predictions2 = _metered_fit(data, scenario, scale, train_config)
+        determinism["repeat_runs_bitwise_equal"] = bool(np.array_equal(predictions, predictions2))
+        determinism["test_pairs"] = int(predictions.size)
+        determinism["rmse_repeat"] = result2.rmse
+
+    payload: Dict[str, Any] = {
+        "schema_version": 1,
+        "meta": {
+            "note": "train-bench",
+            "dataset": dataset,
+            "scenario": scenario,
+            "scale": scale_name,
+            "seed": scale.seed,
+            "rmse": result.rmse,
+            "mae": result.mae,
+        },
+        "training": training,
+        "determinism": determinism,
+        "graph_microbench": graph_microbench(
+            n=graph_n, pool_size=graph_pool, repeats=graph_repeats
+        ),
+    }
+    if output is not None:
+        import json
+
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return payload
+
+
+def render(payload: Dict[str, Any]) -> str:
+    """Human-readable summary of a train-bench payload."""
+    meta, training = payload["meta"], payload["training"]
+    micro = payload["graph_microbench"]
+    lines = [
+        f"train-bench {meta['dataset']}/{meta['scenario']} @ {meta['scale']} "
+        f"(seed {meta['seed']}): rmse {meta['rmse']:.4f} mae {meta['mae']:.4f}",
+        f"  fit {training['fit_s']:.3f}s over {training['epochs_trained']} epochs "
+        f"({training['epoch_mean_s']:.3f}s/epoch)",
+        f"  {training['batches']} batches in {training['batch_total_s']:.3f}s "
+        f"= {training['batches_per_sec']:.1f} batches/sec",
+        f"  spans: encode {training['encode_total_s']:.3f}s, "
+        f"backward {training['backward_total_s']:.3f}s, "
+        f"graph build {training['graph_build_s']:.3f}s, "
+        f"resample {training['resample_total_s']:.3f}s, "
+        f"predict {training['predict_total_s']:.3f}s",
+        f"  encode dedup: {training['unique_nodes']}/{training['total_nodes']} "
+        f"nodes encoded (ratio {training['dedup_ratio']:.3f})",
+    ]
+    determinism = payload["determinism"]
+    if determinism.get("checked"):
+        verdict = "bitwise-equal" if determinism["repeat_runs_bitwise_equal"] else "MISMATCH"
+        lines.append(f"  determinism: repeat run {verdict} on {determinism['test_pairs']} test pairs")
+    lines.append(
+        f"  graph n={micro['n']} pool={micro['pool_size']}: "
+        f"pool {micro['pool_reference_ms']:.1f}ms -> {micro['pool_vectorised_ms']:.1f}ms "
+        f"({micro['pool_speedup']:.2f}x), "
+        f"build {micro['build_reference_ms']:.1f}ms -> {micro['build_fused_ms']:.1f}ms "
+        f"({micro['build_speedup']:.2f}x)"
+    )
+    return "\n".join(lines)

@@ -31,9 +31,11 @@ EXPECTED_SPAN_PATHS = (
     "experiment/fit/epoch",
     "experiment/fit/epoch/agnn.resample/graph.neighbours",
     "experiment/fit/epoch/batch",
+    "experiment/fit/epoch/batch/agnn.encode",
     "experiment/fit/epoch/batch/autograd.backward",
     "experiment/fit/epoch/batch/evae.loss",
     "experiment/predict/agnn.predict_scores",
+    "experiment/predict/agnn.predict_scores/agnn.refine_cache",
     "experiment/predict/agnn.predict_scores/agnn.generate_cold/evae.generate",
 )
 

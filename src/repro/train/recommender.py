@@ -194,16 +194,17 @@ class Recommender(Module):
             return np.empty(0, dtype=np.float64)
         was_training = self.training
         self.eval()
-        chunks = []
+        out = np.empty(len(users), dtype=np.float64)
         with span("predict"), no_grad():
             for start in range(0, len(users), batch_size):
-                stop = start + batch_size
-                chunks.append(np.asarray(self.predict_scores(users[start:stop], items[start:stop])))
+                stop = min(start + batch_size, len(users))
+                scores = np.asarray(self.predict_scores(users[start:stop], items[start:stop]))
+                out[start:stop] = scores.reshape(stop - start)
         increment("predict.pairs", len(users))
         if was_training:
             self.train()
         low, high = self._rating_scale
-        return np.clip(np.concatenate(chunks) if chunks else np.empty(0), low, high)
+        return np.clip(out, low, high)
 
     def evaluate(self, task: Optional[RecommendationTask] = None) -> EvalResult:
         """Score on the task's test split."""

@@ -119,11 +119,16 @@ def check_index_matrix(name: str, indices: np.ndarray, upper: int) -> List[str]:
 
 def check_finite_parameters(model) -> List[str]:
     """Every named parameter (and its gradient, if any) is finite."""
+    from ..autograd import SparseRowGrad
+
     out: List[str] = []
     for name, param in model.named_parameters():
         if not np.all(np.isfinite(param.data)):
             out.append(f"parameter {name}: contains non-finite values")
-        if param.grad is not None and not np.all(np.isfinite(param.grad)):
+        grad = param.grad
+        if isinstance(grad, SparseRowGrad):
+            grad = grad.values  # untouched rows are exactly zero, hence finite
+        if grad is not None and not np.all(np.isfinite(grad)):
             out.append(f"parameter {name}: gradient contains non-finite values")
     return out
 

@@ -53,6 +53,7 @@ _TENSOR_FNS: Dict[str, Callable[[List[Tensor], dict], Tensor]] = {
     "neg": lambda t, p: _ops.neg(t[0]),
     "power": lambda t, p: _ops.power(t[0], p["exponent"]),
     "matmul": lambda t, p: _ops.matmul(t[0], t[1]),
+    "linear": lambda t, p: _ops.linear(t[0], t[1], t[2]),
     "exp": lambda t, p: _ops.exp(t[0]),
     "log": lambda t, p: _ops.log(t[0]),
     "sqrt": lambda t, p: _ops.sqrt(t[0]),
@@ -96,6 +97,7 @@ _NUMPY_FNS: Dict[str, Callable[[List[np.ndarray], dict], np.ndarray]] = {
     "neg": lambda a, p: -a[0],
     "power": lambda a, p: a[0] ** p["exponent"],
     "matmul": lambda a, p: a[0] @ a[1],
+    "linear": lambda a, p: a[0] @ a[1] + a[2],
     "exp": lambda a, p: np.exp(a[0]),
     "log": lambda a, p: np.log(a[0]),
     "sqrt": lambda a, p: np.sqrt(a[0]),
@@ -273,6 +275,17 @@ def _build_matmul(rng, program, cur, shape):
     return _append(program, "matmul", (cur, other)), out_shape
 
 
+def _build_linear(rng, program, cur, shape):
+    if not 1 <= len(shape) <= 3 or 0 in shape:
+        return None
+    inner = shape[-1]
+    out_features = int(rng.integers(1, 4))
+    weight = _new_leaf(rng, program, (inner, out_features))
+    bias = _new_leaf(rng, program, (out_features,))
+    out_shape = shape[:-1] + (out_features,)
+    return _append(program, "linear", (cur, weight, bias)), out_shape
+
+
 def _build_clip(rng, program, cur, shape):
     low = float(rng.uniform(-1.5, -0.5))
     high = float(rng.uniform(0.5, 1.5))
@@ -419,6 +432,7 @@ BUILDERS: Dict[str, Builder] = {
     "neg": _unary("neg"),
     "power": _build_power,
     "matmul": _build_matmul,
+    "linear": _build_linear,
     "exp": _unary("exp"),
     "log": _build_log,
     "sqrt": _build_sqrt,

@@ -1,0 +1,190 @@
+"""Sparse-vs-dense equivalence for embedding gradients and optimizer steps.
+
+``Embedding(sparse_grad=True)`` routes the backward pass through
+:class:`SparseRowGrad` and the optimizers' row-restricted updates.  The
+documented contract is *bitwise* equivalence with the dense path — these tests
+hold both paths to ``array_equal``, including the densify handover once most
+rows are live and the weight-decay densification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import SparseRowGrad, Tensor, ops
+from repro.autograd.sparse import segment_sum_rows
+from repro.optim import Adam, AdamW, clip_grad_norm
+
+
+class TestSegmentSum:
+    def test_matches_np_add_at_bitwise(self, rng):
+        indices = rng.integers(0, 50, size=400)
+        values = rng.normal(size=(400, 7)) * 10.0 ** rng.integers(-3, 3, size=(400, 1))
+        unique, sums = segment_sum_rows(indices, values)
+        dense = np.zeros((50, 7))
+        np.add.at(dense, indices, values)
+        np.testing.assert_array_equal(unique, np.unique(indices))
+        np.testing.assert_array_equal(sums, dense[unique])
+
+    def test_single_and_repeated_index(self):
+        indices = np.array([3, 3, 3])
+        values = np.array([[1.0], [2.0], [4.0]])
+        unique, sums = segment_sum_rows(indices, values)
+        np.testing.assert_array_equal(unique, [3])
+        np.testing.assert_array_equal(sums, [[7.0]])
+
+
+class TestSparseRowGrad:
+    def test_to_dense_and_add_into(self, rng):
+        grad = SparseRowGrad(np.array([1, 4]), rng.normal(size=(2, 3)), (6, 3))
+        dense = grad.to_dense()
+        assert dense.shape == (6, 3)
+        np.testing.assert_array_equal(dense[[1, 4]], grad.values)
+        assert not dense[[0, 2, 3, 5]].any()
+        acc = rng.normal(size=(6, 3))
+        expected = acc + dense
+        grad.add_into(acc)
+        np.testing.assert_array_equal(acc, expected)
+
+    def test_merge_sums_overlapping_rows(self, rng):
+        a = SparseRowGrad(np.array([0, 2]), rng.normal(size=(2, 4)), (5, 4))
+        b = SparseRowGrad(np.array([2, 3]), rng.normal(size=(2, 4)), (5, 4))
+        merged = a.merge(b)
+        np.testing.assert_array_equal(merged.to_dense(), a.to_dense() + b.to_dense())
+
+    def test_scale_and_sq_sum_match_dense(self, rng):
+        grad = SparseRowGrad(np.array([0, 7, 9]), rng.normal(size=(3, 5)), (12, 5))
+        dense = grad.to_dense()
+        # Exact vs the touched rows; the full-dense sum may group its pairwise
+        # reduction differently (zero rows change the tree), so allclose there.
+        assert grad.sq_sum() == float((grad.values ** 2).sum())
+        np.testing.assert_allclose(grad.sq_sum(), (dense ** 2).sum(), rtol=1e-15)
+        grad.scale_(0.37)
+        np.testing.assert_array_equal(grad.to_dense(), dense * 0.37)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SparseRowGrad(np.array([0]), np.zeros((1, 2)), (4,))
+        with pytest.raises(ValueError):
+            SparseRowGrad(np.array([0, 1]), np.zeros((1, 2)), (4, 2))
+
+
+class TestEmbeddingBackward:
+    def test_sparse_backward_matches_dense_bitwise(self, rng):
+        indices = rng.integers(0, 30, size=(8, 5))
+        upstream = rng.normal(size=(8, 5, 4))
+        grads = {}
+        weight_data = rng.normal(size=(30, 4))
+        for sparse in (False, True):
+            weight = Tensor(weight_data.copy(), requires_grad=True)
+            out = ops.embedding(weight, indices, sparse_grad=sparse)
+            out.backward(upstream)
+            grads[sparse] = weight.grad
+        assert isinstance(grads[True], SparseRowGrad)
+        assert not isinstance(grads[False], SparseRowGrad)
+        np.testing.assert_array_equal(grads[True].to_dense(), grads[False])
+
+    def test_two_gathers_merge_and_stay_sparse(self, rng):
+        # Two sparse gathers from the same leaf accumulate via merge() and the
+        # result stays sparse — matching the dense double-gather bitwise.
+        weight_data = rng.normal(size=(20, 3))
+        indices_a, indices_b = np.array([1, 5, 5]), np.array([5, 9])
+        grads = {}
+        for sparse in (False, True):
+            weight = Tensor(weight_data.copy(), requires_grad=True)
+            out = ops.add(
+                ops.sum(ops.embedding(weight, indices_a, sparse_grad=sparse)),
+                ops.sum(ops.embedding(weight, indices_b, sparse_grad=sparse)),
+            )
+            out.backward()
+            grads[sparse] = weight.grad
+        assert isinstance(grads[True], SparseRowGrad)
+        np.testing.assert_array_equal(grads[True].to_dense(), grads[False])
+
+    def test_mixed_accumulation_densifies(self, rng):
+        weight = Tensor(rng.normal(size=(12, 3)), requires_grad=True)
+        sparse = SparseRowGrad(np.array([2, 5]), rng.normal(size=(2, 3)), (12, 3))
+        dense = rng.normal(size=(12, 3))
+        weight.accumulate_grad(sparse)
+        assert isinstance(weight.grad, SparseRowGrad)
+        weight.accumulate_grad(dense)
+        assert isinstance(weight.grad, np.ndarray)
+        np.testing.assert_array_equal(weight.grad, sparse.to_dense() + dense)
+
+
+def _run_steps(optimizer_cls, sparse, steps, rng_seed, vocab=40, dim=6, weight_decay=0.0, clip=None):
+    """Train an embedding + dense projection for a few steps; return weights."""
+    rng = np.random.default_rng(rng_seed)
+    nn.init.seed(rng_seed)
+    table = nn.Embedding(vocab, dim, sparse_grad=sparse)
+    proj = nn.Linear(dim, 1)
+    params = list(table.parameters()) + list(proj.parameters())
+    opt = optimizer_cls(params, lr=0.05, weight_decay=weight_decay)
+    for _ in range(steps):
+        indices = rng.integers(0, vocab, size=(16, 3))
+        target = Tensor(rng.normal(size=(16, 3, 1)))
+        loss = ops.mean(ops.square(ops.sub(proj(table(indices)), target)))
+        for p in params:
+            p.zero_grad()
+        loss.backward()
+        if clip is not None:
+            clip_grad_norm(params, clip)
+        opt.step()
+    return [p.data.copy() for p in params]
+
+
+class TestOptimizerEquivalence:
+    @pytest.mark.parametrize("optimizer_cls", [Adam, AdamW])
+    def test_multi_step_training_bitwise_equal(self, optimizer_cls):
+        dense = _run_steps(optimizer_cls, sparse=False, steps=6, rng_seed=0)
+        sparse = _run_steps(optimizer_cls, sparse=True, steps=6, rng_seed=0)
+        for d, s in zip(dense, sparse):
+            np.testing.assert_array_equal(d, s)
+
+    def test_with_grad_clipping_bitwise_equal(self):
+        dense = _run_steps(Adam, sparse=False, steps=5, rng_seed=1, clip=0.1)
+        sparse = _run_steps(Adam, sparse=True, steps=5, rng_seed=1, clip=0.1)
+        for d, s in zip(dense, sparse):
+            np.testing.assert_array_equal(d, s)
+
+    def test_weight_decay_densifies_and_matches(self):
+        # Adam's L2 decay gradients every row, forcing the sparse grad dense.
+        dense = _run_steps(Adam, sparse=False, steps=4, rng_seed=2, weight_decay=0.01)
+        sparse = _run_steps(Adam, sparse=True, steps=4, rng_seed=2, weight_decay=0.01)
+        for d, s in zip(dense, sparse):
+            np.testing.assert_array_equal(d, s)
+
+    def test_decoupled_decay_stays_sparse_and_matches(self):
+        dense = _run_steps(AdamW, sparse=False, steps=4, rng_seed=3, weight_decay=0.01)
+        sparse = _run_steps(AdamW, sparse=True, steps=4, rng_seed=3, weight_decay=0.01)
+        for d, s in zip(dense, sparse):
+            np.testing.assert_array_equal(d, s)
+
+    def test_densify_handover_once_most_rows_live(self):
+        # Tiny vocab: after a couple of batches >=50% of rows are live and
+        # _update_sparse hands over to the contiguous dense update.  The
+        # handover must be invisible in the resulting weights.
+        dense = _run_steps(Adam, sparse=False, steps=8, rng_seed=4, vocab=8)
+        sparse = _run_steps(Adam, sparse=True, steps=8, rng_seed=4, vocab=8)
+        for d, s in zip(dense, sparse):
+            np.testing.assert_array_equal(d, s)
+
+    def test_moments_decay_for_rows_absent_this_step(self):
+        # A row touched at step 1 but not step 2 must still have its Adam
+        # moments decayed at step 2 (the sparse path revisits all live rows).
+        nn.init.seed(0)
+        table = nn.Embedding(10, 2, sparse_grad=True)
+        opt = Adam(table.parameters(), lr=0.1)
+        out = table(np.array([0, 1]))
+        ops.sum(out).backward()
+        opt.step()
+        before = table.weight.data[0].copy()
+        table.weight.zero_grad()
+        out = table(np.array([1, 2]))
+        ops.sum(out).backward()
+        opt.step()
+        # Row 0 got no gradient at step 2, but its first moment is nonzero, so
+        # the bias-corrected update must still move it.
+        assert not np.array_equal(table.weight.data[0], before)

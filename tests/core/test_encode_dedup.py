@@ -1,0 +1,132 @@
+"""Parity: deduplicated batch encoding vs the per-occurrence reference.
+
+``_encode_side`` now encodes each *distinct* node once and gathers the
+per-occurrence rows differentiably.  Since every encoder stage is row-wise,
+the dedup path must reproduce the encode-every-occurrence reference — the
+pre-change implementation, reconstructed here from the encoder primitives —
+including gradients and the corruption-mask training path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import SparseRowGrad, ops
+from repro.core import AGNN, AGNNConfig
+
+SMALL = AGNNConfig(embedding_dim=6, num_neighbors=3, pool_percent=10.0)
+
+
+def _dense(grad):
+    return grad.to_dense() if isinstance(grad, SparseRowGrad) else grad
+
+
+def _reference_encode(model, side, ids, preference_override=None, corruption_mask=None):
+    """The pre-dedup path: encode the target and every neighbour occurrence."""
+    encoder = model._encoder(side)
+    attributes = model._attributes[side]
+    target = encoder.node_embedding(ids, attributes, preference_override, corruption_mask)
+    neighbour_ids = model._neighbours[side][np.asarray(ids, dtype=np.int64)]
+    batch, k = neighbour_ids.shape
+    flat = encoder.node_embedding(neighbour_ids.reshape(-1), attributes, preference_override)
+    neighbours = ops.reshape(flat, (batch, k, model.config.embedding_dim))
+    aggregated = model._aggregator(side)(target, neighbours)
+    return aggregated, target
+
+
+@pytest.fixture(scope="module")
+def prepared_model(ics_task):
+    nn.init.seed(0)
+    model = AGNN(SMALL, rng_seed=0)
+    model.task = ics_task
+    model.prepare(ics_task)
+    return model
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("side", ["user", "item"])
+    def test_duplicate_heavy_batch_matches_reference(self, prepared_model, side):
+        # Repeated ids guarantee the dedup path actually deduplicates.
+        ids = np.array([0, 1, 2, 1, 0, 3, 2, 2], dtype=np.int64)
+        got_agg, got_target = prepared_model._encode_side(side, ids)
+        ref_agg, ref_target = _reference_encode(prepared_model, side, ids)
+        np.testing.assert_array_equal(got_target.data, ref_target.data)
+        np.testing.assert_array_equal(got_agg.data, ref_agg.data)
+
+    def test_random_batches_match_reference(self, prepared_model, rng):
+        n = prepared_model._attributes["item"].shape[0]
+        for _ in range(5):
+            ids = rng.integers(0, n, size=17)
+            got_agg, _ = prepared_model._encode_side("item", ids)
+            ref_agg, _ = _reference_encode(prepared_model, "item", ids)
+            np.testing.assert_array_equal(got_agg.data, ref_agg.data)
+
+    def test_preference_override_matches_reference(self, prepared_model, rng):
+        n = prepared_model._attributes["user"].shape[0]
+        override = rng.normal(size=(n, SMALL.embedding_dim))
+        ids = np.array([4, 4, 5, 6, 5], dtype=np.int64)
+        got_agg, _ = prepared_model._encode_side("user", ids, preference_override=override)
+        ref_agg, _ = _reference_encode(prepared_model, "user", ids, preference_override=override)
+        np.testing.assert_array_equal(got_agg.data, ref_agg.data)
+
+    def test_corruption_mask_path_matches_reference(self, prepared_model, rng):
+        # With a per-occurrence mask the targets cannot dedup (each row has its
+        # own corruption) but the unmasked neighbours still must match.
+        ids = np.array([1, 3, 3, 7], dtype=np.int64)
+        mask = (rng.random(4) < 0.5).astype(np.float64)
+        got_agg, got_target = prepared_model._encode_side("user", ids, corruption_mask=mask)
+        ref_agg, ref_target = _reference_encode(prepared_model, "user", ids, corruption_mask=mask)
+        np.testing.assert_array_equal(got_target.data, ref_target.data)
+        np.testing.assert_array_equal(got_agg.data, ref_agg.data)
+
+
+class TestGradientParity:
+    @pytest.mark.parametrize("side", ["user", "item"])
+    def test_parameter_gradients_match_reference(self, prepared_model, side):
+        model = prepared_model
+        ids = np.array([0, 2, 1, 2, 0], dtype=np.int64)
+
+        def grads_from(encode):
+            for p in model.parameters():
+                p.zero_grad()
+            aggregated, target = encode()
+            loss = ops.add(ops.sum(ops.square(aggregated)), ops.sum(ops.square(target)))
+            loss.backward()
+            return {name: _dense(p.grad).copy() for name, p in model.named_parameters() if p.grad is not None}
+
+        got = grads_from(lambda: model._encode_side(side, ids))
+        ref = grads_from(lambda: _reference_encode(model, side, ids))
+        assert set(got) == set(ref)
+        # Forward values are bitwise-equal (gathers), but the backward
+        # scatter-add groups contributions per *unique* node while the
+        # reference accumulates per occurrence — a different summation
+        # order, so gradients agree only to the last few ulps.
+        for name in ref:
+            np.testing.assert_allclose(got[name], ref[name], rtol=1e-12, atol=1e-15, err_msg=name)
+
+
+class TestAttrCache:
+    def test_cache_holds_detached_unique_attribute_rows(self, prepared_model):
+        model = prepared_model
+        ids = np.array([5, 1, 5, 2], dtype=np.int64)
+        model._encode_side("item", ids)
+        cache = model._encode_attr_cache["item"]
+        assert cache is not None
+        unique, attr_rows = cache
+        neighbour_ids = model._neighbours["item"][ids]
+        expected_unique = np.unique(np.concatenate([ids, neighbour_ids.reshape(-1)]))
+        np.testing.assert_array_equal(unique, expected_unique)
+        encoder = model._encoder("item")
+        fresh = encoder.attribute_embedding(unique, model._attributes["item"])
+        np.testing.assert_array_equal(attr_rows, fresh.data)
+
+    def test_masked_encode_invalidates_cache(self, prepared_model, rng):
+        model = prepared_model
+        ids = np.array([0, 1], dtype=np.int64)
+        model._encode_side("user", ids)
+        assert model._encode_attr_cache["user"] is not None
+        mask = (rng.random(2) < 0.5).astype(np.float64)
+        model._encode_side("user", ids, corruption_mask=mask)
+        assert model._encode_attr_cache["user"] is None

@@ -67,13 +67,17 @@ class TestOpAccounting:
             ops.add(a, a)  # (10, 20) float64 output
         assert profiler.snapshot()["add"]["alloc_bytes"] == 10 * 20 * 8
 
-    def test_composite_ops_count_their_pieces(self):
+    def test_fused_ops_count_once(self):
+        # mean and linear are single fused nodes: no sum/mul or matmul/add
+        # sub-ops appear in the accounting.
         with AutogradProfiler() as profiler:
             ops.mean(Tensor(np.ones(7)))
+            ops.linear(Tensor(np.ones((3, 4))), Tensor(np.ones((4, 2))), Tensor(np.ones(2)))
         stats = profiler.snapshot()
         assert stats["mean"]["count"] == 1
-        assert stats["sum"]["count"] == 1  # mean = mul(sum(x), 1/n)
-        assert stats["mul"]["count"] == 1
+        assert stats["linear"]["count"] == 1
+        for piece in ("sum", "mul", "matmul", "add"):
+            assert stats.get(piece, {"count": 0})["count"] == 0
 
     def test_reset_zeroes_but_keeps_metering(self):
         with AutogradProfiler() as profiler:
