@@ -14,6 +14,9 @@ Examples:
     python -m repro.cli serving-bench --output BENCH_serving.json
     python -m repro.cli verify --fuzz-iterations 200
     python -m repro.cli verify --update-goldens --skip fuzz invariants
+    python -m repro.cli report                      # smoke fit + health report
+    python -m repro.cli report --events run.jsonl   # report on a recorded run
+    python -m repro.cli report --json
 
 The heavy lifting lives in ``repro.experiments``; this is a thin, scriptable
 front end that prints either human-readable text or machine-readable JSON.
@@ -151,6 +154,20 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--skip", nargs="+", default=None, choices=["fuzz", "goldens", "invariants"],
                         help="stages to skip")
     verify.add_argument("--json", action="store_true", help="emit the full report as JSON")
+
+    report = commands.add_parser(
+        "report",
+        help="unified health report: run events + monitors + serving latency + BENCH deltas",
+    )
+    report.add_argument("--events", default=None,
+                        help="JSONL event log to report on (default: run a fresh "
+                        "monitored smoke fit + serving exercise)")
+    report.add_argument("--bench-dir", default=".",
+                        help="directory holding the committed BENCH_*.json baselines")
+    report.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    report.add_argument("--scenario", default="item_cold", choices=["warm", "item_cold", "user_cold"])
+    report.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    report.add_argument("--json", action="store_true", help="emit the report as JSON (CI)")
     return parser
 
 
@@ -350,6 +367,22 @@ def _command_verify(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _command_report(args) -> int:
+    from .obs import build_report, read_events, render_report, run_smoke_report
+
+    if args.events is not None:
+        report = build_report(read_events(args.events), bench_dir=args.bench_dir)
+    else:
+        report = run_smoke_report(
+            bench_dir=args.bench_dir,
+            scale_name=args.scale,
+            dataset=args.dataset,
+            scenario=args.scenario,
+        )
+    print(json.dumps(report, indent=2, sort_keys=True) if args.json else render_report(report))
+    return 0 if report["healthy"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -362,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _command_serve,
         "serving-bench": _command_serving_bench,
         "verify": _command_verify,
+        "report": _command_report,
     }
     return handlers[args.command](args)
 

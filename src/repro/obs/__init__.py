@@ -1,0 +1,94 @@
+"""Model-health observability plane on top of :mod:`repro.telemetry`.
+
+Where telemetry records *numbers* (spans, counters, histograms), ``repro.obs``
+watches what the numbers *mean* for this model family.  Four pieces:
+
+* :mod:`~repro.obs.events` — a dependency-free JSONL :class:`EventLog` with
+  per-run ``run_id`` manifests (config, seed, git describe, dataset shape),
+  correlating structured events with the existing spans and metrics;
+* :mod:`~repro.obs.monitors` — the :class:`Monitor` protocol and concrete
+  training-health monitors: per-group gradient norms, gated-GNN gate
+  saturation, eVAE KL collapse / approximation drift, and a NaN/inf watchdog
+  raising an actionable :class:`TrainingHealthError`;
+* :mod:`~repro.obs.prometheus` — Prometheus text exposition of the telemetry
+  registry (``GET /metrics.prom`` on the serving server);
+* :mod:`~repro.obs.report` — the unified ``repro report`` health report
+  stitching the event log, telemetry snapshot, train history and the
+  committed ``BENCH_*.json`` baselines.
+
+The whole plane sits behind ``REPRO_OBS`` (default **off**) and is
+bitwise-neutral: monitors and events read the clock and the model, never any
+RNG, and the determinism suite pins monitored == unmonitored predictions.
+"""
+
+from . import events, monitors, prometheus, report, runtime
+from .events import (
+    ENV_VAR,
+    EventLog,
+    build_run_manifest,
+    configure,
+    current_run_id,
+    disabled,
+    emit,
+    enabled,
+    get_event_log,
+    git_describe,
+    is_enabled,
+    read_events,
+    reset,
+    set_enabled,
+    set_event_log,
+)
+from .monitors import (
+    DEFAULT_EVERY_N_STEPS,
+    GateSaturationMonitor,
+    GradNormMonitor,
+    KLCollapseMonitor,
+    Monitor,
+    MonitorSuite,
+    NaNWatchdog,
+    TrainingHealthError,
+    default_monitors,
+)
+from .prometheus import parse_prometheus, render_prometheus
+from .report import build_report, render_report, run_smoke_report
+from .runtime import FitObserver, maybe_fit_observer
+
+__all__ = [
+    "ENV_VAR",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
+    "configure",
+    "reset",
+    "emit",
+    "is_enabled",
+    "set_enabled",
+    "enabled",
+    "disabled",
+    "current_run_id",
+    "build_run_manifest",
+    "git_describe",
+    "read_events",
+    "Monitor",
+    "MonitorSuite",
+    "TrainingHealthError",
+    "GradNormMonitor",
+    "GateSaturationMonitor",
+    "KLCollapseMonitor",
+    "NaNWatchdog",
+    "default_monitors",
+    "DEFAULT_EVERY_N_STEPS",
+    "render_prometheus",
+    "parse_prometheus",
+    "build_report",
+    "render_report",
+    "run_smoke_report",
+    "FitObserver",
+    "maybe_fit_observer",
+    "events",
+    "monitors",
+    "prometheus",
+    "report",
+    "runtime",
+]

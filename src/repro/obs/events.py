@@ -1,0 +1,336 @@
+"""Structured run events: a dependency-free JSONL event log with run manifests.
+
+The event log is the narrative companion to ``repro.telemetry``'s numbers:
+telemetry answers *how long / how many*, the event log answers *what happened
+when*.  Each event is one JSON object with a monotonically increasing ``seq``,
+a wall-clock ``ts``, the emitting ``run_id`` (when a run is active) and a free
+``kind`` plus arbitrary JSON-scalar fields::
+
+    {"seq": 3, "ts": 1754..., "run_id": "run-1f3a...", "kind": "epoch",
+     "epoch": 0, "losses": {"prediction": 1.02, ...}}
+
+A *run manifest* (kind ``run_start``) records everything needed to correlate
+and reproduce a run: model name, config, seed, dataset shape and the current
+``git describe``.  Span paths and counter names from the telemetry registry use
+the same vocabulary, so events and metrics join on ``run_id`` + names.
+
+Like the rest of the observability plane this module is stdlib-only and sits
+behind an on/off switch — the ``REPRO_OBS`` environment variable (default
+**off**, unlike ``REPRO_TELEMETRY``: the monitors do real work) with
+:func:`set_enabled` / :func:`enabled` / :func:`disabled` overrides mirroring
+``repro.telemetry.metrics``.  Emission never reads any numerical RNG, so an
+instrumented run is bitwise-identical to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "LOG_PATH_ENV_VAR",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
+    "configure",
+    "is_enabled",
+    "set_enabled",
+    "enabled",
+    "disabled",
+    "emit",
+    "start_run",
+    "end_run",
+    "current_run_id",
+    "build_run_manifest",
+    "git_describe",
+    "read_events",
+    "reset",
+]
+
+ENV_VAR = "REPRO_OBS"
+LOG_PATH_ENV_VAR = "REPRO_OBS_LOG"
+
+_FALSY = frozenset({"", "0", "off", "false", "no", "disabled"})
+
+#: process-level override; ``None`` means "consult the environment variable"
+_enabled_override: Optional[bool] = None
+
+
+def is_enabled() -> bool:
+    """Whether observability recording (events + monitors) is currently on."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force observability on/off for this process; ``None`` restores env control."""
+    global _enabled_override
+    _enabled_override = value
+
+
+@contextmanager
+def enabled() -> Iterator[None]:
+    """Force observability on within the block, then restore the previous state."""
+    global _enabled_override
+    previous = _enabled_override
+    _enabled_override = True
+    try:
+        yield
+    finally:
+        _enabled_override = previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Force observability off within the block, then restore the previous state."""
+    global _enabled_override
+    previous = _enabled_override
+    _enabled_override = False
+    try:
+        yield
+    finally:
+        _enabled_override = previous
+
+
+# --------------------------------------------------------------------- helpers
+_git_describe_cache: Optional[str] = None
+
+
+def git_describe() -> str:
+    """Best-effort ``git describe --always --dirty`` of this checkout.
+
+    Cached per process; returns ``"unknown"`` when git or the repository is
+    unavailable (e.g. an installed wheel).
+    """
+    global _git_describe_cache
+    if _git_describe_cache is None:
+        try:
+            out = subprocess.run(
+                ["git", "describe", "--always", "--dirty"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            _git_describe_cache = out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _git_describe_cache = "unknown"
+    return _git_describe_cache
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce config objects / numpy scalars into plain JSON values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and callable(value.item) and getattr(value, "ndim", None) == 0:
+        return value.item()  # numpy scalar without importing numpy here
+    if hasattr(value, "tolist") and callable(value.tolist):
+        return value.tolist()
+    return str(value)
+
+
+class EventLog:
+    """Append-only structured event sink: bounded in-memory ring + optional JSONL.
+
+    ``path=None`` keeps events in memory only (the common test configuration);
+    with a path every event is additionally appended to the file as one JSON
+    line, flushed per event so a crashed run still leaves its trail.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None, capacity: int = 50_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.path = Path(path) if path is not None else None
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._dropped = 0
+        self._seq = 0
+        self._run_id: Optional[str] = None
+        self._handle = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ state
+    @property
+    def run_id(self) -> Optional[str]:
+        return self._run_id
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded from the memory ring (the file keeps everything)."""
+        return self._dropped
+
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Retained events in emission order, optionally filtered by kind."""
+        with self._lock:
+            snapshot = [dict(e) for e in self._events]
+        if kind is not None:
+            snapshot = [e for e in snapshot if e.get("kind") == kind]
+        return snapshot
+
+    # ------------------------------------------------------------------ emission
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the event dict that was stored."""
+        with self._lock:
+            self._seq += 1
+            event: Dict[str, Any] = {"seq": self._seq, "ts": time.time(), "kind": str(kind)}
+            if self._run_id is not None:
+                event["run_id"] = self._run_id
+            for name, value in fields.items():
+                event[name] = _jsonable(value)
+            if len(self._events) < self.capacity:
+                self._events.append(event)
+            else:
+                self._events.pop(0)
+                self._events.append(event)
+                self._dropped += 1
+            if self._handle is not None:
+                self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+                self._handle.flush()
+        return event
+
+    def start_run(self, manifest: Dict[str, Any]) -> str:
+        """Open a run: assign a fresh ``run_id`` and emit the manifest event."""
+        run_id = f"run-{uuid.uuid4().hex[:12]}"
+        with self._lock:
+            self._run_id = run_id
+        self.emit("run_start", manifest=manifest)
+        return run_id
+
+    def end_run(self, **fields: Any) -> None:
+        """Emit the closing event of the active run and clear the run id."""
+        if self._run_id is None:
+            return
+        self.emit("run_end", **fields)
+        with self._lock:
+            self._run_id = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# ----------------------------------------------------------------- global sink
+_default_log: Optional[EventLog] = None
+_default_lock = threading.Lock()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide event log (created lazily; honours ``REPRO_OBS_LOG``)."""
+    global _default_log
+    with _default_lock:
+        if _default_log is None:
+            path = os.environ.get(LOG_PATH_ENV_VAR) or None
+            _default_log = EventLog(path=path)
+        return _default_log
+
+
+def set_event_log(log: Optional[EventLog]) -> None:
+    """Replace the process-wide event log (``None`` → recreate lazily)."""
+    global _default_log
+    with _default_lock:
+        if _default_log is not None and _default_log is not log:
+            _default_log.close()
+        _default_log = log
+
+
+def configure(path: Optional[os.PathLike] = None, capacity: int = 50_000) -> EventLog:
+    """Point the global event log at ``path`` (JSONL) and return it."""
+    log = EventLog(path=path, capacity=capacity)
+    set_event_log(log)
+    return log
+
+
+def reset() -> None:
+    """Drop the global event log (tests); a fresh one is created on next use."""
+    set_event_log(None)
+
+
+# --------------------------------------------------------------- cheap helpers
+def emit(kind: str, **fields: Any) -> None:
+    """Record an event on the global log — one flag check when disabled."""
+    if is_enabled():
+        get_event_log().emit(kind, **fields)
+
+
+def start_run(manifest: Dict[str, Any]) -> Optional[str]:
+    """Open a run on the global log when observability is enabled."""
+    if not is_enabled():
+        return None
+    return get_event_log().start_run(manifest)
+
+
+def end_run(**fields: Any) -> None:
+    if is_enabled():
+        get_event_log().end_run(**fields)
+
+
+def current_run_id() -> Optional[str]:
+    """The active run id of the global log, if a run is open."""
+    if _default_log is None:
+        return None
+    return _default_log.run_id
+
+
+def build_run_manifest(
+    model_name: str,
+    config: Any = None,
+    train_config: Any = None,
+    seed: Optional[int] = None,
+    dataset_shape: Optional[Dict[str, Any]] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Assemble the reproducibility manifest emitted as the ``run_start`` event."""
+    manifest: Dict[str, Any] = {
+        "model": str(model_name),
+        "git": git_describe(),
+        "pid": os.getpid(),
+    }
+    if config is not None:
+        manifest["config"] = _jsonable(config)
+    if train_config is not None:
+        manifest["train_config"] = _jsonable(train_config)
+    if seed is not None:
+        manifest["seed"] = int(seed)
+    if dataset_shape is not None:
+        manifest["dataset"] = _jsonable(dataset_shape)
+    for key, value in extra.items():
+        manifest[key] = _jsonable(value)
+    return manifest
+
+
+def read_events(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Parse a JSONL event file back into event dicts (skips corrupt lines)."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events

@@ -1,0 +1,194 @@
+"""Prometheus text exposition (format 0.0.4) for the telemetry registry.
+
+Maps the in-process :class:`~repro.telemetry.metrics.MetricsRegistry` onto the
+Prometheus families a scraper expects:
+
+* counters  → ``repro_<name>_total``;
+* gauges    → ``repro_<name>``;
+* timing histograms → classic ``_bucket`` / ``_sum`` / ``_count`` families over
+  fixed latency buckets, plus ``_p50/_p95/_p99`` gauge families (the ring
+  buffer knows its exact windowed quantiles, so we expose them directly rather
+  than forcing dashboards to interpolate buckets);
+* span histograms (``span.<path>``) → one ``repro_span_duration_seconds``
+  family labelled ``{path="fit/epoch/batch"}``;
+* per-route serving metrics (``serve.route_latency.<route>``,
+  ``serve.route_errors.<route>``) → families labelled ``{route="/score"}``.
+
+``_count`` and ``_sum`` are exact (every sample ever recorded); ``_bucket``
+counts come from the histogram's retained window, with the ``+Inf`` bucket
+pinned to the exact count so the family stays monotone — for runs shorter than
+the window capacity (the common case) buckets are exact too.
+
+Dependency-free by design, like the registry it reads.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry.metrics import MetricsRegistry, TimingHistogram
+from ..telemetry.tracing import SPAN_PREFIX
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "ROUTE_LATENCY_PREFIX",
+    "ROUTE_ERRORS_PREFIX",
+    "render_prometheus",
+    "parse_prometheus",
+]
+
+#: seconds; chosen to straddle sub-millisecond cache hits through slow fits
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+ROUTE_LATENCY_PREFIX = "serve.route_latency."
+ROUTE_ERRORS_PREFIX = "serve.route_errors."
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitise a registry name into a legal Prometheus metric name."""
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Float text that round-trips through ``float()`` exactly."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(val)}"' for key, val in labels.items())
+    return "{" + inner + "}"
+
+
+def _histogram_lines(
+    family: str,
+    histogram: TimingHistogram,
+    labels: Dict[str, str],
+    lines: List[str],
+    typed: set,
+) -> None:
+    if family not in typed:
+        lines.append(f"# TYPE {family} histogram")
+        typed.add(family)
+    samples = sorted(histogram.samples())
+    count, total = histogram.count, histogram.total
+    cumulative = 0
+    idx = 0
+    for bound in DEFAULT_BUCKETS:
+        while idx < len(samples) and samples[idx] <= bound:
+            idx += 1
+        cumulative = idx
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = _format_value(bound)
+        lines.append(f"{family}_bucket{_labels_text(bucket_labels)} {cumulative}")
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append(f"{family}_bucket{_labels_text(inf_labels)} {count}")
+    lines.append(f"{family}_sum{_labels_text(labels)} {_format_value(total)}")
+    lines.append(f"{family}_count{_labels_text(labels)} {count}")
+
+
+def _quantile_lines(
+    family: str,
+    histogram: TimingHistogram,
+    labels: Dict[str, str],
+    lines: List[str],
+    typed: set,
+) -> None:
+    for suffix, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        name = f"{family}_{suffix}_seconds"
+        if name not in typed:
+            lines.append(f"# TYPE {name} gauge")
+            typed.add(name)
+        lines.append(f"{name}{_labels_text(labels)} {_format_value(histogram.percentile(q))}")
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The full registry as Prometheus exposition text (trailing newline)."""
+    registry = registry if registry is not None else telemetry_metrics.get_registry()
+    lines: List[str] = []
+    typed: set = set()
+
+    for name, value in registry.counters().items():
+        if name.startswith(ROUTE_ERRORS_PREFIX):
+            family = "repro_serve_route_errors_total"
+            labels = {"route": name[len(ROUTE_ERRORS_PREFIX):]}
+        else:
+            family = _metric_name(name) + "_total"
+            labels = {}
+        if family not in typed:
+            lines.append(f"# TYPE {family} counter")
+            typed.add(family)
+        lines.append(f"{family}{_labels_text(labels)} {value}")
+
+    for name, value in registry.gauges().items():
+        family = _metric_name(name)
+        if family not in typed:
+            lines.append(f"# TYPE {family} gauge")
+            typed.add(family)
+        lines.append(f"{family} {_format_value(value)}")
+
+    for name, histogram in sorted(registry.histograms().items()):
+        if name.startswith(SPAN_PREFIX):
+            family = "repro_span_duration_seconds"
+            labels = {"path": name[len(SPAN_PREFIX):]}
+        elif name.startswith(ROUTE_LATENCY_PREFIX):
+            family = "repro_serve_route_latency_seconds"
+            labels = {"route": name[len(ROUTE_LATENCY_PREFIX):]}
+            _quantile_lines("repro_serve_route_latency", histogram, labels, lines, typed)
+        else:
+            family = _metric_name(name) + "_seconds"
+            labels = {}
+        _histogram_lines(family, histogram, labels, lines, typed)
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse exposition text back into ``{family: {labels-tuple: value}}``.
+
+    A deliberately strict little parser used by the round-trip tests (and any
+    in-process consumer): every non-comment line must be
+    ``name[{labels}] value``; raises ``ValueError`` otherwise.
+    """
+    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    line_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(-?(?:[0-9.eE+-]+|\+Inf|NaN))$"
+    )
+    label_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = line_re.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        name, labels_text, value_text = match.groups()
+        labels: List[Tuple[str, str]] = []
+        if labels_text:
+            consumed = 0
+            for lab in label_re.finditer(labels_text):
+                labels.append((lab.group(1), lab.group(2).replace('\\"', '"').replace("\\\\", "\\")))
+                consumed = lab.end()
+            remainder = labels_text[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(f"unparseable labels in line: {raw!r}")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        out.setdefault(name, {})[tuple(labels)] = value
+    return out

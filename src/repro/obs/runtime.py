@@ -1,0 +1,82 @@
+"""Runtime wiring: attach the observability plane to ``Recommender.fit``.
+
+``Recommender._fit`` asks :func:`maybe_fit_observer` for an observer once per
+fit.  With observability disabled (the default — ``REPRO_OBS`` unset) the
+answer is ``None`` and the only cost in the training loop is one ``is None``
+check per batch.  When enabled, the :class:`FitObserver`
+
+* opens a run on the global event log with a full reproducibility manifest
+  (model name, config, train config, seed, dataset shape, git describe);
+* runs a :class:`~repro.obs.monitors.MonitorSuite` every ``every_n_steps``
+  batches — gradient norms, gate saturation, KL collapse, NaN watchdog;
+* emits one ``epoch`` event per epoch with the loss components; and
+* closes the run with the serialised :class:`~repro.train.history.TrainHistory`
+  and a final monitor sweep, so ``repro report`` can reconstruct the whole fit
+  from the event log alone.
+
+Everything here is read-only with respect to the model and draws from no RNG:
+a fit with the observer attached is bitwise-identical to one without.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from . import events
+from .monitors import MonitorSuite
+
+__all__ = ["FitObserver", "maybe_fit_observer"]
+
+
+class FitObserver:
+    """Event + monitor bookkeeping for one ``fit`` call."""
+
+    def __init__(self, model, task, config, suite: Optional[MonitorSuite] = None) -> None:
+        self.model = model
+        self.suite = suite if suite is not None else MonitorSuite()
+        dataset_shape: Dict[str, Any] = {}
+        dataset = getattr(task, "dataset", None)
+        if dataset is not None:
+            dataset_shape = {
+                "name": getattr(dataset, "name", "unknown"),
+                "num_users": int(dataset.num_users),
+                "num_items": int(dataset.num_items),
+                "scenario": getattr(task, "scenario", "unknown"),
+                "train_interactions": int(len(task.train_users)),
+            }
+        manifest = events.build_run_manifest(
+            model_name=getattr(model, "name", type(model).__name__),
+            config=getattr(model, "config", None),
+            train_config=config,
+            seed=getattr(config, "seed", None),
+            dataset_shape=dataset_shape,
+            every_n_steps=self.suite.every_n_steps,
+            monitors=[monitor.name for monitor in self.suite.monitors],
+        )
+        self.run_id = events.start_run(manifest)
+
+    # ------------------------------------------------------------------ hooks
+    def after_batch(self, epoch: int) -> None:
+        """Per-batch cadence hook (cheap: one modulo off the observation steps)."""
+        self.suite.after_batch(self.model, epoch)
+
+    def after_epoch(self, epoch: int, losses: Dict[str, float]) -> None:
+        events.emit("epoch", epoch=epoch, losses=losses)
+
+    def finish(self, history) -> None:
+        """Final monitor sweep + run closure with the serialised history."""
+        final = self.suite.observe(self.model, epoch=max(history.num_epochs - 1, 0))
+        events.emit(
+            "fit_end",
+            epochs=history.num_epochs,
+            history=history.to_dict(),
+            monitor_observations=self.suite.observations,
+        )
+        events.end_run(final_monitors=final)
+
+
+def maybe_fit_observer(model, task, config) -> Optional[FitObserver]:
+    """An observer when ``REPRO_OBS`` is on, else ``None`` (zero hot-path cost)."""
+    if not events.is_enabled():
+        return None
+    return FitObserver(model, task, config)

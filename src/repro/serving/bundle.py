@@ -20,6 +20,7 @@ pools keep live re-sampling and onboarding available.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -35,7 +36,7 @@ from ..graphs import DynamicNeighborGraph, FixedNeighborGraph, NeighborGraph
 from ..io import _schema_from_json, _schema_to_json, load_model_into, save_model
 from ..telemetry import span
 
-__all__ = ["MANIFEST_SCHEMA_VERSION", "ServingBundle", "export_bundle", "load_bundle"]
+__all__ = ["MANIFEST_SCHEMA_VERSION", "ServingBundle", "bundle_fingerprint", "export_bundle", "load_bundle"]
 
 PathLike = Union[str, Path]
 
@@ -60,6 +61,9 @@ class ServingBundle:
     cold_nodes: Dict[str, np.ndarray]
     train_users: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     train_items: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: short sha256 over manifest.json + model.npz — identifies *which* model a
+    #: server is running (surfaced in /healthz and the serving events)
+    fingerprint: str = ""
 
     @property
     def rating_scale(self) -> Tuple[float, float]:
@@ -170,6 +174,17 @@ def export_bundle(
     return path
 
 
+def bundle_fingerprint(path: PathLike) -> str:
+    """Short content hash of a bundle (manifest + weights), e.g. ``"a1b2c3d4e5f6"``."""
+    path = Path(path)
+    digest = hashlib.sha256()
+    for name in ("manifest.json", "model.npz"):
+        file = path / name
+        if file.is_file():
+            digest.update(file.read_bytes())
+    return digest.hexdigest()[:12]
+
+
 def load_bundle(path: PathLike) -> ServingBundle:
     """Read a bundle directory and rebuild the model — no training data needed."""
     path = Path(path)
@@ -221,4 +236,5 @@ def load_bundle(path: PathLike) -> ServingBundle:
                 },
                 train_users=archive["train_users"].astype(np.int64),
                 train_items=archive["train_items"].astype(np.int64),
+                fingerprint=bundle_fingerprint(path),
             )

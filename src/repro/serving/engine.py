@@ -28,11 +28,13 @@ Telemetry: ``serve.refresh`` (embedding precompute), ``serve.score`` with
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs import events as obs_events
 from ..telemetry import increment, set_gauge, span
 from .bundle import ServingBundle
 from .onboarding import encode_attribute_row, splice_neighbours
@@ -59,7 +61,10 @@ class InferenceEngine:
         self.rating_scale = bundle.rating_scale
         self.cache_size = cache_size
         self.batch_size = batch_size
+        self.created_at = time.time()
         self._lock = threading.RLock()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
         self._attr: Dict[str, np.ndarray] = {
             side: bundle.attributes(side).copy() for side in _SIDES
@@ -95,6 +100,14 @@ class InferenceEngine:
         from ..verify.invariants import maybe_verify_engine
 
         maybe_verify_engine(self)
+        obs_events.emit(
+            "serve.engine_start",
+            fingerprint=bundle.fingerprint,
+            users=self.num_users,
+            items=self.num_items,
+            cold_users=int(len(bundle.cold_nodes.get("user", ()))),
+            cold_items=int(len(bundle.cold_nodes.get("item", ()))),
+        )
 
     # ------------------------------------------------------------------ state
     @property
@@ -116,8 +129,9 @@ class InferenceEngine:
         """Training-time items of ``user`` (empty for onboarded users)."""
         return set(self._seen.get(int(user), set()))
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         with self._lock:
+            lookups = self._cache_hits + self._cache_misses
             return {
                 "users": self.num_users,
                 "items": self.num_items,
@@ -125,6 +139,9 @@ class InferenceEngine:
                 "onboarded_items": self.onboarded("item"),
                 "cache_entries": len(self._cache),
                 "cache_capacity": self.cache_size,
+                "cache_hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+                "bundle_fingerprint": self.bundle.fingerprint,
+                "uptime_s": time.time() - self.created_at,
             }
 
     # ------------------------------------------------------------- embeddings
@@ -219,6 +236,8 @@ class InferenceEngine:
             increment("serve.scores", len(users))
             increment("serve.cache.hits", len(users) - len(misses))
             increment("serve.cache.misses", len(misses))
+            self._cache_hits += len(users) - len(misses)
+            self._cache_misses += len(misses)
             return out
 
     def predict_batch(self, users, items, batch_size: Optional[int] = None) -> np.ndarray:
@@ -240,6 +259,7 @@ class InferenceEngine:
                 ]
             increment("serve.scores", len(users))
             increment("serve.cache.misses", len(users))
+            self._cache_misses += len(users)
             return np.concatenate(chunks)
 
     def top_n(self, user: int, k: int = 10, exclude_seen: bool = True) -> Tuple[np.ndarray, np.ndarray]:
@@ -314,4 +334,11 @@ class InferenceEngine:
             self._cache.clear()
             increment(f"serve.onboarded.{side}s")
             set_gauge(f"serve.nodes.{side}", float(self.count(side)))
+            obs_events.emit(
+                "serve.onboard",
+                side=side,
+                node_id=new_id,
+                neighbours=neighbour_ids,
+                onboarded=self.onboarded(side),
+            )
             return new_id

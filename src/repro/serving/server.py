@@ -3,30 +3,42 @@
 Built on the stdlib threading ``http.server`` — the engine's lock makes the
 handler re-entrant.  Endpoints:
 
-====== ============ ==========================================================
-Method Path         Body / response
-====== ============ ==========================================================
-GET    /healthz     ``{"status": "ok", "users": M, "items": N, ...}``
-GET    /metrics     the full telemetry snapshot (``repro.telemetry.snapshot``)
-POST   /score       ``{"users": [...], "items": [...]}`` → ``{"scores": [...]}``
-POST   /topn        ``{"user": u, "k": 10, "exclude_seen": true}`` →
-                    ``{"items": [...], "scores": [...]}``
-POST   /users       ``{"attributes": {...} | [multi-hot row]}`` →
-                    ``{"user": new_id}`` (201) — live SCS onboarding
-POST   /items       symmetric → ``{"item": new_id}`` (201)
-====== ============ ==========================================================
+====== ============= =========================================================
+Method Path          Body / response
+====== ============= =========================================================
+GET    /healthz      ``{"status": "ok", "users": M, "items": N,
+                     "bundle_fingerprint": ..., "uptime_s": ...,
+                     "cache_hit_rate": ...}``
+GET    /metrics      the full telemetry snapshot (``repro.telemetry.snapshot``)
+GET    /metrics.prom the telemetry registry in Prometheus text exposition
+                     format — per-route latency histograms, error counters
+POST   /score        ``{"users": [...], "items": [...]}`` → ``{"scores": [...]}``
+POST   /topn         ``{"user": u, "k": 10, "exclude_seen": true}`` →
+                     ``{"items": [...], "scores": [...]}``
+POST   /users        ``{"attributes": {...} | [multi-hot row]}`` →
+                     ``{"user": new_id}`` (201) — live SCS onboarding
+POST   /items        symmetric → ``{"item": new_id}`` (201)
+====== ============= =========================================================
 
-Every request runs inside a ``serve.request`` span and bumps the
-``serve.requests`` counter; client errors bump ``serve.request_errors``.
+Request-level observability: every request gets a per-process request id,
+echoed as the ``X-Request-ID`` response header and embedded in every error
+body.  Every request runs inside a ``serve.request`` span, bumps
+``serve.requests``, and records its latency in the per-route
+``serve.route_latency.<route>`` histogram.  Client errors bump
+``serve.request_errors`` plus ``serve.route_errors.<route>``; *unexpected*
+handler exceptions are converted to a JSON 500 carrying the request id and
+bump ``serve.errors`` — the server never drops the connection on a bug.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Tuple, Union
 
-from ..telemetry import increment, snapshot, span
+from ..telemetry import increment, record_timing, snapshot, span
 from .engine import InferenceEngine
 
 __all__ = ["ServingHTTPServer", "make_server", "serve_forever"]
@@ -51,11 +63,18 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _reply(self, status: int, payload: Union[Dict[str, Any], str], request_id: str = "") -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if request_id:
+            self.send_header("X-Request-ID", request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -73,27 +92,44 @@ class _Handler(BaseHTTPRequestHandler):
             raise _RequestError(400, "JSON body must be an object")
         return payload
 
-    def _dispatch(self, handler) -> None:
+    def _dispatch(self, handler, route: str = "unknown") -> None:
+        request_id = self.server.next_request_id()
         increment("serve.requests")
+        started = time.perf_counter()
         with span("serve.request"):
             try:
                 status, payload = handler()
             except _RequestError as exc:
                 increment("serve.request_errors")
-                status, payload = exc.status, {"error": str(exc)}
+                status, payload = exc.status, {"error": str(exc), "request_id": request_id}
             except (ValueError, IndexError, KeyError, TypeError) as exc:
                 increment("serve.request_errors")
-                status, payload = 400, {"error": str(exc)}
-        self._reply(status, payload)
+                status, payload = 400, {"error": str(exc), "request_id": request_id}
+            except Exception as exc:  # unexpected bug: JSON 500, never a dropped socket
+                increment("serve.errors")
+                status = 500
+                payload = {
+                    "error": f"internal error: {type(exc).__name__}: {exc}",
+                    "request_id": request_id,
+                }
+        record_timing(f"serve.route_latency.{route}", time.perf_counter() - started)
+        if status >= 400:
+            increment(f"serve.route_errors.{route}")
+        self._reply(status, payload, request_id=request_id)
 
     # ------------------------------------------------------------------ routes
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        routes = {"/healthz": self._get_healthz, "/metrics": self._get_metrics}
-        handler = routes.get(self.path.split("?")[0])
+        routes = {
+            "/healthz": self._get_healthz,
+            "/metrics": self._get_metrics,
+            "/metrics.prom": self._get_metrics_prom,
+        }
+        path = self.path.split("?")[0]
+        handler = routes.get(path)
         if handler is None:
             self._dispatch(lambda: (404, {"error": f"unknown path {self.path!r}"}))
         else:
-            self._dispatch(handler)
+            self._dispatch(handler, route=path.lstrip("/").replace(".", "_"))
 
     def do_POST(self) -> None:  # noqa: N802
         routes = {
@@ -102,11 +138,12 @@ class _Handler(BaseHTTPRequestHandler):
             "/users": lambda: self._post_onboard("user"),
             "/items": lambda: self._post_onboard("item"),
         }
-        handler = routes.get(self.path.split("?")[0])
+        path = self.path.split("?")[0]
+        handler = routes.get(path)
         if handler is None:
             self._dispatch(lambda: (404, {"error": f"unknown path {self.path!r}"}))
         else:
-            self._dispatch(handler)
+            self._dispatch(handler, route=path.lstrip("/"))
 
     def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
         stats = self.server.engine.stats()
@@ -114,6 +151,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_metrics(self) -> Tuple[int, Dict[str, Any]]:
         return 200, snapshot(note="serve.metrics")
+
+    def _get_metrics_prom(self) -> Tuple[int, str]:
+        # Imported at call time: repro.obs pulls in the report layer, which the
+        # serving module should not require just to import.
+        from ..obs.prometheus import render_prometheus
+
+        return 200, render_prometheus()
 
     def _post_score(self) -> Tuple[int, Dict[str, Any]]:
         body = self._read_json()
@@ -152,6 +196,11 @@ class ServingHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.engine = engine
         self.verbose = verbose
+        self._request_counter = itertools.count(1)
+
+    def next_request_id(self) -> str:
+        """Per-process request id (``itertools.count`` is atomic under the GIL)."""
+        return f"req-{next(self._request_counter):08d}"
 
     @property
     def port(self) -> int:

@@ -274,6 +274,11 @@ class MetricsRegistry:
             histograms = list(self._histograms.items())
         return {name: h.summary() for name, h in sorted(histograms)}
 
+    def histograms(self) -> Dict[str, TimingHistogram]:
+        """The live histogram objects (Prometheus exposition reads samples)."""
+        with self._lock:
+            return dict(self._histograms)
+
     def reset(self) -> None:
         """Drop every metric (used between tests and bench runs)."""
         with self._lock:

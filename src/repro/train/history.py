@@ -40,3 +40,15 @@ class TrainHistory:
     def summary(self) -> str:
         parts = [f"{name}={values[-1]:.4f}" for name, values in self.losses.items() if values]
         return f"epochs={self.num_epochs} " + " ".join(parts)
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """Plain-JSON form (embedded in run manifests / ``fit_end`` events)."""
+        return {name: list(values) for name, values in self.losses.items()}
+
+    @classmethod
+    def from_dict(cls, losses: Dict[str, List[float]]) -> "TrainHistory":
+        """Inverse of :meth:`to_dict`; values are coerced to float."""
+        history = cls()
+        for name, values in losses.items():
+            history.losses[str(name)] = [float(v) for v in values]
+        return history

@@ -21,6 +21,7 @@ import numpy as np
 from ..autograd import Tensor, no_grad
 from ..data.splits import RecommendationTask
 from ..nn import Module
+from ..obs.runtime import maybe_fit_observer
 from ..optim import Adam, clip_grad_norm
 from ..telemetry import increment, span
 from .history import TrainHistory
@@ -96,6 +97,9 @@ class Recommender(Module):
         self.task = task
         self._rating_scale = task.dataset.rating_scale
         self.history = TrainHistory()
+        # Observability plane (REPRO_OBS=1): run manifest + health monitors.
+        # None when disabled, so the loop below pays one `is None` per batch.
+        observer = maybe_fit_observer(self, task, config)
         with span("prepare"):
             self.prepare(task)
         params = list(self.parameters())
@@ -147,6 +151,8 @@ class Recommender(Module):
                     weight += len(batch)
                     increment("train.batches")
                     increment("train.examples", len(batch))
+                    if observer is not None:
+                        observer.after_batch(epoch)
                 epoch_losses = {name: value / weight for name, value in sums.items()}
 
                 if use_validation:
@@ -163,6 +169,8 @@ class Recommender(Module):
                         epochs_since_best += 1
             increment("train.epochs")
             self.history.record(epoch_losses)
+            if observer is not None:
+                observer.after_epoch(epoch, epoch_losses)
             if config.verbose:
                 tail = " ".join(f"{k}={v:.4f}" for k, v in epoch_losses.items())
                 print(f"[{self.name}] epoch {epoch + 1}/{config.epochs} {tail}")
@@ -172,6 +180,8 @@ class Recommender(Module):
             self.load_state_dict(best_state)
             self._invalidate_inference_cache()
         self.eval()
+        if observer is not None:
+            observer.finish(self.history)
         # Opt-in post-fit invariant sweep (REPRO_VERIFY=1).  Imported at call
         # time: repro.verify.invariants inspects core model types, so a
         # top-level import here would be circular.

@@ -125,3 +125,95 @@ class TestErrors:
         status, body = _get(server, "/metrics")
         assert status == 200
         assert body["counters"]["serve.request_errors"] >= 1
+
+    def test_unexpected_exception_is_json_500_with_request_id(self, server, engine, monkeypatch):
+        def boom(users, items):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(engine, "score", boom)
+        status, body = _post(server, "/score", {"users": [0], "items": [0]})
+        assert status == 500
+        assert "engine exploded" in body["error"]
+        assert body["request_id"].startswith("req-")
+        status, metrics = _get(server, "/metrics")
+        assert metrics["counters"]["serve.errors"] == 1
+        assert metrics["counters"]["serve.route_errors.score"] == 1
+
+
+class TestRequestObservability:
+    def test_request_id_header_monotonic(self, server):
+        request = urllib.request.Request(f"http://127.0.0.1:{server.port}/healthz")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            first = response.headers["X-Request-ID"]
+        with urllib.request.urlopen(request, timeout=10) as response:
+            second = response.headers["X-Request-ID"]
+        assert first.startswith("req-") and second.startswith("req-")
+        assert int(second.split("-")[1]) > int(first.split("-")[1])
+
+    def test_client_error_body_carries_request_id(self, server):
+        status, body = _post(server, "/score", {})
+        assert status == 400
+        assert body["request_id"].startswith("req-")
+
+    def test_healthz_enriched(self, server, engine):
+        _post(server, "/score", {"users": [0], "items": [0]})
+        _post(server, "/score", {"users": [0], "items": [0]})
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["bundle_fingerprint"] == engine.bundle.fingerprint
+        assert len(body["bundle_fingerprint"]) == 12
+        assert body["uptime_s"] >= 0.0
+        assert 0.0 < body["cache_hit_rate"] <= 0.5  # 1 hit / 2 lookups
+
+    def test_per_route_latency_recorded(self, server):
+        _post(server, "/score", {"users": [0], "items": [0]})
+        _get(server, "/healthz")
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        timings = body["timings"]
+        assert timings["serve.route_latency.score"]["count"] >= 1
+        assert timings["serve.route_latency.healthz"]["count"] >= 1
+
+
+class TestPrometheusEndpoint:
+    def _get_text(self, server, path):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}{path}", timeout=10
+        ) as response:
+            return response.status, response.headers["Content-Type"], response.read().decode("utf-8")
+
+    def test_metrics_prom_is_valid_exposition(self, server):
+        from repro.obs.prometheus import parse_prometheus
+
+        _post(server, "/score", {"users": [0, 1], "items": [0, 1]})
+        _post(server, "/score", {})  # a client error for the error family
+        status, content_type, text = self._get_text(server, "/metrics.prom")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        families = parse_prometheus(text)  # raises on malformed lines
+        assert families["repro_serve_requests_total"][()] >= 2
+        assert families["repro_serve_route_errors_total"][(("route", "score"),)] >= 1
+
+    def test_route_latency_histogram_families(self, server):
+        from repro.obs.prometheus import parse_prometheus
+
+        _post(server, "/score", {"users": [0], "items": [0]})
+        _, _, text = self._get_text(server, "/metrics.prom")
+        families = parse_prometheus(text)
+        labels = (("route", "score"),)
+        count = families["repro_serve_route_latency_seconds_count"][labels]
+        assert count >= 1
+        assert families["repro_serve_route_latency_seconds_sum"][labels] > 0.0
+        inf_bucket = families["repro_serve_route_latency_seconds_bucket"][labels + (("le", "+Inf"),)]
+        assert inf_bucket == count
+
+    def test_counts_round_trip_against_registry(self, server):
+        from repro.obs.prometheus import parse_prometheus
+        from repro.telemetry import metrics as telemetry_metrics
+
+        _post(server, "/score", {"users": [0], "items": [0]})
+        _, _, text = self._get_text(server, "/metrics.prom")
+        families = parse_prometheus(text)
+        live = telemetry_metrics.get_registry().counters()
+        assert families["repro_serve_requests_total"][()] == live["serve.requests"]
+        assert families["repro_serve_scores_total"][()] == live["serve.scores"]

@@ -1,0 +1,48 @@
+"""TrainHistory: recording, curves, and the to_dict/from_dict round-trip."""
+
+import json
+
+import pytest
+
+from repro.train import TrainHistory
+
+
+@pytest.fixture()
+def history():
+    history = TrainHistory()
+    history.record({"prediction": 1.2, "reconstruction": 0.8, "total": 2.0})
+    history.record({"prediction": 0.9, "reconstruction": 0.5, "total": 1.4})
+    return history
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self, history):
+        restored = TrainHistory.from_dict(history.to_dict())
+        assert restored.losses == history.losses
+        assert restored.num_epochs == history.num_epochs
+        assert restored.summary() == history.summary()
+
+    def test_to_dict_is_plain_json(self, history):
+        payload = history.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_to_dict_copies(self, history):
+        payload = history.to_dict()
+        payload["prediction"].append(99.0)
+        assert history.curve("prediction") == [1.2, 0.9]
+
+    def test_from_dict_coerces_to_float(self):
+        restored = TrainHistory.from_dict({"total": [2, 1]})
+        assert restored.curve("total") == [2.0, 1.0]
+        assert all(isinstance(v, float) for v in restored.curve("total"))
+
+    def test_empty_round_trip(self):
+        assert TrainHistory.from_dict(TrainHistory().to_dict()).losses == {}
+
+
+class TestSummaryUnchanged:
+    def test_summary_format(self, history):
+        assert history.summary() == "epochs=2 prediction=0.9000 reconstruction=0.5000 total=1.4000"
+
+    def test_empty_summary(self):
+        assert TrainHistory().summary() == "epochs=0 "
