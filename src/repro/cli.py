@@ -12,6 +12,8 @@ Examples:
     python -m repro.cli export-bundle --scale smoke --output bundles/agnn
     python -m repro.cli serve --bundle bundles/agnn --port 8080
     python -m repro.cli serving-bench --output BENCH_serving.json
+    python -m repro.cli load-bench --output BENCH_load.json
+    python -m repro.cli load-bench --check --output -
     python -m repro.cli verify --fuzz-iterations 200
     python -m repro.cli verify --update-goldens --skip fuzz invariants
     python -m repro.cli report                      # smoke fit + health report
@@ -124,6 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
     serve.add_argument("--cache-size", type=int, default=100_000, help="LRU score-cache capacity")
     serve.add_argument("--verbose", action="store_true", help="log each HTTP request")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="serve each request directly instead of through the "
+                       "request-coalescing BatchingEngine")
+    serve.add_argument("--tick-interval", type=float, default=0.0,
+                       help="coalescing window in seconds; 0 drains adaptively "
+                       "with no added wait (batching mode)")
+    serve.add_argument("--max-batch-pairs", type=int, default=8192,
+                       help="pair budget per coalesced tick (batching mode)")
+    serve.add_argument("--max-queue-depth", type=int, default=1024,
+                       help="queued requests before shedding with 429 (batching mode)")
 
     sbench = commands.add_parser(
         "serving-bench",
@@ -137,6 +149,43 @@ def build_parser() -> argparse.ArgumentParser:
     sbench.add_argument("--output", default="BENCH_serving.json",
                         help="snapshot path ('-' to skip writing)")
     sbench.add_argument("--json", action="store_true", help="print the snapshot JSON instead of a summary")
+
+    lbench = commands.add_parser(
+        "load-bench",
+        help="drive the serving engine with concurrent load (direct vs coalesced) "
+        "and write the latency-under-concurrency baseline",
+    )
+    lbench.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    lbench.add_argument("--scenario", default="item_cold", choices=["warm", "item_cold", "user_cold"])
+    lbench.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    lbench.add_argument("--epochs", type=int, default=2,
+                        help="training epochs for the throwaway model (quality is irrelevant here)")
+    lbench.add_argument("--bundle", default=None,
+                        help="serve an existing bundle directory instead of training")
+    lbench.add_argument("--concurrency", type=int, nargs="+", default=[1, 4, 16],
+                        help="closed-loop concurrency ramp")
+    lbench.add_argument("--duration", type=float, default=1.0, help="seconds per load cell")
+    lbench.add_argument("--rate", type=float, default=300.0, help="open-loop arrival rate (req/s)")
+    lbench.add_argument("--pairs-per-request", type=int, default=16,
+                        help="candidate pairs scored per request (the reranking shape)")
+    lbench.add_argument("--dim", type=int, default=40,
+                        help="embedding dimension for the trained bundle "
+                        "(default: the paper's 40, not the smoke-scale toy size)")
+    lbench.add_argument("--tick-interval", type=float, default=0.0,
+                        help="coalescing window in seconds; 0 drains adaptively "
+                        "with no added wait")
+    lbench.add_argument("--max-batch-pairs", type=int, default=8192,
+                        help="pair budget per coalesced tick")
+    lbench.add_argument("--max-queue-depth", type=int, default=4096,
+                        help="queued requests before shedding")
+    lbench.add_argument("--seed", type=int, default=0, help="workload seed")
+    lbench.add_argument("--check", action="store_true",
+                        help="seconds-scale smoke invocation (shrinks the matrix; "
+                        "exit code reflects parity + error-free runs)")
+    lbench.add_argument("--output", default="BENCH_load.json",
+                        help="baseline path ('-' to skip writing)")
+    lbench.add_argument("--json", action="store_true",
+                        help="print the payload JSON instead of the table")
 
     verify = commands.add_parser(
         "verify",
@@ -301,18 +350,37 @@ def _command_export_bundle(args) -> int:
 
 
 def _command_serve(args) -> int:
-    from .serving import InferenceEngine, load_bundle, make_server, serve_forever
+    from .serving import BatchingEngine, InferenceEngine, load_bundle, make_server, serve_forever
 
     bundle = load_bundle(args.bundle)
     engine = InferenceEngine(bundle, cache_size=args.cache_size)
-    server = make_server(engine, host=args.host, port=args.port, verbose=args.verbose)
+    batching = None
+    if not args.no_batching:
+        batching = BatchingEngine(
+            engine,
+            max_batch_pairs=args.max_batch_pairs,
+            max_queue_depth=args.max_queue_depth,
+            tick_interval=args.tick_interval,
+        )
+    server = make_server(
+        engine, host=args.host, port=args.port, verbose=args.verbose, batching=batching
+    )
     manifest = bundle.manifest
     print(
         f"serving {manifest['model_name']} ({manifest['dataset']['name']}/"
         f"{manifest['dataset']['scenario']}) — {engine.num_users} users, "
         f"{engine.num_items} items"
     )
-    print(f"listening on http://{args.host}:{server.port}  (Ctrl-C to stop)")
+    if batching is None:
+        mode = "direct (no batching)"
+    else:
+        window = (
+            "adaptive drain"
+            if args.tick_interval == 0
+            else f"tick {args.tick_interval * 1e3:g}ms"
+        )
+        mode = f"coalescing ({window}, queue {args.max_queue_depth})"
+    print(f"listening on http://{args.host}:{server.port}  [{mode}]  (Ctrl-C to stop)")
     serve_forever(server)
     return 0
 
@@ -343,6 +411,33 @@ def _command_serving_bench(args) -> int:
     if args.output != "-":
         print(f"\nwrote {args.output}")
     return 0
+
+
+def _command_load_bench(args) -> int:
+    from .serving import render_load_bench, run_load_bench
+
+    payload = run_load_bench(
+        dataset=args.dataset,
+        scenario=args.scenario,
+        scale_name=args.scale,
+        epochs=args.epochs,
+        bundle_path=args.bundle,
+        concurrencies=tuple(args.concurrency),
+        duration_s=args.duration,
+        rate_rps=args.rate,
+        pairs_per_request=args.pairs_per_request,
+        embedding_dim=args.dim,
+        tick_interval=args.tick_interval,
+        max_batch_pairs=args.max_batch_pairs,
+        max_queue_depth=args.max_queue_depth,
+        seed=args.seed,
+        output=None if args.output == "-" else args.output,
+        check=args.check,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True) if args.json else render_load_bench(payload))
+    if args.output != "-":
+        print(f"\nwrote {args.output}")
+    return 0 if payload["ok"] else 1
 
 
 def _command_verify(args) -> int:
@@ -394,6 +489,7 @@ def main(argv: list[str] | None = None) -> int:
         "export-bundle": _command_export_bundle,
         "serve": _command_serve,
         "serving-bench": _command_serving_bench,
+        "load-bench": _command_load_bench,
         "verify": _command_verify,
         "report": _command_report,
     }

@@ -465,10 +465,21 @@ class AGNN(Recommender):
 
         Bias values come in as arrays (not ids) because onboarded nodes live
         beyond the trained bias tables and contribute zero bias.
+
+        The result is *batch-composition invariant*: a pair's score carries
+        the same bit pattern whether it is computed alone, in a sub-batch, or
+        inside a fused batch (the serving tier coalesces concurrent requests
+        into one call and relies on this).  BLAS routes one-row inputs through
+        a gemv kernel that rounds differently from the gemm kernel used for
+        ``n >= 2``, so single rows are padded to two before the head MLP.
         """
+        pairs = np.concatenate([user_refined, item_refined], axis=1)
+        padded = pairs.shape[0] == 1
+        if padded:
+            pairs = np.concatenate([pairs, pairs], axis=0)
         with no_grad():
-            nonlinear = self.head.mlp(
-                ops.concatenate([Tensor(user_refined), Tensor(item_refined)], axis=1)
-            ).data.reshape(-1)
+            nonlinear = self.head.mlp(Tensor(pairs)).data.reshape(-1)
+        if padded:
+            nonlinear = nonlinear[:1]
         dot = np.sum(user_refined * item_refined, axis=1)
         return nonlinear + dot + np.asarray(user_bias) + np.asarray(item_bias) + self.head.global_mean

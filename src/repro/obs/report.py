@@ -39,7 +39,12 @@ __all__ = ["build_report", "run_smoke_report", "render_report", "REPORT_SCHEMA_V
 
 REPORT_SCHEMA_VERSION = 1
 
-_BENCH_FILES = ("BENCH_training.json", "BENCH_serving.json", "BENCH_telemetry.json")
+_BENCH_FILES = (
+    "BENCH_training.json",
+    "BENCH_serving.json",
+    "BENCH_load.json",
+    "BENCH_telemetry.json",
+)
 
 
 # ------------------------------------------------------------------ assembling
@@ -99,6 +104,25 @@ def _bench_deltas(bench_dir: Path, observed: Dict[str, Any]) -> Dict[str, Any]:
                 entry["observed_score_p50_s"] = fresh_p50
                 entry["score_p50_delta_pct"] = (
                     100.0 * (fresh_p50 - serving["score_cold_p50_s"]) / serving["score_cold_p50_s"]
+                )
+        elif filename == "BENCH_load.json":
+            summary = committed.get("summary", {})
+            entry["committed_top_concurrency"] = summary.get("top_concurrency")
+            entry["committed_direct_throughput_rps"] = summary.get("direct_throughput_rps")
+            entry["committed_batched_throughput_rps"] = summary.get("batched_throughput_rps")
+            entry["committed_throughput_gain_x"] = summary.get("throughput_gain_x")
+            entry["committed_p99_gain_x"] = summary.get("p99_gain_x")
+            entry["committed_parity_ok"] = committed.get("meta", {}).get("parity", {}).get("ok")
+            fresh_p50 = observed.get("score_p50_s")
+            batched = (
+                committed.get("closed_loop", {})
+                .get("batched", {})
+                .get(str(summary.get("top_concurrency")), {})
+            )
+            if fresh_p50 is not None and batched.get("p50_ms"):
+                entry["observed_score_p50_s"] = fresh_p50
+                entry["load_p50_delta_pct"] = (
+                    100.0 * (fresh_p50 * 1e3 - batched["p50_ms"]) / batched["p50_ms"]
                 )
         elif filename == "BENCH_telemetry.json":
             entry["committed_spans"] = len(committed.get("spans", {}))
@@ -316,6 +340,17 @@ def render_report(report: Dict[str, Any]) -> str:
             lines.append(
                 f"- {filename}: score p50 {_fmt_seconds(entry['observed_score_p50_s'])} vs committed cold "
                 f"{_fmt_seconds(entry['committed_score_cold_p50_s'])} ({entry['score_p50_delta_pct']:+.1f}%)"
+            )
+        elif "committed_throughput_gain_x" in entry and entry["committed_throughput_gain_x"]:
+            lines.append(
+                f"- {filename}: c={entry['committed_top_concurrency']} batched "
+                f"{entry['committed_batched_throughput_rps']:.1f} req/s vs direct "
+                f"{entry['committed_direct_throughput_rps']:.1f} req/s "
+                f"({entry['committed_throughput_gain_x']:.2f}x throughput, "
+                f"{entry['committed_p99_gain_x']:.2f}x p99)"
+                + ("" if entry.get("load_p50_delta_pct") is None
+                   else f"; fresh score p50 {_fmt_seconds(entry['observed_score_p50_s'])} "
+                        f"({entry['load_p50_delta_pct']:+.1f}% vs committed batched p50)")
             )
         else:
             keys = ", ".join(f"{k}={v}" for k, v in entry.items() if k != "present")

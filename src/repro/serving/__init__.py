@@ -11,19 +11,28 @@ this package turns it into a *service*:
   ``top_n`` retrieval, all under ``no_grad``;
 * :mod:`~repro.serving.onboarding` — live strict-cold-start onboarding:
   attribute encoding, eVAE preference generation, attribute-graph splice;
+* :mod:`~repro.serving.batching` — :class:`BatchingEngine`: the
+  request-coalescing core — concurrent score/top-N/onboarding requests are
+  queued and fused into per-tick vectorised calls, with bounded-queue
+  backpressure (shed → HTTP 429) and per-tick telemetry;
 * :mod:`~repro.serving.server` — a stdlib JSON HTTP front-end
-  (``/score``, ``/topn``, ``/users``, ``/items``, ``/healthz``, ``/metrics``);
-* :mod:`~repro.serving.bench` — the metered producer of ``BENCH_serving.json``.
+  (``/score``, ``/topn``, ``/users``, ``/items``, ``/healthz``, ``/metrics``)
+  with draining shutdown;
+* :mod:`~repro.serving.bench` — the metered producer of ``BENCH_serving.json``;
+* :mod:`~repro.serving.loadgen` — the load generator behind ``repro
+  load-bench`` (open/closed loop, concurrency ramp) and ``BENCH_load.json``.
 
 CLI entry points: ``repro export-bundle``, ``repro serve``,
-``repro serving-bench``.
+``repro serving-bench``, ``repro load-bench``.
 """
 
 from .bundle import MANIFEST_SCHEMA_VERSION, ServingBundle, export_bundle, load_bundle
 from .engine import InferenceEngine
+from .batching import BatchingEngine, EngineOverloadedError
 from .onboarding import encode_attribute_row, splice_neighbours
 from .server import ServingHTTPServer, make_server, serve_forever
 from .bench import EXPECTED_SERVING_SPANS, run_serving_bench
+from .loadgen import render_load_bench, run_load_bench
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
@@ -31,6 +40,8 @@ __all__ = [
     "export_bundle",
     "load_bundle",
     "InferenceEngine",
+    "BatchingEngine",
+    "EngineOverloadedError",
     "encode_attribute_row",
     "splice_neighbours",
     "ServingHTTPServer",
@@ -38,4 +49,6 @@ __all__ = [
     "serve_forever",
     "EXPECTED_SERVING_SPANS",
     "run_serving_bench",
+    "render_load_bench",
+    "run_load_bench",
 ]

@@ -214,15 +214,20 @@ class InferenceEngine:
             self._check_ids("user", users)
             self._check_ids("item", items)
             out = np.empty(len(users), dtype=np.float64)
-            misses: List[int] = []
-            with span("serve.cache"):
-                for j, key in enumerate(zip(users.tolist(), items.tolist())):
-                    cached = self._cache.get(key)
-                    if cached is None:
-                        misses.append(j)
-                    else:
-                        self._cache.move_to_end(key)
-                        out[j] = cached
+            if self.cache_size:
+                misses: List[int] = []
+                with span("serve.cache"):
+                    for j, key in enumerate(zip(users.tolist(), items.tolist())):
+                        cached = self._cache.get(key)
+                        if cached is None:
+                            misses.append(j)
+                        else:
+                            self._cache.move_to_end(key)
+                            out[j] = cached
+            else:
+                # Memoisation disabled: skip the per-pair Python lookup loop so
+                # large fused batches stay fully vectorised.
+                misses = list(range(len(users)))
             if misses:
                 with span("serve.score_cold"):
                     rows = np.asarray(misses, dtype=np.int64)

@@ -1,7 +1,14 @@
 """A dependency-free JSON front-end over :class:`InferenceEngine`.
 
 Built on the stdlib threading ``http.server`` — the engine's lock makes the
-handler re-entrant.  Endpoints:
+handler re-entrant.  When the server is built with a
+:class:`~repro.serving.batching.BatchingEngine` (``make_server(...,
+batching=...)``, the default for ``repro serve``), the ``/score``, ``/topn``
+and onboarding routes submit into the coalescing queue instead of calling the
+engine directly: concurrent requests are fused into per-tick vectorised
+calls, and a full queue is *shed* — the request is answered immediately with
+HTTP 429 (``serve.shed`` counts the sheds) instead of piling onto an engine
+that is already behind.  Endpoints:
 
 ====== ============= =========================================================
 Method Path          Body / response
@@ -28,17 +35,25 @@ body.  Every request runs inside a ``serve.request`` span, bumps
 ``serve.request_errors`` plus ``serve.route_errors.<route>``; *unexpected*
 handler exceptions are converted to a JSON 500 carrying the request id and
 bump ``serve.errors`` — the server never drops the connection on a bug.
+
+Shutdown is *draining*: the server counts in-flight requests from the moment
+a connection is accepted, :meth:`ServingHTTPServer.shutdown` blocks until
+every accepted request has been answered (then stops the batching engine, if
+any), and only afterwards should the socket be closed — a request issued
+mid-shutdown is served, never reset.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..telemetry import increment, record_timing, snapshot, span
+from .batching import BatchingEngine, EngineOverloadedError
 from .engine import InferenceEngine
 
 __all__ = ["ServingHTTPServer", "make_server", "serve_forever"]
@@ -102,6 +117,12 @@ class _Handler(BaseHTTPRequestHandler):
             except _RequestError as exc:
                 increment("serve.request_errors")
                 status, payload = exc.status, {"error": str(exc), "request_id": request_id}
+            except EngineOverloadedError as exc:
+                # Backpressure shed: the queue was full at submit time.  The
+                # 429 is immediate — the client should back off and retry.
+                increment("serve.request_errors")
+                status = 429
+                payload = {"error": str(exc), "request_id": request_id, "retry": True}
             except (ValueError, IndexError, KeyError, TypeError) as exc:
                 increment("serve.request_errors")
                 status, payload = 400, {"error": str(exc), "request_id": request_id}
@@ -163,14 +184,16 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_json()
         if "users" not in body or "items" not in body:
             raise _RequestError(400, "body must contain 'users' and 'items' id arrays")
-        scores = self.server.engine.score(body["users"], body["items"])
+        backend = self.server.batching or self.server.engine
+        scores = backend.score(body["users"], body["items"])
         return 200, {"scores": scores.tolist()}
 
     def _post_topn(self) -> Tuple[int, Dict[str, Any]]:
         body = self._read_json()
         if "user" not in body:
             raise _RequestError(400, "body must contain 'user'")
-        items, scores = self.server.engine.top_n(
+        backend = self.server.batching or self.server.engine
+        items, scores = backend.top_n(
             int(body["user"]),
             k=int(body.get("k", 10)),
             exclude_seen=bool(body.get("exclude_seen", True)),
@@ -182,21 +205,33 @@ class _Handler(BaseHTTPRequestHandler):
         if "attributes" not in body:
             raise _RequestError(400, "body must contain 'attributes'")
         engine = self.server.engine
-        add = engine.add_user if side == "user" else engine.add_item
-        new_id = add(body["attributes"])
+        if self.server.batching is not None:
+            new_id = self.server.batching.onboard(side, body["attributes"])
+        else:
+            add = engine.add_user if side == "user" else engine.add_item
+            new_id = add(body["attributes"])
         return 201, {side: new_id, "onboarded": engine.onboarded(side)}
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one engine."""
+    """A threading HTTP server bound to one engine (optionally coalescing)."""
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], engine: InferenceEngine, verbose: bool = False) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        engine: InferenceEngine,
+        verbose: bool = False,
+        batching: Optional[BatchingEngine] = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.engine = engine
+        self.batching = batching
         self.verbose = verbose
         self._request_counter = itertools.count(1)
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
 
     def next_request_id(self) -> str:
         """Per-process request id (``itertools.count`` is atomic under the GIL)."""
@@ -206,22 +241,72 @@ class ServingHTTPServer(ThreadingHTTPServer):
     def port(self) -> int:
         return self.server_address[1]
 
+    # ------------------------------------------------------- draining shutdown
+    @property
+    def inflight_requests(self) -> int:
+        """Accepted connections whose handler has not finished yet."""
+        with self._inflight_cond:
+            return self._inflight
+
+    def process_request(self, request, client_address) -> None:
+        # Count the request from the instant it is accepted — before the
+        # handler thread even exists — so shutdown() can never miss it.
+        with self._inflight_cond:
+            self._inflight += 1
+        super().process_request(request, client_address)
+
+    def process_request_thread(self, request, client_address) -> None:
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    def wait_for_drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted request has been answered."""
+        with self._inflight_cond:
+            return self._inflight_cond.wait_for(lambda: self._inflight == 0, timeout)
+
+    def shutdown(self, drain_timeout: Optional[float] = 10.0) -> bool:  # type: ignore[override]
+        """Stop the serve loop, then drain: block until in-flight requests
+        finish and the batching queue (if any) is empty.  Returns whether the
+        drain completed within ``drain_timeout`` — only then is
+        ``server_close()`` guaranteed not to reset a live request."""
+        super().shutdown()
+        drained = self.wait_for_drain(drain_timeout)
+        if self.batching is not None:
+            self.batching.stop(drain=True)
+        return drained
+
 
 def make_server(
     engine: InferenceEngine,
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    batching: Optional[BatchingEngine] = None,
 ) -> ServingHTTPServer:
-    """Bind a server (``port=0`` → ephemeral) without starting its loop."""
-    return ServingHTTPServer((host, port), engine, verbose=verbose)
+    """Bind a server (``port=0`` → ephemeral) without starting its loop.
+
+    Pass a started :class:`BatchingEngine` wrapping ``engine`` to serve the
+    scoring routes through the coalescing queue; the server takes ownership
+    and stops it on shutdown.
+    """
+    return ServingHTTPServer((host, port), engine, verbose=verbose, batching=batching)
 
 
 def serve_forever(server: ServingHTTPServer) -> None:
-    """Run until interrupted; always releases the socket."""
+    """Run until interrupted; drains in-flight requests, always releases the
+    socket."""
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        # The loop has already exited here, so don't call shutdown() (it would
+        # deadlock waiting for the loop) — just drain before closing.
+        server.wait_for_drain(10.0)
+        if server.batching is not None:
+            server.batching.stop(drain=True)
         server.server_close()

@@ -1,0 +1,262 @@
+"""BatchingEngine: coalescing parity, FIFO fairness, delivery, determinism."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.serving import BatchingEngine, InferenceEngine
+
+pytestmark = pytest.mark.serving
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic coalescing tests."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def sequential(bundle):
+    """A pristine reference engine: the single-request baseline."""
+    return InferenceEngine(bundle)
+
+
+@pytest.fixture()
+def manual(engine):
+    """A batching engine in manual-tick mode (the caller owns the cadence)."""
+    batching = BatchingEngine(engine, auto_start=False)
+    yield batching
+    batching.stop(drain=True)
+
+
+class TestParity:
+    def test_coalesced_batch_is_bitwise_sequential(self, manual, sequential, engine):
+        """One fused tick must return bit-for-bit what per-request calls do."""
+        rng = np.random.default_rng(11)
+        users = rng.integers(0, engine.num_users, size=40)
+        items = rng.integers(0, engine.num_items, size=40)
+        futures = [manual.submit_score([u], [i]) for u, i in zip(users, items)]
+        assert manual.drain_once() == 40
+        assert manual.stats()["coalesced_requests"] == 40
+        got = np.array([future.result(0)[0] for future in futures])
+        want = np.array([sequential.score([u], [i])[0] for u, i in zip(users, items)])
+        np.testing.assert_array_equal(got, want)
+
+    def test_multi_pair_requests_fuse_bitwise(self, manual, sequential, engine):
+        rng = np.random.default_rng(13)
+        users = rng.integers(0, engine.num_users, size=30)
+        items = rng.integers(0, engine.num_items, size=30)
+        futures = [
+            manual.submit_score(users[lo : lo + 7], items[lo : lo + 7])
+            for lo in range(0, 30, 7)
+        ]
+        manual.drain_once()
+        got = np.concatenate([future.result(0) for future in futures])
+        np.testing.assert_array_equal(got, sequential.score(users, items))
+
+    def test_threaded_parity_under_concurrency(self, bundle, sequential):
+        """N threads through the live coalescing loop == sequential scoring."""
+        engine = InferenceEngine(bundle)
+        rng = np.random.default_rng(17)
+        n_threads, per_thread = 8, 12
+        users = rng.integers(0, engine.num_users, size=(n_threads, per_thread))
+        items = rng.integers(0, engine.num_items, size=(n_threads, per_thread))
+        results = np.zeros((n_threads, per_thread))
+        barrier = threading.Barrier(n_threads)
+
+        with BatchingEngine(engine, tick_interval=0.002) as batching:
+
+            def worker(w: int) -> None:
+                barrier.wait()
+                for j in range(per_thread):
+                    results[w, j] = batching.score([users[w, j]], [items[w, j]])[0]
+
+            threads = [threading.Thread(target=worker, args=(w,)) for w in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        want = sequential.score(users.ravel(), items.ravel()).reshape(n_threads, per_thread)
+        np.testing.assert_array_equal(results, want)
+
+    def test_engine_scoring_is_batch_composition_invariant(self, sequential, bundle):
+        """The property the coalescer is built on: a pair's score has the same
+        bit pattern alone (n=1, BLAS gemv), in a small chunk, or fused."""
+        engine = InferenceEngine(bundle, cache_size=0)  # no memoisation masking
+        rng = np.random.default_rng(19)
+        users = rng.integers(0, engine.num_users, size=57)
+        items = rng.integers(0, engine.num_items, size=57)
+        fused = engine.score(users, items)
+        singles = np.array([engine.score([u], [i])[0] for u, i in zip(users, items)])
+        np.testing.assert_array_equal(singles, fused)
+        chunked = np.concatenate(
+            [engine.score(users[lo : lo + 13], items[lo : lo + 13]) for lo in range(0, 57, 13)]
+        )
+        np.testing.assert_array_equal(chunked, fused)
+
+    def test_topn_through_queue_matches_engine(self, manual, sequential):
+        future = manual.submit_top_n(0, k=5)
+        manual.drain_once()
+        got_items, got_scores = future.result(0)
+        want_items, want_scores = sequential.top_n(0, k=5)
+        np.testing.assert_array_equal(got_items, want_items)
+        np.testing.assert_array_equal(got_scores, want_scores)
+
+
+class TestFairness:
+    def test_fifo_completion_order(self, manual, engine):
+        """Futures complete in arrival order, even across coalesced runs."""
+        completed = []
+        futures = []
+        for idx in range(12):
+            if idx == 5:
+                future = manual.submit_top_n(0, k=3)
+            else:
+                future = manual.submit_score([idx % engine.num_users], [0])
+            future.add_done_callback(lambda _f, idx=idx: completed.append(idx))
+            futures.append(future)
+        manual.drain_once()
+        assert completed == list(range(12))
+
+    def test_barrier_semantics_for_onboarding(self, manual, engine, bundle):
+        """A request submitted after an onboard sees the onboarded node."""
+        new_id = engine.num_users  # id the onboard will assign
+        first = manual.submit_score([0], [0])
+        onboard = manual.submit_onboard("user", bundle.attributes("user")[0])
+        after = manual.submit_score([new_id], [0])
+        manual.drain_once()
+        assert np.isfinite(first.result(0)[0])
+        assert onboard.result(0) == new_id
+        assert np.isfinite(after.result(0)[0])  # would IndexError without the barrier
+
+
+class TestDelivery:
+    def test_no_dropped_or_duplicated_responses(self, bundle):
+        """Every submitted request resolves exactly once with its own answer."""
+        engine = InferenceEngine(bundle)
+        n_threads, per_thread = 8, 25
+        completions = [[0] * per_thread for _ in range(n_threads)]
+        values = np.full((n_threads, per_thread), np.nan)
+
+        with BatchingEngine(engine, tick_interval=0.001) as batching:
+            barrier = threading.Barrier(n_threads)
+
+            def worker(w: int) -> None:
+                barrier.wait()
+                for j in range(per_thread):
+                    future = batching.submit_score([w], [j])
+                    future.add_done_callback(
+                        lambda _f, w=w, j=j: completions[w].__setitem__(
+                            j, completions[w][j] + 1
+                        )
+                    )
+                    values[w, j] = future.result(30.0)[0]
+
+            threads = [threading.Thread(target=worker, args=(w,)) for w in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert all(count == 1 for per in completions for count in per)
+        assert np.isfinite(values).all()
+        counters = telemetry.get_registry().counters()
+        assert counters["serve.scores"] == n_threads * per_thread
+        assert counters["serve.batch.requests"] == n_threads * per_thread
+
+    def test_stop_with_drain_completes_queued_work(self, engine):
+        batching = BatchingEngine(engine, auto_start=False)
+        futures = [batching.submit_score([i], [i]) for i in range(5)]
+        batching.start()
+        batching.stop(drain=True)
+        assert all(np.isfinite(future.result(0)[0]) for future in futures)
+
+    def test_stop_without_drain_fails_pending_futures(self, engine):
+        batching = BatchingEngine(engine, auto_start=False)
+        futures = [batching.submit_score([i], [i]) for i in range(3)]
+        batching.stop(drain=False)
+        for future in futures:
+            with pytest.raises(RuntimeError, match="stopped"):
+                future.result(0)
+
+
+class TestDeterministicCoalescing:
+    def test_one_tick_under_fake_clock(self, engine):
+        clock = FakeClock(start=100.0)
+        batching = BatchingEngine(engine, auto_start=False, clock=clock)
+        for idx in range(5):
+            batching.submit_score([idx], [idx])
+        clock.advance(0.25)
+        assert batching.drain_once() == 5
+        stats = batching.stats()
+        assert stats["ticks"] == 1
+        assert stats["requests"] == 5
+        assert stats["coalesced_requests"] == 5
+        histograms = telemetry.get_registry().histograms()
+        waits = histograms["serve.batch.wait"].samples()
+        assert waits == [0.25] * 5  # exact: both stamps came from the fake clock
+        assert histograms["serve.batch.size"].samples() == [5.0]
+
+    def test_batch_budget_splits_ticks_deterministically(self, engine):
+        batching = BatchingEngine(
+            engine, auto_start=False, max_batch_pairs=4, clock=FakeClock()
+        )
+        futures = [batching.submit_score([i], [i]) for i in range(10)]
+        assert batching.drain_once() == 10
+        stats = batching.stats()
+        assert stats["ticks"] == 3  # 4 + 4 + 2 under the pair budget
+        assert all(future.done() for future in futures)
+
+    def test_queue_wait_accumulates_scripted_clock_steps(self, engine):
+        clock = FakeClock()
+        batching = BatchingEngine(engine, auto_start=False, clock=clock)
+        batching.submit_score([0], [0])
+        clock.advance(0.1)
+        batching.submit_score([1], [1])
+        clock.advance(0.2)
+        batching.drain_once()
+        waits = sorted(telemetry.get_registry().histograms()["serve.batch.wait"].samples())
+        assert waits == pytest.approx([0.2, 0.30000000000000004])
+
+
+class TestValidationAndLifecycle:
+    def test_misaligned_submit_fails_fast(self, manual):
+        with pytest.raises(ValueError, match="align"):
+            manual.submit_score([0, 1], [0])
+
+    def test_bad_side_rejected(self, manual):
+        with pytest.raises(ValueError, match="side"):
+            manual.submit_onboard("basket", {})
+
+    def test_submit_after_stop_rejected(self, engine):
+        batching = BatchingEngine(engine, auto_start=False)
+        batching.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            batching.submit_score([0], [0])
+
+    def test_constructor_validation(self, engine):
+        with pytest.raises(ValueError, match="max_batch_pairs"):
+            BatchingEngine(engine, max_batch_pairs=0, auto_start=False)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            BatchingEngine(engine, max_queue_depth=0, auto_start=False)
+        with pytest.raises(ValueError, match="tick_interval"):
+            BatchingEngine(engine, tick_interval=-1.0, auto_start=False)
+
+    def test_start_is_idempotent(self, engine):
+        batching = BatchingEngine(engine)
+        try:
+            batching.start()
+            assert batching.running
+        finally:
+            batching.stop()
+        assert not batching.running

@@ -1,0 +1,122 @@
+"""Concurrent stress on the engine's LRU score cache (slow; tier-2).
+
+Six hammer threads score seeded pair streams (hits + misses + LRU churn on a
+tiny capacity) while an onboarding thread keeps invalidating the cache by
+adding nodes.  Every observed score must be bitwise the pristine engine's
+value, the cache must never exceed capacity, and the hit/miss accounting must
+balance.  Run with ``pytest -m slow``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.serving import InferenceEngine
+
+pytestmark = [pytest.mark.serving, pytest.mark.slow]
+
+CACHE_CAPACITY = 64
+HAMMER_THREADS = 6
+ROUNDS = 40
+ONBOARDS = 12
+
+
+class TestCacheStress:
+    def test_concurrent_hits_misses_and_invalidation(self, bundle):
+        engine = InferenceEngine(bundle, cache_size=CACHE_CAPACITY)
+        reference = InferenceEngine(bundle, cache_size=0)
+        n_users, n_items = engine.num_users, engine.num_items
+        # Base-node scores are invariant under onboarding (new nodes only
+        # append rows), so the pristine engine is a valid oracle throughout.
+        oracle = {
+            (u, i): reference.score([u], [i])[0]
+            for u in range(n_users)
+            for i in range(n_items)
+        }
+
+        errors = []
+        capacity_violations = []
+        start = threading.Barrier(HAMMER_THREADS + 1)
+
+        def hammer(worker: int) -> None:
+            rng = np.random.default_rng(1000 + worker)
+            start.wait()
+            try:
+                for _ in range(ROUNDS):
+                    # A skewed stream: a hot set (cache hits) + a uniform tail
+                    # (misses + LRU evictions at this tiny capacity).
+                    if rng.random() < 0.5:
+                        users = rng.integers(0, 8, size=4)
+                        items = rng.integers(0, 8, size=4)
+                    else:
+                        users = rng.integers(0, n_users, size=4)
+                        items = rng.integers(0, n_items, size=4)
+                    got = engine.score(users, items)
+                    want = np.array([oracle[(u, i)] for u, i in zip(users, items)])
+                    if not np.array_equal(got, want):
+                        errors.append((users.tolist(), items.tolist(), got, want))
+                    entries = engine.stats()["cache_entries"]
+                    if entries > CACHE_CAPACITY:
+                        capacity_violations.append(entries)
+            except Exception as exc:  # pragma: no cover - surfaced via `errors`
+                errors.append(exc)
+
+        def onboard() -> None:
+            start.wait()
+            user_row = bundle.attributes("user")[0]
+            item_row = bundle.attributes("item")[0]
+            for round_ in range(ONBOARDS):
+                if round_ % 2 == 0:
+                    engine.add_user(user_row)
+                else:
+                    engine.add_item(item_row)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(HAMMER_THREADS)
+        ]
+        threads.append(threading.Thread(target=onboard))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+
+        assert not errors, f"stale or wrong scores under concurrency: {errors[:3]}"
+        assert not capacity_violations, f"LRU exceeded capacity: {capacity_violations[:5]}"
+        assert engine.onboarded("user") == ONBOARDS // 2
+        assert engine.onboarded("item") == ONBOARDS // 2
+
+        counters = telemetry.get_registry().counters()
+        scored = HAMMER_THREADS * ROUNDS * 4
+        assert counters["serve.scores"] == scored + len(oracle)  # oracle used `reference`
+        assert counters["serve.cache.hits"] + counters["serve.cache.misses"] == scored + len(oracle)
+        stats = engine.stats()
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+        assert stats["cache_entries"] <= CACHE_CAPACITY
+
+    def test_cache_disabled_engine_under_same_stress(self, bundle):
+        """cache_size=0 must stay correct (and never populate the cache)."""
+        engine = InferenceEngine(bundle, cache_size=0)
+        reference = InferenceEngine(bundle, cache_size=0)
+        start = threading.Barrier(4)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            rng = np.random.default_rng(worker)
+            start.wait()
+            for _ in range(25):
+                users = rng.integers(0, engine.num_users, size=3)
+                items = rng.integers(0, engine.num_items, size=3)
+                if not np.array_equal(engine.score(users, items), reference.score(users, items)):
+                    errors.append((users, items))
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert engine.stats()["cache_entries"] == 0

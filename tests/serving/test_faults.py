@@ -1,0 +1,192 @@
+"""Fault injection: poisoned batchmates, backpressure sheds, error isolation."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.serving import BatchingEngine, EngineOverloadedError, InferenceEngine, make_server
+
+pytestmark = pytest.mark.serving
+
+POISON_USER = 7
+
+
+def _poison(engine, monkeypatch):
+    """Make ``engine.score`` blow up whenever the poison user appears."""
+    original = engine.score
+
+    def score(users, items):
+        if POISON_USER in np.atleast_1d(np.asarray(users)):
+            raise RuntimeError("poisoned request")
+        return original(users, items)
+
+    monkeypatch.setattr(engine, "score", score)
+
+
+def _post(port, path, payload, timeout=10):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+@pytest.fixture()
+def batched_server(bundle):
+    """A server whose batching queue is drained manually by the test."""
+    engine = InferenceEngine(bundle)
+    batching = BatchingEngine(engine, auto_start=False, max_queue_depth=4)
+    server = make_server(engine, port=0, batching=batching)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, batching, engine
+    batching.start()  # let shutdown's drain complete any stragglers
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _wait_for_queue(batching, depth, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while batching.stats()["queue_depth"] < depth:
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"queue never reached depth {depth}: {batching.stats()}"
+            )
+        time.sleep(0.005)
+
+
+class TestPoisonedBatchmate:
+    def test_only_the_poisoned_request_errors(self, bundle, monkeypatch):
+        """A fused-call failure falls back per-request: batchmates succeed."""
+        engine = InferenceEngine(bundle)
+        reference = InferenceEngine(bundle)
+        _poison(engine, monkeypatch)
+        batching = BatchingEngine(engine, auto_start=False)
+
+        healthy = [(0, 3), (1, 4), (2, 5)]
+        futures = [batching.submit_score([u], [i]) for u, i in healthy]
+        poisoned = batching.submit_score([POISON_USER], [0])
+        futures_after = [batching.submit_score([u + 10], [i]) for u, i in healthy]
+        batching.drain_once()
+
+        with pytest.raises(RuntimeError, match="poisoned"):
+            poisoned.result(0)
+        got = np.array([f.result(0)[0] for f in futures + futures_after])
+        want = np.array(
+            [reference.score([u], [i])[0] for u, i in healthy]
+            + [reference.score([u + 10], [i])[0] for u, i in healthy]
+        )
+        np.testing.assert_array_equal(got, want)
+        assert batching.stats()["fallbacks"] == 1
+        assert telemetry.get_registry().counters()["serve.batch.fallbacks"] == 1
+
+    def test_unknown_id_isolated_to_its_request(self, bundle):
+        """Out-of-range ids poison only their own future, not the batch."""
+        engine = InferenceEngine(bundle)
+        batching = BatchingEngine(engine, auto_start=False)
+        good = batching.submit_score([0], [0])
+        bad = batching.submit_score([engine.num_users + 99], [0])
+        also_good = batching.submit_score([1], [1])
+        batching.drain_once()
+        with pytest.raises(IndexError, match="unknown user"):
+            bad.result(0)
+        assert np.isfinite(good.result(0)[0])
+        assert np.isfinite(also_good.result(0)[0])
+
+    def test_http_poison_in_coalesced_batch(self, batched_server, monkeypatch):
+        """Over HTTP: the poisoned request gets a JSON 500 with its request id
+        while its coalesced batchmates are answered 200."""
+        server, batching, engine = batched_server
+        _poison(engine, monkeypatch)
+        results = {}
+
+        def client(name, user):
+            results[name] = _post(server.port, "/score", {"users": [user], "items": [0]})
+
+        threads = [
+            threading.Thread(target=client, args=(name, user))
+            for name, user in [("a", 0), ("poison", POISON_USER), ("b", 1)]
+        ]
+        for thread in threads:
+            thread.start()
+        _wait_for_queue(batching, 3)  # all three requests coalesce in one tick
+        batching.drain_once()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        status, headers, body = results["poison"]
+        assert status == 500
+        assert "poisoned" in body["error"]
+        assert body["request_id"].startswith("req-")
+        assert headers["X-Request-ID"] == body["request_id"]
+        for name in ("a", "b"):
+            status, _, body = results[name]
+            assert status == 200
+            assert np.isfinite(body["scores"][0])
+        assert batching.stats()["fallbacks"] == 1
+
+
+class TestBackpressure:
+    def test_submit_against_full_queue_sheds(self, engine):
+        batching = BatchingEngine(engine, auto_start=False, max_queue_depth=2)
+        keep = [batching.submit_score([i], [i]) for i in range(2)]
+        with pytest.raises(EngineOverloadedError) as excinfo:
+            batching.submit_score([2], [2])
+        assert excinfo.value.queue_depth == 2
+        assert telemetry.get_registry().counters()["serve.shed"] == 1
+        batching.drain_once()
+        assert all(f.done() for f in keep)  # queued work is unaffected by the shed
+
+    def test_http_queue_full_is_429(self, batched_server):
+        """A full queue sheds immediately: HTTP 429 with retry hint and id."""
+        server, batching, _engine = batched_server
+        backlog = [batching.submit_score([i], [i]) for i in range(4)]  # fill to max_queue_depth
+
+        status, headers, body = _post(server.port, "/score", {"users": [0], "items": [0]})
+        assert status == 429
+        assert "shed" in body["error"]
+        assert body["retry"] is True
+        assert body["request_id"].startswith("req-")
+        assert headers["X-Request-ID"] == body["request_id"]
+        counters = telemetry.get_registry().counters()
+        assert counters["serve.shed"] >= 1
+        assert counters["serve.request_errors"] >= 1
+
+        batching.drain_once()
+        assert all(f.done() for f in backlog)
+
+    def test_shed_recovers_after_drain(self, batched_server):
+        server, batching, _engine = batched_server
+        for i in range(4):
+            batching.submit_score([i], [i])
+        status, _, _ = _post(server.port, "/score", {"users": [0], "items": [0]})
+        assert status == 429
+        batching.drain_once()
+
+        done = threading.Event()
+        results = {}
+
+        def client():
+            results["r"] = _post(server.port, "/score", {"users": [0], "items": [0]})
+            done.set()
+
+        threading.Thread(target=client, daemon=True).start()
+        _wait_for_queue(batching, 1)
+        batching.drain_once()
+        assert done.wait(10)
+        status, _, body = results["r"]
+        assert status == 200
+        assert np.isfinite(body["scores"][0])

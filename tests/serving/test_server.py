@@ -2,13 +2,14 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import numpy as np
 import pytest
 
-from repro.serving import make_server
+from repro.serving import BatchingEngine, InferenceEngine, make_server
 
 pytestmark = pytest.mark.serving
 
@@ -217,3 +218,152 @@ class TestPrometheusEndpoint:
         live = telemetry_metrics.get_registry().counters()
         assert families["repro_serve_requests_total"][()] == live["serve.requests"]
         assert families["repro_serve_scores_total"][()] == live["serve.scores"]
+
+
+class TestBatchedEndpoints:
+    """The same routes, served through the coalescing queue."""
+
+    @pytest.fixture()
+    def batched_server(self, bundle):
+        engine = InferenceEngine(bundle)
+        batching = BatchingEngine(engine, tick_interval=0.001)
+        server = make_server(engine, port=0, batching=batching)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server, engine
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_score_parity_through_queue(self, batched_server, bundle):
+        server, _engine = batched_server
+        reference = InferenceEngine(bundle)
+        status, body = _post(server, "/score", {"users": [0, 1, 2], "items": [3, 4, 5]})
+        assert status == 200
+        np.testing.assert_array_equal(body["scores"], reference.score([0, 1, 2], [3, 4, 5]))
+
+    def test_topn_through_queue(self, batched_server, bundle):
+        server, _engine = batched_server
+        reference = InferenceEngine(bundle)
+        status, body = _post(server, "/topn", {"user": 0, "k": 5})
+        assert status == 200
+        want_items, want_scores = reference.top_n(0, k=5)
+        assert body["items"] == want_items.tolist()
+        np.testing.assert_array_equal(body["scores"], want_scores)
+
+    def test_onboarding_through_queue(self, batched_server, engine):
+        server, served_engine = batched_server
+        base = served_engine.num_users
+        status, body = _post(
+            server, "/users", {"attributes": {"gender": 0, "age": 2, "occupation": 4}}
+        )
+        assert status == 201
+        assert body == {"user": base, "onboarded": 1}
+        status, body = _post(server, "/score", {"users": [base], "items": [0]})
+        assert status == 200
+        assert np.isfinite(body["scores"][0])
+
+    def test_concurrent_clients_all_answered(self, batched_server, bundle):
+        server, _engine = batched_server
+        reference = InferenceEngine(bundle)
+        results = {}
+
+        def client(worker):
+            results[worker] = _post(
+                server, "/score", {"users": [worker], "items": [worker + 1]}
+            )
+
+        threads = [threading.Thread(target=client, args=(w,)) for w in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(results) == 12
+        for worker, (status, body) in results.items():
+            assert status == 200
+            want = reference.score([worker], [worker + 1])[0]
+            assert body["scores"][0] == want
+
+
+class TestShutdownDrain:
+    """shutdown() must answer every accepted request before returning."""
+
+    def _make(self, engine, batching=None):
+        server = make_server(engine, port=0, batching=batching)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, thread
+
+    def test_request_issued_mid_shutdown_is_served_not_reset(self, engine, monkeypatch):
+        """Regression: the old shutdown returned while a handler was mid-flight,
+        so server_close() could reset the connection under the client."""
+        original = engine.score
+        started = threading.Event()
+
+        def slow_score(users, items):
+            started.set()
+            time.sleep(0.3)
+            return original(users, items)
+
+        monkeypatch.setattr(engine, "score", slow_score)
+        server, thread = self._make(engine)
+        result = {}
+
+        def client():
+            try:
+                result["response"] = _post(server, "/score", {"users": [0], "items": [0]})
+            except Exception as exc:  # a reset surfaces here
+                result["error"] = exc
+
+        client_thread = threading.Thread(target=client)
+        client_thread.start()
+        assert started.wait(10), "request never reached the engine"
+        drained = server.shutdown()
+        # The drain guarantee: by the time shutdown() returns, nothing is
+        # mid-flight, so closing the socket cannot reset the request.
+        assert drained
+        assert server.inflight_requests == 0
+        server.server_close()
+        client_thread.join(timeout=10)
+        thread.join(timeout=10)
+        assert "error" not in result, f"client connection failed: {result.get('error')}"
+        status, body = result["response"]
+        assert status == 200
+        assert np.isfinite(body["scores"][0])
+
+    def test_shutdown_stops_batching_after_drain(self, engine):
+        batching = BatchingEngine(engine, tick_interval=0.001)
+        server, thread = self._make(engine, batching=batching)
+        status, _ = _post(server, "/score", {"users": [0], "items": [0]})
+        assert status == 200
+        assert server.shutdown()
+        assert not batching.running
+        assert server.inflight_requests == 0
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_wait_for_drain_times_out_honestly(self, engine, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+        original = engine.score
+
+        def stuck_score(users, items):
+            started.set()
+            release.wait(30)
+            return original(users, items)
+
+        monkeypatch.setattr(engine, "score", stuck_score)
+        server, thread = self._make(engine)
+        client_thread = threading.Thread(
+            target=lambda: _post(server, "/score", {"users": [0], "items": [0]})
+        )
+        client_thread.start()
+        assert started.wait(10)
+        assert server.inflight_requests == 1
+        assert not server.wait_for_drain(timeout=0.1)  # request is genuinely stuck
+        release.set()
+        assert server.wait_for_drain(timeout=10)
+        server.shutdown()
+        server.server_close()
+        client_thread.join(timeout=10)
+        thread.join(timeout=10)

@@ -54,6 +54,35 @@ class TestParser:
         assert args.pairs == 200
         assert args.scale == "smoke"
 
+    def test_serve_batching_defaults(self):
+        args = build_parser().parse_args(["serve", "--bundle", "bundles/x"])
+        assert not args.no_batching
+        assert args.tick_interval == 0.0  # adaptive drain: no artificial window
+        assert args.max_batch_pairs == 8192
+        assert args.max_queue_depth == 1024
+
+    def test_serve_no_batching_flag(self):
+        args = build_parser().parse_args(["serve", "--bundle", "bundles/x", "--no-batching"])
+        assert args.no_batching
+
+    def test_load_bench_defaults(self):
+        args = build_parser().parse_args(["load-bench"])
+        assert args.output == "BENCH_load.json"
+        assert args.concurrency == [1, 4, 16]
+        assert args.duration == pytest.approx(1.0)
+        assert args.rate == pytest.approx(300.0)
+        assert args.epochs == 2
+        assert not args.check
+        assert args.bundle is None
+        assert args.pairs_per_request == 16
+        assert args.dim == 40
+        assert args.tick_interval == 0.0
+
+    def test_load_bench_custom_ramp(self):
+        args = build_parser().parse_args(["load-bench", "--concurrency", "2", "8", "--check"])
+        assert args.concurrency == [2, 8]
+        assert args.check
+
 
 class TestModelFactory:
     def test_agnn_variant(self):
