@@ -1,0 +1,126 @@
+"""The continuous-learning tripwire: warm refresh must stay cheap and safe.
+
+Runs the same stream → warm-refresh → gate → hot-swap-under-load matrix as
+``repro refresh-bench --check`` (seconds-scale: tiny fits, few swap clients)
+and asserts the properties the committed ``BENCH_refresh.json`` certifies:
+
+* the warm-started refresh beats the from-scratch fit on wall-clock while
+  matching its holdout RMSE;
+* the healthy refresh passes the promotion gates;
+* hot-swapping under concurrent load drops, errors, and mixes nothing;
+* a poisoned refresh is rejected by the gates AND by the swap probe, with
+  the old engine still serving.
+
+No absolute timings are asserted — those live in ``BENCH_refresh.json``
+diffs — but a future PR that breaks warm-start, the gates, or swap atomicity
+fails here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.live.bench import SCHEMA_VERSION, run_refresh_bench
+
+pytestmark = [pytest.mark.live, pytest.mark.serving]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def refresh_snapshot(tmp_path_factory):
+    path = tmp_path_factory.mktemp("refresh") / "BENCH_refresh.json"
+    payload = run_refresh_bench(check=True, output=str(path))
+    return payload, json.loads(path.read_text())
+
+
+def test_snapshot_file_matches_in_memory(refresh_snapshot):
+    payload, loaded = refresh_snapshot
+    assert loaded == payload
+    assert loaded["schema_version"] == SCHEMA_VERSION
+
+
+def test_schema_shape(refresh_snapshot):
+    payload, _ = refresh_snapshot
+    for key in (
+        "warm_fit_s",
+        "scratch_fit_s",
+        "speedup_x",
+        "warm_rmse",
+        "scratch_rmse",
+        "rmse_ratio",
+        "holdout_pairs",
+        "promotion_accepted",
+    ):
+        assert key in payload["refresh"], f"refresh section missing {key}"
+    for key in ("threads", "requests", "completed", "dropped", "errors", "swaps"):
+        assert key in payload["swap"], f"swap section missing {key}"
+
+
+def test_warm_start_beats_scratch(refresh_snapshot):
+    payload, _ = refresh_snapshot
+    refresh = payload["refresh"]
+    assert refresh["speedup_x"] > 1.0, (
+        f"warm refresh ({refresh['warm_fit_s']:.2f}s) no longer beats "
+        f"from-scratch ({refresh['scratch_fit_s']:.2f}s)"
+    )
+    assert refresh["promotion_accepted"], (
+        f"healthy refresh was rejected: {refresh['promotion_reasons']}"
+    )
+
+
+def test_hot_swap_under_load_is_clean(refresh_snapshot):
+    payload, _ = refresh_snapshot
+    swap = payload["swap"]
+    assert swap["errors"] == 0, f"swap-phase errors: {swap['error_samples']}"
+    assert swap["dropped"] == 0
+    assert swap["mismatched_responses"] == 0, "a response mixed bundles mid-swap"
+    assert swap["completed"] == swap["requests"]
+    assert swap["swaps"] > 0
+
+
+def test_poisoned_refresh_rejected_everywhere(refresh_snapshot):
+    payload, _ = refresh_snapshot
+    rejection = payload["rejection"]
+    assert rejection["gate_rejected"], "NaN-poisoned refresh passed the gates"
+    assert rejection["gate_reasons"]
+    assert rejection["swap_rejected"], "poisoned bundle passed the swap probe"
+    assert rejection["old_engine_kept"], "failed swap displaced the live engine"
+
+
+def test_overall_ok(refresh_snapshot):
+    payload, _ = refresh_snapshot
+    assert payload["ok"] is True
+
+
+def test_cli_check_mode_passes(tmp_path):
+    assert main(["refresh-bench", "--check", "--output", str(tmp_path / "b.json")]) == 0
+
+
+def test_committed_baseline_is_healthy():
+    """The repo-root BENCH_refresh.json must certify the win it documents."""
+    path = REPO_ROOT / "BENCH_refresh.json"
+    assert path.is_file(), "BENCH_refresh.json baseline missing from the repo root"
+    committed = json.loads(path.read_text())
+    assert committed["schema_version"] == SCHEMA_VERSION
+    assert committed["ok"] is True
+    assert committed["meta"]["check"] is False, "committed baseline must be a full run"
+    refresh = committed["refresh"]
+    assert refresh["speedup_x"] >= 1.5, (
+        f"committed warm-start speedup {refresh['speedup_x']:.2f}x fell below 1.5x"
+    )
+    assert refresh["rmse_ratio"] <= 1.001, (
+        f"committed warm RMSE drifted {refresh['rmse_ratio']:.4f}x past scratch"
+    )
+    assert refresh["promotion_accepted"]
+    swap = committed["swap"]
+    assert swap["errors"] == 0
+    assert swap["dropped"] == 0
+    assert swap["mismatched_responses"] == 0
+    assert committed["rejection"]["gate_rejected"]
+    assert committed["rejection"]["swap_rejected"]
+    assert committed["rejection"]["old_engine_kept"]

@@ -14,6 +14,8 @@ Examples:
     python -m repro.cli serving-bench --output BENCH_serving.json
     python -m repro.cli load-bench --output BENCH_load.json
     python -m repro.cli load-bench --check --output -
+    python -m repro.cli refresh --store bundles/store
+    python -m repro.cli refresh-bench --output BENCH_refresh.json
     python -m repro.cli verify --fuzz-iterations 200
     python -m repro.cli verify --update-goldens --skip fuzz invariants
     python -m repro.cli report                      # smoke fit + health report
@@ -186,6 +188,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline path ('-' to skip writing)")
     lbench.add_argument("--json", action="store_true",
                         help="print the payload JSON instead of the table")
+
+    refresh = commands.add_parser(
+        "refresh",
+        help="one turn of the continuous-learning loop: warm-start the store's "
+        "latest bundle on a simulated stream, gate, publish, report",
+    )
+    refresh.add_argument("--store", required=True, help="BundleStore directory (created if empty)")
+    refresh.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    refresh.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    refresh.add_argument("--epochs", type=int, default=None,
+                         help="refresh epochs (default: the live DEFAULT_REFRESH_CONFIG)")
+    refresh.add_argument("--interaction-fraction", type=float, default=0.1,
+                         help="fraction of warm interactions simulated as new feedback")
+    refresh.add_argument("--new-user-fraction", type=float, default=0.05,
+                         help="fraction of users simulated as post-launch arrivals")
+    refresh.add_argument("--new-item-fraction", type=float, default=0.05,
+                         help="fraction of items simulated as post-launch arrivals")
+    refresh.add_argument("--seed", type=int, default=0, help="stream simulation seed")
+    refresh.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    rbench = commands.add_parser(
+        "refresh-bench",
+        help="measure warm-start refresh vs from-scratch fit, hot-swap under "
+        "load, and the rejection paths; write the baseline",
+    )
+    rbench.add_argument("--dataset", default="ML-100K", choices=["ML-100K", "ML-1M", "Yelp"])
+    rbench.add_argument("--scale", default="smoke", choices=["paper", "bench", "smoke"])
+    rbench.add_argument("--refresh-epochs", type=int, default=None,
+                        help="override the refresh epoch count")
+    rbench.add_argument("--swap-threads", type=int, default=4,
+                        help="worker threads hammering the engine during swaps")
+    rbench.add_argument("--swap-requests", type=int, default=50,
+                        help="score requests per worker thread")
+    rbench.add_argument("--swaps", type=int, default=6, help="hot-swaps during the load phase")
+    rbench.add_argument("--seed", type=int, default=0, help="stream + workload seed")
+    rbench.add_argument("--check", action="store_true",
+                        help="seconds-scale smoke invocation (correctness only; "
+                        "skips the 1.5x speedup bar)")
+    rbench.add_argument("--output", default="BENCH_refresh.json",
+                        help="baseline path ('-' to skip writing)")
+    rbench.add_argument("--json", action="store_true",
+                        help="print the payload JSON instead of the summary")
 
     verify = commands.add_parser(
         "verify",
@@ -440,6 +484,96 @@ def _command_load_bench(args) -> int:
     return 0 if payload["ok"] else 1
 
 
+def _command_refresh(args) -> int:
+    from dataclasses import replace
+
+    from .data import warm_split
+    from .live import DEFAULT_REFRESH_CONFIG, BundleStore, run_refresh, simulate_stream
+    from .nn import init as nn_init
+
+    scale = get_scale(args.scale)
+    data = scale.datasets[args.dataset]()
+    base, stream = simulate_stream(
+        data,
+        interaction_fraction=args.interaction_fraction,
+        new_user_fraction=args.new_user_fraction,
+        new_item_fraction=args.new_item_fraction,
+        seed=args.seed,
+    )
+    store = BundleStore(args.store)
+    if store.latest_version is None:
+        # Bootstrap generation 1: a base fit on the pre-stream slice.
+        nn_init.seed(scale.seed)
+        base_task = warm_split(base, scale.split_fraction, seed=scale.seed)
+        base_model = AGNN(scale.agnn, rng_seed=scale.seed)
+        base_model.fit(base_task, scale.train)
+        version = store.publish(base_model, base_task, note=f"base fit {args.dataset}")
+        print(f"bootstrapped store with base generation v{version}")
+
+    config = DEFAULT_REFRESH_CONFIG
+    if args.epochs is not None:
+        config = replace(config, epochs=args.epochs)
+    result = run_refresh(
+        store,
+        stream.interactions,
+        new_users=stream.new_user_attributes,
+        new_items=stream.new_item_attributes,
+        config=config,
+        note=f"refresh from simulated stream ({stream.describe()})",
+    )
+    payload = {
+        "accepted": result.accepted,
+        "version": result.version,
+        "parent_version": result.parent_version,
+        "epochs": result.epochs,
+        "reasons": result.reasons,
+        "rmse": result.decision.rmse,
+        "parent_warm_rmse": result.decision.baseline_rmse,
+        "warm_rmse": result.decision.warm_rmse,
+        "stream": stream.describe(),
+        "store": str(store.root),
+        "lineage": [
+            {"version": link["version"], "parent": link["parent"], "note": link["note"]}
+            for link in store.lineage()
+        ],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif result.accepted:
+        print(f"refresh accepted: v{result.parent_version} -> v{result.version} "
+              f"({result.epochs} epochs on {stream.describe()})")
+        if result.decision.rmse is not None:
+            print(f"holdout rmse {result.decision.rmse:.4f}"
+                  + (f" (parent warm {result.decision.baseline_rmse:.4f})"
+                     if result.decision.baseline_rmse is not None else ""))
+        print("lineage: " + " -> ".join(f"v{link['version']}" for link in reversed(store.lineage())))
+    else:
+        print(f"refresh REJECTED; store stays at v{result.parent_version}")
+        for reason in result.reasons:
+            print(f"  - {reason}")
+    return 0 if result.accepted else 1
+
+
+def _command_refresh_bench(args) -> int:
+    from .live import render_refresh_bench, run_refresh_bench
+
+    payload = run_refresh_bench(
+        dataset=args.dataset,
+        scale_name=args.scale,
+        refresh_epochs=args.refresh_epochs,
+        swap_threads=args.swap_threads,
+        swap_requests_per_thread=args.swap_requests,
+        swaps=args.swaps,
+        seed=args.seed,
+        output=None if args.output == "-" else args.output,
+        check=args.check,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True) if args.json else render_refresh_bench(payload))
+    if args.output != "-":
+        print(f"\nwrote {args.output}")
+    return 0 if payload["ok"] else 1
+
+
 def _command_verify(args) -> int:
     from .verify import run_verify
 
@@ -490,6 +624,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _command_serve,
         "serving-bench": _command_serving_bench,
         "load-bench": _command_load_bench,
+        "refresh": _command_refresh,
+        "refresh-bench": _command_refresh_bench,
         "verify": _command_verify,
         "report": _command_report,
     }

@@ -67,6 +67,10 @@ class AGNN(Recommender):
         self._built = False
         # Per-task state, created in prepare():
         self._graphs: Dict[str, NeighborGraph] = {}
+        # Pre-built graphs consumed once by the next prepare() — the
+        # incremental-refresh path splices new nodes into the parent bundle's
+        # pools instead of paying the n² rebuild (repro.live.incremental).
+        self._pending_graphs: Optional[Dict[str, NeighborGraph]] = None
         self._neighbours: Dict[str, np.ndarray] = {}
         self._attributes: Dict[str, np.ndarray] = {}
         self._inference_pref: Dict[str, Optional[np.ndarray]] = {"user": None, "item": None}
@@ -157,10 +161,14 @@ class AGNN(Recommender):
             "item": task.dataset.item_attributes,
         }
         with span("graph.build"):
-            self._graphs = {
-                "user": self._build_graph(task, "user"),
-                "item": self._build_graph(task, "item"),
-            }
+            if self._pending_graphs is not None:
+                self._graphs = self._pending_graphs
+                self._pending_graphs = None
+            else:
+                self._graphs = {
+                    "user": self._build_graph(task, "user"),
+                    "item": self._build_graph(task, "item"),
+                }
         # Initial neighbourhoods (re-sampled per epoch for dynamic graphs).
         self._neighbours = {
             side: graph.neighbours(self.config.num_neighbors, self._rng) for side, graph in self._graphs.items()
@@ -176,6 +184,29 @@ class AGNN(Recommender):
         }
         self._inference_pref = {"user": None, "item": None}
         self._inference_refined = {"user": None, "item": None}
+
+    def fit_incremental(
+        self,
+        bundle,
+        new_interactions,
+        new_users: Optional[np.ndarray] = None,
+        new_items: Optional[np.ndarray] = None,
+        config=None,
+    ):
+        """Warm-started refresh from an exported bundle (``repro.live``).
+
+        Rebuilds this model at the extended node counts, copies every trained
+        weight row from the bundle, seeds brand-new preference rows from the
+        parent's eVAE, splices the new nodes into the parent's candidate pools
+        (no n² graph rebuild), then runs a short deterministic fit over the
+        replayed training interactions plus the new stream.  Returns the
+        refresh :class:`~repro.train.history.TrainHistory`; the combined task
+        is left on ``self.task`` for evaluation and re-export.
+        """
+        # Imported at call time: repro.live sits above core in the layering.
+        from ..live.incremental import run_incremental_fit
+
+        return run_incremental_fit(self, bundle, new_interactions, new_users, new_items, config)
 
     def begin_epoch(self, epoch: int, rng: np.random.Generator) -> None:
         """Dynamic graph construction: fresh neighbourhood sample each round."""

@@ -1,0 +1,381 @@
+"""The refresh benchmark: producer of ``BENCH_refresh.json``.
+
+Three claims of the continuous-learning loop, measured end to end:
+
+1. **warm-start wins** — a base AGNN is fitted on the pre-stream slice of a
+   SMOKE dataset and published to a :class:`BundleStore`; the stream is then
+   folded in twice — via :meth:`AGNN.fit_incremental` (warm) and via a full
+   from-scratch fit on the *identical* combined task — and the warm path must
+   reach the scratch holdout RMSE (ratio ≤ 1 + 1e-3) in ≥ 1.5× less
+   wall-clock;
+2. **zero-downtime swap** — worker threads hammer fixed score requests
+   through a :class:`BatchingEngine` while a swapper flips between the two
+   published generations; every response must match one generation's
+   precomputed oracle bitwise (no mixed-bundle responses), with zero errors
+   and zero dropped requests;
+3. **bad refreshes stay out** — a NaN-poisoned model is rejected by the
+   promotion gates, and a NaN-poisoned bundle is rejected by the swap
+   validation probe with the old engine left serving.
+
+``benchmarks/test_refresh_baseline.py`` trips on regressions against the
+committed snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core import AGNN
+from ..data import warm_split
+from ..nn import init as nn_init
+from ..serving.batching import BatchingEngine
+from ..serving.engine import InferenceEngine
+from .gates import evaluate_promotion
+from .incremental import DEFAULT_REFRESH_CONFIG, build_refresh_task
+from .refresh import simulate_stream
+from .store import BundleStore
+from .swap import SwapValidationError, swap_bundle
+
+__all__ = ["run_refresh_bench", "render_refresh_bench"]
+
+SCHEMA_VERSION = 1
+
+
+def _rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    return float(np.sqrt(np.mean((predictions - targets) ** 2)))
+
+
+def _poison(model) -> Any:
+    """NaN one prediction-head weight; returns what restore() needs."""
+    param = next(iter(model.head.mlp.parameters()))
+    saved = param.data.copy()
+    param.data[...] = np.nan
+    return param, saved
+
+
+def _swap_under_load(
+    engine_a: InferenceEngine,
+    engine_b: InferenceEngine,
+    threads: int,
+    requests_per_thread: int,
+    swaps: int,
+    pairs_per_request: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Hammer scores through a BatchingEngine while generations hot-swap."""
+    rng = np.random.default_rng(seed)
+    n_users = min(engine_a.num_users, engine_b.num_users)
+    n_items = min(engine_a.num_items, engine_b.num_items)
+    # A fixed request catalogue with per-generation oracles: a response is
+    # valid iff it matches ONE generation bitwise (pairwise_scores is
+    # batch-composition invariant, so fused execution changes nothing).
+    catalogue = [
+        (
+            rng.integers(0, n_users, size=pairs_per_request),
+            rng.integers(0, n_items, size=pairs_per_request),
+        )
+        for _ in range(32)
+    ]
+    oracles = [
+        (engine_a.predict_batch(u, i), engine_b.predict_batch(u, i)) for u, i in catalogue
+    ]
+
+    errors: List[str] = []
+    mismatches = 0
+    latencies: List[float] = []
+    lock = threading.Lock()
+    batching = BatchingEngine(engine_a, max_queue_depth=4096)
+    stop_swapper = threading.Event()
+
+    def worker(worker_id: int) -> None:
+        nonlocal mismatches
+        local_rng = np.random.default_rng(seed + 1000 + worker_id)
+        for _ in range(requests_per_thread):
+            idx = int(local_rng.integers(0, len(catalogue)))
+            users, items = catalogue[idx]
+            started = time.perf_counter()
+            try:
+                scores = batching.score(users, items, timeout=30.0)
+            except Exception as exc:  # noqa: BLE001 - every failure is a finding
+                with lock:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            elapsed = time.perf_counter() - started
+            expect_a, expect_b = oracles[idx]
+            ok = np.array_equal(scores, expect_a) or np.array_equal(scores, expect_b)
+            with lock:
+                latencies.append(elapsed)
+                if not ok:
+                    mismatches += 1
+
+    def swapper() -> None:
+        flip = [engine_b, engine_a]
+        for turn in range(swaps):
+            if stop_swapper.is_set():
+                return
+            batching.swap_engine(flip[turn % 2], timeout=30.0)
+            time.sleep(0.005)
+
+    workers = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    swap_thread = threading.Thread(target=swapper)
+    for thread in workers:
+        thread.start()
+    swap_thread.start()
+    for thread in workers:
+        thread.join()
+    stop_swapper.set()
+    swap_thread.join()
+    stats = batching.stats()
+    batching.stop()
+
+    submitted = threads * requests_per_thread
+    lat = np.asarray(latencies) if latencies else np.zeros(1)
+    return {
+        "threads": threads,
+        "requests": submitted,
+        "completed": len(latencies),
+        "dropped": submitted - len(latencies) - len(errors),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "mismatched_responses": mismatches,
+        "swaps": stats["swaps"],
+        "latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "latency_p95_ms": float(np.percentile(lat, 95) * 1e3),
+        "latency_max_ms": float(lat.max() * 1e3),
+    }
+
+
+def run_refresh_bench(
+    dataset: str = "ML-100K",
+    scale_name: str = "smoke",
+    interaction_fraction: float = 0.1,
+    new_user_fraction: float = 0.05,
+    new_item_fraction: float = 0.05,
+    refresh_epochs: Optional[int] = None,
+    swap_threads: int = 4,
+    swap_requests_per_thread: int = 50,
+    swaps: int = 6,
+    seed: int = 0,
+    output: Optional[str] = "BENCH_refresh.json",
+    check: bool = False,
+) -> Dict[str, Any]:
+    """Run the full refresh benchmark; write ``output`` unless ``None``.
+
+    ``check`` shrinks everything to a seconds-scale smoke invocation whose
+    ``ok`` only requires correctness (zero swap errors/mismatches, rejection
+    paths firing) plus *any* warm speedup — tiny runs are too noisy for the
+    1.5× bar the committed baseline must clear.
+    """
+    from ..experiments.configs import get_scale
+
+    scale = get_scale(scale_name)
+    base_train = scale.train
+    refresh_config = DEFAULT_REFRESH_CONFIG
+    if check:
+        base_train = replace(base_train, epochs=4, patience=None, validation_fraction=0.0)
+        refresh_config = replace(refresh_config, epochs=1)
+        swap_threads = min(swap_threads, 2)
+        swap_requests_per_thread = min(swap_requests_per_thread, 10)
+        swaps = min(swaps, 2)
+    if refresh_epochs is not None:
+        refresh_config = replace(refresh_config, epochs=refresh_epochs)
+
+    data = scale.datasets[dataset]()
+    base, stream = simulate_stream(
+        data,
+        interaction_fraction=interaction_fraction,
+        new_user_fraction=new_user_fraction,
+        new_item_fraction=new_item_fraction,
+        seed=seed,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = BundleStore(Path(tmp) / "store")
+
+        # ---- generation 1: the base fit --------------------------------
+        nn_init.seed(scale.seed)
+        base_task = warm_split(base, scale.split_fraction, seed=scale.seed)
+        base_model = AGNN(scale.agnn, rng_seed=scale.seed)
+        base_started = time.perf_counter()
+        base_model.fit(base_task, base_train)
+        base_fit_s = time.perf_counter() - base_started
+        store.publish(base_model, base_task, note="refresh-bench base fit")
+        bundle = store.load()
+
+        # ---- warm-started refresh --------------------------------------
+        nn_init.seed(scale.seed)
+        warm_model = AGNN()
+        warm_started = time.perf_counter()
+        warm_history = warm_model.fit_incremental(
+            bundle,
+            stream.interactions,
+            new_users=stream.new_user_attributes,
+            new_items=stream.new_item_attributes,
+            config=refresh_config,
+        )
+        warm_fit_s = time.perf_counter() - warm_started
+        task = warm_model.task
+        warm_rmse = _rmse(warm_model.predict(task.test_users, task.test_items), task.test_ratings)
+
+        # ---- from-scratch fit on the identical combined task -----------
+        scratch_task = build_refresh_task(
+            bundle,
+            stream.interactions,
+            new_users=stream.new_user_attributes,
+            new_items=stream.new_item_attributes,
+            seed=refresh_config.seed,
+        )
+        assert np.array_equal(scratch_task.test_idx, task.test_idx)
+        nn_init.seed(scale.seed)
+        scratch_model = AGNN(scale.agnn, rng_seed=scale.seed)
+        scratch_started = time.perf_counter()
+        scratch_history = scratch_model.fit(scratch_task, base_train)
+        scratch_fit_s = time.perf_counter() - scratch_started
+        scratch_rmse = _rmse(
+            scratch_model.predict(scratch_task.test_users, scratch_task.test_items),
+            scratch_task.test_ratings,
+        )
+
+        decision = evaluate_promotion(warm_model, task, bundle)
+        store.publish(
+            warm_model,
+            task,
+            note="refresh-bench warm refresh",
+            parent_version=bundle.version,
+            metrics={"eval_rmse": warm_rmse},
+        )
+
+        # ---- hot-swap under load ---------------------------------------
+        engine_a = InferenceEngine(store.load(1), cache_size=0)
+        engine_b = InferenceEngine(store.load(2), cache_size=0)
+        swap = _swap_under_load(
+            engine_a,
+            engine_b,
+            threads=swap_threads,
+            requests_per_thread=swap_requests_per_thread,
+            swaps=swaps,
+            pairs_per_request=16,
+            seed=seed,
+        )
+
+        # ---- rejection paths -------------------------------------------
+        param, saved = _poison(warm_model)
+        warm_model._invalidate_inference_cache()
+        gate_decision = evaluate_promotion(warm_model, task, bundle)
+        param.data[...] = saved
+        warm_model._invalidate_inference_cache()
+
+        poisoned_bundle = store.load(2)
+        _poison(poisoned_bundle.model)
+        swap_rejected = False
+        with BatchingEngine(engine_a) as batching:
+            try:
+                swap_bundle(batching, poisoned_bundle, cache_size=0)
+            except SwapValidationError:
+                swap_rejected = True
+            old_engine_kept = batching.engine is engine_a
+
+    speedup = scratch_fit_s / warm_fit_s if warm_fit_s > 0 else float("inf")
+    rmse_ratio = warm_rmse / scratch_rmse if scratch_rmse > 0 else float("inf")
+    rejection = {
+        "gate_rejected": not gate_decision.accepted,
+        "gate_reasons": gate_decision.reasons,
+        "swap_rejected": swap_rejected,
+        "old_engine_kept": old_engine_kept,
+    }
+    correctness_ok = (
+        swap["errors"] == 0
+        and swap["mismatched_responses"] == 0
+        and swap["dropped"] == 0
+        and swap["swaps"] > 0
+        and rejection["gate_rejected"]
+        and rejection["swap_rejected"]
+        and rejection["old_engine_kept"]
+        and decision.accepted
+    )
+    perf_ok = speedup > 1.0 if check else (speedup >= 1.5 and rmse_ratio <= 1.0 + 1e-3)
+
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "meta": {
+            "dataset": dataset,
+            "scale": scale_name,
+            "seed": seed,
+            "check": check,
+            "base": {
+                "users": base.num_users,
+                "items": base.num_items,
+                "interactions": base.num_ratings,
+                "fit_s": base_fit_s,
+            },
+            "stream": {
+                "interactions": int(len(stream.ratings)),
+                "new_users": int(stream.new_user_attributes.shape[0]),
+                "new_items": int(stream.new_item_attributes.shape[0]),
+            },
+        },
+        "refresh": {
+            "warm_fit_s": warm_fit_s,
+            "scratch_fit_s": scratch_fit_s,
+            "speedup_x": speedup,
+            "warm_rmse": warm_rmse,
+            "scratch_rmse": scratch_rmse,
+            "rmse_ratio": rmse_ratio,
+            "warm_epochs": warm_history.num_epochs,
+            "scratch_epochs": scratch_history.num_epochs,
+            "holdout_pairs": int(len(task.test_idx)),
+            "promotion_accepted": decision.accepted,
+            "promotion_reasons": decision.reasons,
+        },
+        "swap": swap,
+        "rejection": rejection,
+        "ok": bool(correctness_ok and perf_ok),
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def render_refresh_bench(payload: Dict[str, Any]) -> str:
+    """Human-readable summary of a refresh-bench payload."""
+    refresh, swap, rejection = payload["refresh"], payload["swap"], payload["rejection"]
+    lines = [
+        "refresh bench "
+        f"({payload['meta']['dataset']}/{payload['meta']['scale']}, "
+        f"stream {payload['meta']['stream']['interactions']} interactions, "
+        f"+{payload['meta']['stream']['new_users']}u/+{payload['meta']['stream']['new_items']}i)",
+        (
+            f"  warm-start : {refresh['warm_fit_s']:.2f}s vs scratch "
+            f"{refresh['scratch_fit_s']:.2f}s  ({refresh['speedup_x']:.2f}x, "
+            f"{refresh['warm_epochs']} vs {refresh['scratch_epochs']} epochs)"
+        ),
+        (
+            f"  holdout    : warm RMSE {refresh['warm_rmse']:.4f} vs scratch "
+            f"{refresh['scratch_rmse']:.4f}  (ratio {refresh['rmse_ratio']:.4f}, "
+            f"promotion {'accepted' if refresh['promotion_accepted'] else 'REJECTED'})"
+        ),
+        (
+            f"  hot-swap   : {swap['requests']} requests / {swap['threads']} threads, "
+            f"{swap['swaps']} swaps — {swap['errors']} errors, {swap['dropped']} dropped, "
+            f"{swap['mismatched_responses']} mixed-bundle responses"
+        ),
+        (
+            f"  latency    : p50 {swap['latency_p50_ms']:.2f}ms  "
+            f"p95 {swap['latency_p95_ms']:.2f}ms  max {swap['latency_max_ms']:.2f}ms"
+        ),
+        (
+            f"  rejection  : gates {'tripped' if rejection['gate_rejected'] else 'MISSED'}, "
+            f"swap probe {'tripped' if rejection['swap_rejected'] else 'MISSED'}, "
+            f"old engine {'kept' if rejection['old_engine_kept'] else 'LOST'}"
+        ),
+        f"  ok         : {payload['ok']}",
+    ]
+    return "\n".join(lines)

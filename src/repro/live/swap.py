@@ -1,0 +1,126 @@
+"""Zero-downtime bundle hot-swap with a pre-flight validation probe.
+
+:func:`swap_bundle` builds a fresh :class:`InferenceEngine` off to the side
+(the expensive part — embedding precompute — happens *before* the swap, never
+in the request path), probes it with real score calls, and only then installs
+it on the serving target:
+
+* a :class:`~repro.serving.batching.BatchingEngine` — the swap rides the FIFO
+  queue as a barrier request, so in-flight requests finish on the old bundle
+  and no fused batch ever spans generations;
+* a :class:`~repro.serving.server.ServingHTTPServer` — handlers read the
+  engine reference once per request, so the attribute swap is atomic for the
+  direct path, and the server routes through its own batching tier when one
+  is attached.
+
+A probe failure rejects the swap (``serve.swap.rejected``): the old engine
+keeps serving untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..obs import events as obs_events
+from ..serving.bundle import ServingBundle
+from ..serving.engine import InferenceEngine
+from ..telemetry import increment, span
+
+__all__ = ["SwapValidationError", "SwapReport", "validate_engine", "swap_bundle"]
+
+
+class SwapValidationError(RuntimeError):
+    """The candidate engine failed its pre-flight probe; nothing was swapped."""
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """What a completed hot-swap installed and displaced."""
+
+    fingerprint: str
+    version: int
+    parent_version: Optional[int]
+    previous_fingerprint: str
+    previous_version: int
+    validated_pairs: int
+    elapsed_s: float
+
+
+def validate_engine(engine: InferenceEngine, pairs: int = 32, seed: int = 0) -> int:
+    """Probe a candidate engine with real scores; raise on anything unservable.
+
+    Deterministically-seeded random (user, item) pairs go through the full
+    scoring path.  Non-finite scores or scores outside the bundle's rating
+    scale mean the bundle would corrupt live traffic — reject before swap.
+    """
+    rng = np.random.default_rng(seed)
+    n_users, n_items = engine.num_users, engine.num_items
+    if n_users == 0 or n_items == 0:
+        raise SwapValidationError("candidate engine has an empty node set")
+    users = rng.integers(0, n_users, size=pairs)
+    items = rng.integers(0, n_items, size=pairs)
+    try:
+        scores = engine.predict_batch(users, items)
+    except Exception as exc:
+        raise SwapValidationError(f"candidate engine failed to score: {exc}") from exc
+    if not np.all(np.isfinite(scores)):
+        raise SwapValidationError(
+            f"candidate engine produced {int(np.sum(~np.isfinite(scores)))} "
+            f"non-finite score(s) in a {pairs}-pair probe"
+        )
+    low, high = engine.rating_scale
+    if scores.min() < low - 1e-9 or scores.max() > high + 1e-9:
+        raise SwapValidationError(
+            f"candidate engine scored outside the rating scale [{low}, {high}]: "
+            f"[{scores.min():.4f}, {scores.max():.4f}]"
+        )
+    return pairs
+
+
+def swap_bundle(
+    target,
+    bundle: ServingBundle,
+    cache_size: int = 100_000,
+    validate_pairs: int = 32,
+) -> SwapReport:
+    """Build, validate, and atomically install a new bundle on ``target``.
+
+    ``target`` is anything with a ``swap_engine(engine) -> old_engine`` method
+    (:class:`ServingHTTPServer` or :class:`BatchingEngine`).  Returns a
+    :class:`SwapReport`; raises :class:`SwapValidationError` (old engine still
+    live) when the candidate fails its probe.
+    """
+    swap_method = getattr(target, "swap_engine", None)
+    if swap_method is None:
+        raise TypeError(
+            f"swap target {type(target).__name__} has no swap_engine(); "
+            "expected a ServingHTTPServer or BatchingEngine"
+        )
+    started = time.perf_counter()
+    with span("live.swap"):
+        engine = InferenceEngine(bundle, cache_size=cache_size)
+        try:
+            validated = validate_engine(engine, pairs=validate_pairs)
+        except SwapValidationError as exc:
+            increment("serve.swap.rejected")
+            obs_events.emit(
+                "serve.swap_rejected",
+                fingerprint=bundle.fingerprint,
+                version=bundle.version,
+                error=str(exc),
+            )
+            raise
+        previous = swap_method(engine)
+    return SwapReport(
+        fingerprint=bundle.fingerprint,
+        version=bundle.version,
+        parent_version=bundle.parent_version,
+        previous_fingerprint=previous.bundle.fingerprint,
+        previous_version=previous.bundle.version,
+        validated_pairs=validated,
+        elapsed_s=time.perf_counter() - started,
+    )

@@ -43,6 +43,7 @@ _BENCH_FILES = (
     "BENCH_training.json",
     "BENCH_serving.json",
     "BENCH_load.json",
+    "BENCH_refresh.json",
     "BENCH_telemetry.json",
 )
 
@@ -124,6 +125,15 @@ def _bench_deltas(bench_dir: Path, observed: Dict[str, Any]) -> Dict[str, Any]:
                 entry["load_p50_delta_pct"] = (
                     100.0 * (fresh_p50 * 1e3 - batched["p50_ms"]) / batched["p50_ms"]
                 )
+        elif filename == "BENCH_refresh.json":
+            refresh = committed.get("refresh", {})
+            swap = committed.get("swap", {})
+            entry["committed_speedup_x"] = refresh.get("speedup_x")
+            entry["committed_rmse_ratio"] = refresh.get("rmse_ratio")
+            entry["committed_swap_errors"] = swap.get("errors")
+            entry["committed_swap_requests"] = swap.get("requests")
+            entry["committed_swap_mismatches"] = swap.get("mismatched_responses")
+            entry["committed_ok"] = committed.get("ok")
         elif filename == "BENCH_telemetry.json":
             entry["committed_spans"] = len(committed.get("spans", {}))
         out[filename] = entry
@@ -351,6 +361,15 @@ def render_report(report: Dict[str, Any]) -> str:
                 + ("" if entry.get("load_p50_delta_pct") is None
                    else f"; fresh score p50 {_fmt_seconds(entry['observed_score_p50_s'])} "
                         f"({entry['load_p50_delta_pct']:+.1f}% vs committed batched p50)")
+            )
+        elif "committed_speedup_x" in entry and entry["committed_speedup_x"]:
+            lines.append(
+                f"- {filename}: warm refresh {entry['committed_speedup_x']:.2f}x faster than "
+                f"scratch at rmse ratio {entry['committed_rmse_ratio']:.4f}; "
+                f"{entry['committed_swap_requests']} swap-load requests with "
+                f"{entry['committed_swap_errors']} errors / "
+                f"{entry['committed_swap_mismatches']} mixed responses "
+                f"({'ok' if entry.get('committed_ok') else 'NOT OK'})"
             )
         else:
             keys = ", ".join(f"{k}={v}" for k, v in entry.items() if k != "present")

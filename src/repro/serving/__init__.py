@@ -26,7 +26,13 @@ CLI entry points: ``repro export-bundle``, ``repro serve``,
 ``repro serving-bench``, ``repro load-bench``.
 """
 
-from .bundle import MANIFEST_SCHEMA_VERSION, ServingBundle, export_bundle, load_bundle
+from .bundle import (
+    MANIFEST_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    ServingBundle,
+    export_bundle,
+    load_bundle,
+)
 from .engine import InferenceEngine
 from .batching import BatchingEngine, EngineOverloadedError
 from .onboarding import encode_attribute_row, splice_neighbours
@@ -36,6 +42,7 @@ from .loadgen import render_load_bench, run_load_bench
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ServingBundle",
     "export_bundle",
     "load_bundle",

@@ -121,6 +121,7 @@ class BatchingEngine:
         self._coalesced = 0
         self._fallbacks = 0
         self._shed = 0
+        self._swaps = 0
         if auto_start:
             self.start()
 
@@ -214,6 +215,18 @@ class BatchingEngine:
             raise ValueError(f"side must be 'user' or 'item', got {side!r}")
         return self._submit("onboard", (side, attributes), pairs=1)
 
+    def submit_swap(self, engine: InferenceEngine) -> "Future[InferenceEngine]":
+        """Enqueue a zero-downtime engine swap; resolves to the *old* engine.
+
+        The swap rides the FIFO queue like any non-score request, so it acts
+        as a natural barrier: every request queued before it executes on the
+        old engine, every request queued after it on the new one, and no fused
+        score call ever spans the boundary — a response can never mix bundles.
+        """
+        if not isinstance(engine, InferenceEngine):
+            raise TypeError(f"swap target must be an InferenceEngine, got {type(engine).__name__}")
+        return self._submit("swap", (engine,), pairs=1)
+
     # ------------------------------------------------------- blocking facade
     def score(self, users, items, timeout: Optional[float] = 60.0) -> np.ndarray:
         """Blocking score through the coalescing queue (engine-compatible)."""
@@ -226,6 +239,11 @@ class BatchingEngine:
 
     def onboard(self, side: str, attributes: Any, timeout: Optional[float] = 60.0) -> int:
         return self.submit_onboard(side, attributes).result(timeout)
+
+    def swap_engine(self, engine: InferenceEngine, timeout: Optional[float] = 60.0) -> InferenceEngine:
+        """Blocking hot-swap: returns the displaced engine once the barrier
+        has passed (all earlier requests answered from the old bundle)."""
+        return self.submit_swap(engine).result(timeout)
 
     # ------------------------------------------------------------- the ticks
     def _run(self) -> None:
@@ -338,6 +356,18 @@ class BatchingEngine:
                 side, attributes = request.payload
                 add = self.engine.add_user if side == "user" else self.engine.add_item
                 result = add(attributes)
+            elif request.kind == "swap":
+                (new_engine,) = request.payload
+                result = self.engine
+                self.engine = new_engine
+                self._swaps += 1
+                increment("serve.swap.count")
+                obs_events.emit(
+                    "serve.swap",
+                    fingerprint=new_engine.bundle.fingerprint,
+                    version=new_engine.bundle.version,
+                    parent_version=new_engine.bundle.parent_version,
+                )
             else:  # pragma: no cover - submit() only produces the kinds above
                 raise RuntimeError(f"unknown request kind {request.kind!r}")
         except Exception as exc:
@@ -367,4 +397,5 @@ class BatchingEngine:
             "coalesced_requests": self._coalesced,
             "fallbacks": self._fallbacks,
             "shed": self._shed,
+            "swaps": self._swaps,
         }

@@ -36,11 +36,25 @@ from ..graphs import DynamicNeighborGraph, FixedNeighborGraph, NeighborGraph
 from ..io import _schema_from_json, _schema_to_json, load_model_into, save_model
 from ..telemetry import span
 
-__all__ = ["MANIFEST_SCHEMA_VERSION", "ServingBundle", "bundle_fingerprint", "export_bundle", "load_bundle"]
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "ServingBundle",
+    "bundle_fingerprint",
+    "export_bundle",
+    "load_bundle",
+]
 
 PathLike = Union[str, Path]
 
-MANIFEST_SCHEMA_VERSION = 1
+#: Written by :func:`export_bundle`.  Version 2 added bundle lineage
+#: (``version`` / ``parent_version`` / ``lineage`` / ``metrics``) and the
+#: training ratings needed for incremental refresh (``repro.live``).
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Versions :func:`load_bundle` can read.  Version-1 bundles load with default
+#: lineage (generation 1, no parent) and no replay ratings.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 _SIDES = ("user", "item")
 
@@ -61,6 +75,9 @@ class ServingBundle:
     cold_nodes: Dict[str, np.ndarray]
     train_users: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     train_items: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: aligned training ratings (schema v2; empty for v1 bundles) — the replay
+    #: set ``fit_incremental`` mixes with the new interaction stream
+    train_ratings: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
     #: short sha256 over manifest.json + model.npz — identifies *which* model a
     #: server is running (surfaced in /healthz and the serving events)
     fingerprint: str = ""
@@ -69,6 +86,22 @@ class ServingBundle:
     def rating_scale(self) -> Tuple[float, float]:
         low, high = self.manifest["rating_scale"]
         return float(low), float(high)
+
+    @property
+    def version(self) -> int:
+        """Bundle generation number (1 for pre-lineage v1 bundles)."""
+        return int(self.manifest.get("version", 1))
+
+    @property
+    def parent_version(self) -> Optional[int]:
+        """Generation this bundle was refreshed from, or None for a root fit."""
+        parent = self.manifest.get("parent_version")
+        return None if parent is None else int(parent)
+
+    @property
+    def lineage(self) -> Dict:
+        """Free-form provenance recorded at export (store, timestamps, parent)."""
+        return dict(self.manifest.get("lineage", {}))
 
     def attributes(self, side: str) -> np.ndarray:
         return self.user_attributes if side == "user" else self.item_attributes
@@ -115,8 +148,18 @@ def export_bundle(
     task: RecommendationTask,
     path: PathLike,
     note: str = "",
+    version: int = 1,
+    parent_version: Optional[int] = None,
+    lineage: Optional[Dict] = None,
+    metrics: Optional[Dict] = None,
 ) -> Path:
-    """Write a fitted AGNN plus its serving state to directory ``path``."""
+    """Write a fitted AGNN plus its serving state to directory ``path``.
+
+    ``version``/``parent_version``/``lineage`` record where this bundle sits
+    in a refresh chain (the :class:`~repro.live.BundleStore` sets them);
+    ``metrics`` carries eval numbers (e.g. ``eval_rmse``) so promotion gates
+    can compare generations without re-running evaluation.
+    """
     if not isinstance(model, AGNN):
         raise TypeError(f"bundles serve AGNN models, got {type(model).__name__}")
     if not model._built:
@@ -145,6 +188,7 @@ def export_bundle(
             item_schema=np.array(_schema_to_json(dataset.item_schema)),
             train_users=task.train_users,
             train_items=task.train_items,
+            train_ratings=task.train_ratings,
             cold_users=model.cold_node_ids("user"),
             cold_items=model.cold_node_ids("item"),
         )
@@ -153,6 +197,10 @@ def export_bundle(
             "schema_version": MANIFEST_SCHEMA_VERSION,
             "repro_version": __version__,
             "note": note,
+            "version": int(version),
+            "parent_version": None if parent_version is None else int(parent_version),
+            "lineage": dict(lineage or {}),
+            "metrics": dict(metrics or {}),
             "model_name": model.name,
             "config": asdict(model.config),
             "rating_scale": [float(dataset.rating_scale[0]), float(dataset.rating_scale[1])],
@@ -193,10 +241,19 @@ def load_bundle(path: PathLike) -> ServingBundle:
         raise FileNotFoundError(f"{path} is not a bundle: no manifest.json")
     manifest = json.loads(manifest_path.read_text())
     version = manifest.get("schema_version")
-    if version != MANIFEST_SCHEMA_VERSION:
+    if version is None:
+        # Fail here, with a message naming the fix — not deep inside weight
+        # loading with a shape-mismatch traceback.
         raise ValueError(
-            f"bundle schema version {version!r} is not supported "
-            f"(this build reads version {MANIFEST_SCHEMA_VERSION})"
+            f"{path} has no manifest schema_version: this is not a repro bundle "
+            "(or it was exported by a pre-versioning build); re-export it with "
+            "`repro export-bundle`"
+        )
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"bundle schema version {version!r} is not supported (this build "
+            f"reads versions {', '.join(map(str, SUPPORTED_SCHEMA_VERSIONS))}); "
+            "re-export the bundle with this build's `repro export-bundle`"
         )
 
     with span("serve.load_bundle"):
@@ -236,5 +293,11 @@ def load_bundle(path: PathLike) -> ServingBundle:
                 },
                 train_users=archive["train_users"].astype(np.int64),
                 train_items=archive["train_items"].astype(np.int64),
+                # v1 archives carry no ratings; refresh refuses them clearly.
+                train_ratings=(
+                    archive["train_ratings"].astype(np.float64)
+                    if "train_ratings" in archive.files
+                    else np.empty(0, dtype=np.float64)
+                ),
                 fingerprint=bundle_fingerprint(path),
             )

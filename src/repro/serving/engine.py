@@ -141,6 +141,8 @@ class InferenceEngine:
                 "cache_capacity": self.cache_size,
                 "cache_hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
                 "bundle_fingerprint": self.bundle.fingerprint,
+                "bundle_version": self.bundle.version,
+                "bundle_parent_version": self.bundle.parent_version,
                 "uptime_s": time.time() - self.created_at,
             }
 

@@ -14,7 +14,9 @@ that is already behind.  Endpoints:
 Method Path          Body / response
 ====== ============= =========================================================
 GET    /healthz      ``{"status": "ok", "users": M, "items": N,
-                     "bundle_fingerprint": ..., "uptime_s": ...,
+                     "bundle_fingerprint": ..., "bundle_version": ...,
+                     "bundle_parent_version": ..., "swaps": ...,
+                     "last_swap_unix": ..., "uptime_s": ...,
                      "cache_hit_rate": ...}``
 GET    /metrics      the full telemetry snapshot (``repro.telemetry.snapshot``)
 GET    /metrics.prom the telemetry registry in Prometheus text exposition
@@ -168,7 +170,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
         stats = self.server.engine.stats()
-        return 200, {"status": "ok", **stats}
+        return 200, {"status": "ok", **stats, **self.server.swap_state()}
 
     def _get_metrics(self) -> Tuple[int, Dict[str, Any]]:
         return 200, snapshot(note="serve.metrics")
@@ -232,6 +234,32 @@ class ServingHTTPServer(ThreadingHTTPServer):
         self._request_counter = itertools.count(1)
         self._inflight = 0
         self._inflight_cond = threading.Condition()
+        self._swaps = 0
+        self._last_swap_unix: Optional[float] = None
+
+    # -------------------------------------------------------------- hot swap
+    def swap_engine(self, engine: InferenceEngine) -> InferenceEngine:
+        """Atomically replace the served engine with zero downtime.
+
+        With a batching engine attached the swap goes through its FIFO queue
+        (requests already queued finish on the old bundle, nothing is dropped
+        and no fused call mixes bundles); the handler-visible ``self.engine``
+        is then repointed — handlers read it once per request, so every
+        request observes exactly one engine.  Returns the displaced engine.
+        """
+        previous = self.engine
+        if self.batching is not None:
+            previous = self.batching.swap_engine(engine)
+        else:
+            increment("serve.swap.count")
+        self.engine = engine
+        self._swaps += 1
+        self._last_swap_unix = time.time()
+        return previous
+
+    def swap_state(self) -> Dict[str, Any]:
+        """Swap history surfaced in ``/healthz``."""
+        return {"swaps": self._swaps, "last_swap_unix": self._last_swap_unix}
 
     def next_request_id(self) -> str:
         """Per-process request id (``itertools.count`` is atomic under the GIL)."""

@@ -193,6 +193,17 @@ class Recommender(Module):
     def _invalidate_inference_cache(self) -> None:
         """Hook for models that cache derived inference state (AGNN overrides)."""
 
+    def fit_incremental(self, bundle, new_interactions, new_users=None, new_items=None, config=None):
+        """Warm-start from an exported bundle and fold in new data.
+
+        Part of the continuous-learning protocol (``repro.live``); AGNN
+        implements it.  Models without a bundle format cannot refresh.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental refresh; "
+            "only bundle-exporting models (AGNN) do"
+        )
+
     # ------------------------------------------------------------------ inference
     def predict(self, users: np.ndarray, items: np.ndarray, batch_size: int = 1024) -> np.ndarray:
         """Clipped rating predictions for aligned (user, item) arrays."""

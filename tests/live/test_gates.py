@@ -1,0 +1,86 @@
+"""Promotion gates: health monitors plus RMSE drift against the parent."""
+
+import numpy as np
+import pytest
+
+from repro.live import GateConfig, evaluate_promotion
+
+pytestmark = pytest.mark.live
+
+
+def _poison(model):
+    """Write a NaN into the first trainable tensor; returns (param, saved)."""
+    name, param = next(iter(model.named_parameters()))
+    saved = param.data.copy()
+    param.data.flat[0] = np.nan
+    return param, saved
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = GateConfig()
+        assert 0.0 < config.max_gate_saturation <= 1.0
+        assert config.max_rmse_ratio > 1.0
+
+    def test_invalid_saturation(self):
+        with pytest.raises(ValueError, match="max_gate_saturation"):
+            GateConfig(max_gate_saturation=1.5)
+
+    def test_invalid_rmse_ratio(self):
+        with pytest.raises(ValueError, match="max_rmse_ratio"):
+            GateConfig(max_rmse_ratio=-1.0)
+
+
+class TestHealthyRefresh:
+    def test_accepted(self, refreshed_model, base_bundle):
+        decision = evaluate_promotion(refreshed_model, refreshed_model.task, base_bundle)
+        assert decision.accepted
+        assert decision.reasons == []
+
+    def test_readings_and_rmse_recorded(self, refreshed_model, base_bundle):
+        decision = evaluate_promotion(refreshed_model, refreshed_model.task, base_bundle)
+        assert "gate_saturation" in decision.readings
+        assert "kl_collapse" in decision.readings
+        assert np.isfinite(decision.rmse)
+        assert np.isfinite(decision.baseline_rmse)
+        assert np.isfinite(decision.warm_rmse)
+
+    def test_parent_kl_recorded_for_context(self, refreshed_model, base_bundle):
+        decision = evaluate_promotion(refreshed_model, refreshed_model.task, base_bundle)
+        kl = decision.readings["kl_collapse"]
+        for side in ("user", "item"):
+            assert f"{side}.kl" in kl
+
+    def test_as_dict_round_trips(self, refreshed_model, base_bundle):
+        decision = evaluate_promotion(refreshed_model, refreshed_model.task, base_bundle)
+        payload = decision.as_dict()
+        assert payload["accepted"] is True
+        assert payload["reasons"] == []
+        assert payload["rmse"] == decision.rmse
+
+
+class TestRejection:
+    def test_nan_weights_rejected(self, refreshed_model, base_bundle):
+        param, saved = _poison(refreshed_model)
+        try:
+            decision = evaluate_promotion(refreshed_model, refreshed_model.task, base_bundle)
+        finally:
+            param.data[...] = saved
+        assert not decision.accepted
+        assert any("nan_watchdog" in reason for reason in decision.reasons)
+
+    def test_rmse_drift_rejected(self, refreshed_model, base_bundle):
+        strict = GateConfig(max_rmse_ratio=1e-6)
+        decision = evaluate_promotion(
+            refreshed_model, refreshed_model.task, base_bundle, strict
+        )
+        assert not decision.accepted
+        assert any("drifted past parent" in reason for reason in decision.reasons)
+
+    def test_rejection_never_mutates_model(self, refreshed_model, base_bundle):
+        before = {n: p.data.copy() for n, p in refreshed_model.named_parameters()}
+        evaluate_promotion(
+            refreshed_model, refreshed_model.task, base_bundle, GateConfig(max_rmse_ratio=1e-6)
+        )
+        for name, param in refreshed_model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])

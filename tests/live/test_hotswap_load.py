@@ -1,0 +1,106 @@
+"""Zero-downtime guarantee: concurrent traffic across repeated hot swaps.
+
+Clients hammer score and top-N through the BatchingEngine while the main
+thread swaps between two generations.  Every response must be bitwise equal
+to ONE of the two engines' direct answers — a response matching neither
+would mean a fused batch mixed bundles mid-swap.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchingEngine, InferenceEngine
+
+pytestmark = [pytest.mark.live, pytest.mark.serving]
+
+CLIENT_THREADS = 4
+REQUESTS_PER_THREAD = 40
+SWAPS = 6
+PAIRS_PER_REQUEST = 8
+
+
+@pytest.fixture(scope="module")
+def engines(base_bundle, two_gen_store):
+    return (
+        InferenceEngine(base_bundle, cache_size=0),
+        InferenceEngine(two_gen_store.load(2), cache_size=0),
+    )
+
+
+@pytest.fixture(scope="module")
+def catalogue(engines):
+    """Fixed requests + per-engine oracle answers, computed before any load."""
+    engine_a, engine_b = engines
+    n_users = min(engine_a.num_users, engine_b.num_users)
+    n_items = min(engine_a.num_items, engine_b.num_items)
+    rng = np.random.default_rng(7)
+    requests = []
+    for _ in range(16):
+        users = rng.integers(0, n_users, size=PAIRS_PER_REQUEST)
+        items = rng.integers(0, n_items, size=PAIRS_PER_REQUEST)
+        oracles = (engine_a.score(users, items), engine_b.score(users, items))
+        requests.append((users, items, oracles))
+    topn_user = int(rng.integers(0, n_users))
+    topn_oracles = (
+        engine_a.top_n(topn_user, k=5, exclude_seen=False),
+        engine_b.top_n(topn_user, k=5, exclude_seen=False),
+    )
+    return requests, topn_user, topn_oracles
+
+
+def test_no_response_mixes_bundles_across_swaps(engines, catalogue):
+    engine_a, engine_b = engines
+    requests, topn_user, topn_oracles = catalogue
+    errors = []
+    mismatches = []
+    completed = [0] * CLIENT_THREADS
+    started = threading.Barrier(CLIENT_THREADS + 1)
+
+    def client(thread_idx):
+        started.wait()
+        for step in range(REQUESTS_PER_THREAD):
+            users, items, oracles = requests[(thread_idx + step) % len(requests)]
+            try:
+                scores = batching.score(users, items)
+            except Exception as exc:  # noqa: BLE001 - any failure is a drop
+                errors.append(repr(exc))
+                continue
+            if not any(np.array_equal(scores, oracle) for oracle in oracles):
+                mismatches.append((thread_idx, step))
+                continue
+            if step % 10 == 0:
+                ids, top_scores = batching.top_n(topn_user, k=5, exclude_seen=False)
+                ok = any(
+                    np.array_equal(ids, o_ids) and np.array_equal(top_scores, o_scores)
+                    for o_ids, o_scores in topn_oracles
+                )
+                if not ok:
+                    mismatches.append((thread_idx, step, "top_n"))
+                    continue
+            completed[thread_idx] += 1
+
+    with BatchingEngine(engine_a) as batching:
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait()
+        previous = engine_a
+        for i in range(SWAPS):
+            incoming = engine_b if previous is engine_a else engine_a
+            displaced = batching.swap_engine(incoming)
+            assert displaced is previous, "swap displaced the wrong engine"
+            previous = incoming
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "client thread hung"
+
+    assert errors == [], f"requests errored during swaps: {errors[:5]}"
+    assert mismatches == [], f"responses matched neither bundle: {mismatches[:5]}"
+    assert sum(completed) == CLIENT_THREADS * REQUESTS_PER_THREAD, (
+        "some requests were dropped"
+    )

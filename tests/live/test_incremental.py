@@ -1,0 +1,151 @@
+"""Incremental refresh: warm-start copy, graph splice, deterministic fit."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import AGNN
+from repro.live import DEFAULT_REFRESH_CONFIG, build_refresh_task
+
+pytestmark = pytest.mark.live
+
+
+class TestRefreshTask:
+    def test_replay_plus_stream(self, base_bundle, live_split):
+        _, stream = live_split
+        task = build_refresh_task(
+            base_bundle,
+            stream.interactions,
+            new_users=stream.new_user_attributes,
+            new_items=stream.new_item_attributes,
+        )
+        replay = len(base_bundle.train_ratings)
+        assert len(task.train_ratings) + len(task.test_ratings) == replay + len(stream.ratings)
+        assert task.dataset.num_users == base_bundle.user_attributes.shape[0] + len(
+            stream.new_user_attributes
+        )
+        assert task.dataset.num_items == base_bundle.item_attributes.shape[0] + len(
+            stream.new_item_attributes
+        )
+
+    def test_holdout_drawn_from_stream_only(self, base_bundle, live_split):
+        _, stream = live_split
+        task = build_refresh_task(
+            base_bundle,
+            stream.interactions,
+            new_users=stream.new_user_attributes,
+            new_items=stream.new_item_attributes,
+        )
+        stream_triples = set(
+            zip(stream.users.tolist(), stream.items.tolist(), stream.ratings.tolist())
+        )
+        for triple in zip(
+            task.test_users.tolist(), task.test_items.tolist(), task.test_ratings.tolist()
+        ):
+            assert triple in stream_triples, "holdout leaked a replayed interaction"
+
+    def test_v1_bundle_without_replay_ratings_rejected(self, base_bundle, live_split):
+        _, stream = live_split
+        v1 = dataclasses.replace(base_bundle, train_ratings=np.empty(0, dtype=np.float64))
+        with pytest.raises(ValueError, match="re-export"):
+            build_refresh_task(v1, stream.interactions)
+
+    def test_malformed_stream_rejected(self, base_bundle):
+        with pytest.raises(ValueError, match="triple"):
+            build_refresh_task(base_bundle, (np.arange(3), np.arange(3)))
+
+    def test_misaligned_stream_rejected(self, base_bundle):
+        with pytest.raises(ValueError, match="equal length"):
+            build_refresh_task(base_bundle, (np.arange(3), np.arange(3), np.arange(5)))
+
+
+class TestWarmStart:
+    def test_zero_epoch_refresh_is_pure_warm_start(self, base_bundle, live_split):
+        """With no optimisation steps the refresh IS the copied parent."""
+        _, stream = live_split
+        config = dataclasses.replace(DEFAULT_REFRESH_CONFIG, epochs=0)
+        model = AGNN()
+        model.fit_incremental(
+            base_bundle,
+            stream.interactions,
+            new_users=stream.new_user_attributes,
+            new_items=stream.new_item_attributes,
+            config=config,
+        )
+        parent = dict(base_bundle.model.named_parameters())
+        for name, param in model.named_parameters():
+            rows = parent[name].data.shape[0]
+            np.testing.assert_array_equal(
+                param.data[:rows],
+                parent[name].data,
+                err_msg=f"{name}: warm-started rows diverged from the parent",
+            )
+
+    def test_new_preference_rows_seeded_by_parent_evae(self, base_bundle, live_split):
+        _, stream = live_split
+        config = dataclasses.replace(DEFAULT_REFRESH_CONFIG, epochs=0)
+        model = AGNN()
+        model.fit_incremental(
+            base_bundle,
+            stream.interactions,
+            new_users=stream.new_user_attributes,
+            new_items=stream.new_item_attributes,
+            config=config,
+        )
+        for side, new_attrs in (
+            ("user", stream.new_user_attributes),
+            ("item", stream.new_item_attributes),
+        ):
+            old_n = base_bundle.model._encoder(side).preference.weight.data.shape[0]
+            seeded = model._encoder(side).preference.weight.data[old_n:]
+            expected = base_bundle.model.generate_cold_preference(side, new_attrs)
+            np.testing.assert_array_equal(seeded, expected)
+
+
+class TestRefreshedModel:
+    def test_node_counts_extended(self, refreshed_model, base_bundle, live_split):
+        _, stream = live_split
+        task = refreshed_model.task
+        assert task.dataset.num_users == base_bundle.user_attributes.shape[0] + len(
+            stream.new_user_attributes
+        )
+        assert task.dataset.num_items == base_bundle.item_attributes.shape[0] + len(
+            stream.new_item_attributes
+        )
+
+    def test_spliced_graphs_cover_all_nodes(self, refreshed_model):
+        for side in ("user", "item"):
+            graph = refreshed_model.candidate_graph(side)
+            n = refreshed_model.task.dataset.num_users if side == "user" else (
+                refreshed_model.task.dataset.num_items
+            )
+            assert graph.num_nodes == n
+            for node, pool in enumerate(graph.pools):
+                pool = np.asarray(pool)
+                assert pool.size > 0
+                assert node not in pool, f"{side} node {node} is its own candidate"
+                assert pool.min() >= 0 and pool.max() < n
+
+    def test_refresh_is_bitwise_deterministic(self, refreshed_model, base_bundle, live_split):
+        _, stream = live_split
+        again = AGNN()
+        again.fit_incremental(
+            base_bundle,
+            stream.interactions,
+            new_users=stream.new_user_attributes,
+            new_items=stream.new_item_attributes,
+        )
+        first = dict(refreshed_model.named_parameters())
+        for name, param in again.named_parameters():
+            np.testing.assert_array_equal(
+                param.data, first[name].data, err_msg=f"{name} differs between refreshes"
+            )
+
+    def test_refresh_scores_finite_for_new_nodes(self, refreshed_model, base_bundle):
+        task = refreshed_model.task
+        base_users = base_bundle.user_attributes.shape[0]
+        new_users = np.arange(base_users, task.dataset.num_users, dtype=np.int64)
+        items = np.zeros(len(new_users), dtype=np.int64)
+        scores = refreshed_model.predict(new_users, items)
+        assert np.all(np.isfinite(scores))

@@ -1,0 +1,89 @@
+"""BundleStore: versioned generations with lineage and integrity fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.live import BundleIntegrityError, BundleStore
+
+pytestmark = pytest.mark.live
+
+
+class TestPublish:
+    def test_first_generation(self, seed_store):
+        assert seed_store.versions() == [1]
+        assert seed_store.latest_version == 1
+        entry = seed_store.entry(1)
+        assert entry["parent"] is None
+        assert entry["note"] == "gen-1"
+        assert entry["fingerprint"]
+
+    def test_second_generation_records_parent(self, two_gen_store):
+        assert two_gen_store.versions() == [1, 2]
+        assert two_gen_store.latest_version == 2
+        assert two_gen_store.entry(2)["parent"] == 1
+
+    def test_unknown_parent_rejected(self, base_model, base_task, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        with pytest.raises(KeyError, match="parent version"):
+            store.publish(base_model, base_task, parent_version=7)
+
+    def test_metrics_survive(self, base_model, base_task, fresh_store):
+        version = fresh_store.publish(
+            base_model, base_task, parent_version=1, metrics={"eval_rmse": 0.5}
+        )
+        assert fresh_store.entry(version)["metrics"] == {"eval_rmse": 0.5}
+
+
+class TestLoad:
+    def test_round_trip_latest(self, two_gen_store):
+        bundle = two_gen_store.load()
+        assert bundle.version == 2
+        assert bundle.parent_version == 1
+        assert bundle.fingerprint == two_gen_store.entry(2)["fingerprint"]
+
+    def test_explicit_version(self, two_gen_store, base_model):
+        bundle = two_gen_store.load(1)
+        assert bundle.version == 1
+        assert bundle.parent_version is None
+        theirs = base_model.state_dict()
+        ours = bundle.model.state_dict()
+        for name in theirs:
+            np.testing.assert_array_equal(ours[name], theirs[name])
+
+    def test_lineage_records_parent_fingerprint(self, two_gen_store):
+        child = two_gen_store.load(2)
+        assert child.lineage["parent_fingerprint"] == two_gen_store.entry(1)["fingerprint"]
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="empty"):
+            BundleStore(tmp_path / "store").load()
+
+    def test_unknown_version_raises(self, seed_store):
+        with pytest.raises(KeyError):
+            seed_store.load(99)
+
+
+class TestIntegrity:
+    def test_verify_clean(self, two_gen_store):
+        assert two_gen_store.verify(1)
+        assert two_gen_store.verify(2)
+
+    def test_tamper_detected(self, fresh_store):
+        target = fresh_store.path(1) / "model.npz"
+        blob = bytearray(target.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        assert not fresh_store.verify(1)
+        with pytest.raises(BundleIntegrityError, match="fingerprint"):
+            fresh_store.load(1)
+
+
+class TestLineage:
+    def test_chain_newest_first(self, two_gen_store):
+        chain = two_gen_store.lineage()
+        assert [link["version"] for link in chain] == [2, 1]
+        assert chain[0]["parent"] == 1
+        assert chain[1]["parent"] is None
+
+    def test_empty_store_has_no_lineage(self, tmp_path):
+        assert BundleStore(tmp_path / "store").lineage() == []

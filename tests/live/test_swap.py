@@ -1,0 +1,114 @@
+"""Hot swap: validated install, rejection keeps the old engine, healthz lineage."""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.live import SwapValidationError, swap_bundle, validate_engine
+from repro.serving import BatchingEngine, InferenceEngine, make_server
+from repro.telemetry import snapshot
+
+pytestmark = [pytest.mark.live, pytest.mark.serving]
+
+
+@pytest.fixture()
+def engine_v1(base_bundle):
+    return InferenceEngine(base_bundle, cache_size=0)
+
+
+@pytest.fixture()
+def bundle_v2(two_gen_store):
+    return two_gen_store.load(2)
+
+
+class TestSwapBundle:
+    def test_swap_installs_new_generation(self, engine_v1, bundle_v2):
+        with BatchingEngine(engine_v1) as batching:
+            report = swap_bundle(batching, bundle_v2)
+            assert batching.engine is not engine_v1
+            assert batching.engine.bundle.version == 2
+        assert report.version == 2
+        assert report.parent_version == 1
+        assert report.previous_fingerprint == engine_v1.bundle.fingerprint
+        assert report.validated_pairs > 0
+        assert snapshot()["counters"].get("serve.swap.count") == 1
+
+    def test_target_without_swap_engine_rejected(self, bundle_v2):
+        with pytest.raises(TypeError, match="swap_engine"):
+            swap_bundle(object(), bundle_v2)
+
+    def test_poisoned_candidate_rejected_old_engine_kept(
+        self, engine_v1, two_gen_store
+    ):
+        poisoned = two_gen_store.load(2)
+        for _, param in poisoned.model.named_parameters():
+            param.data[...] = np.nan
+        with BatchingEngine(engine_v1) as batching:
+            with pytest.raises(SwapValidationError):
+                swap_bundle(batching, poisoned)
+            assert batching.engine is engine_v1, "failed swap must keep the old engine"
+            np.testing.assert_array_equal(
+                batching.score([0, 1], [0, 1]), engine_v1.score([0, 1], [0, 1])
+            )
+        assert snapshot()["counters"].get("serve.swap.rejected") == 1
+        assert snapshot()["counters"].get("serve.swap.count") is None
+
+    def test_validate_engine_accepts_healthy(self, engine_v1):
+        assert validate_engine(engine_v1) > 0
+
+
+class TestServerSwap:
+    @pytest.fixture()
+    def server(self, engine_v1):
+        server = make_server(engine_v1, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def _get(self, server, path):
+        url = f"http://127.0.0.1:{server.port}{path}"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def test_healthz_reports_lineage_and_swaps(self, server, bundle_v2):
+        status, body = self._get(server, "/healthz")
+        before = json.loads(body)
+        assert status == 200
+        assert before["bundle_version"] == 1
+        assert before["bundle_parent_version"] is None
+        assert before["swaps"] == 0
+        assert before["last_swap_unix"] is None
+
+        swap_bundle(server, bundle_v2)
+
+        _, body = self._get(server, "/healthz")
+        after = json.loads(body)
+        assert after["bundle_version"] == 2
+        assert after["bundle_parent_version"] == 1
+        assert after["bundle_fingerprint"] == bundle_v2.fingerprint
+        assert after["swaps"] == 1
+        assert after["last_swap_unix"] is not None
+
+    def test_metrics_exposes_swap_counter(self, server, bundle_v2):
+        swap_bundle(server, bundle_v2)
+        _, body = self._get(server, "/metrics.prom")
+        assert "repro_serve_swap_count_total 1" in body
+
+    def test_scores_served_after_swap(self, server, bundle_v2):
+        swap_bundle(server, bundle_v2)
+        expected = InferenceEngine(bundle_v2, cache_size=0).score([0, 1, 2], [3, 4, 5])
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/score",
+            data=json.dumps({"users": [0, 1, 2], "items": [3, 4, 5]}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            scores = json.loads(response.read().decode("utf-8"))["scores"]
+        np.testing.assert_array_equal(scores, expected)

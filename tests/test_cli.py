@@ -83,6 +83,30 @@ class TestParser:
         assert args.concurrency == [2, 8]
         assert args.check
 
+    def test_refresh_defaults(self):
+        args = build_parser().parse_args(["refresh", "--store", "stores/live"])
+        assert args.store == "stores/live"
+        assert args.dataset == "ML-100K"
+        assert args.scale == "smoke"
+        assert args.epochs is None
+        assert args.interaction_fraction == pytest.approx(0.1)
+        assert args.new_user_fraction == pytest.approx(0.05)
+        assert args.new_item_fraction == pytest.approx(0.05)
+        assert args.seed == 0
+
+    def test_refresh_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["refresh"])
+
+    def test_refresh_bench_defaults(self):
+        args = build_parser().parse_args(["refresh-bench"])
+        assert args.output == "BENCH_refresh.json"
+        assert args.refresh_epochs is None
+        assert args.swap_threads == 4
+        assert args.swap_requests == 50
+        assert args.swaps == 6
+        assert not args.check
+
 
 class TestModelFactory:
     def test_agnn_variant(self):
