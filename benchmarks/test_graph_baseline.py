@@ -1,0 +1,89 @@
+"""The graph-scaling tripwire against the committed ``BENCH_training.json``.
+
+``repro graph-bench`` records the inverted-index candidate builder's scaling
+behaviour and its parity-sweep overlap into the ``graph_scaling`` section of
+the committed baseline.  These tests hold every PR to that record:
+
+* the committed payload must exist, be well-formed, and say ``ok``;
+* the committed parity overlap must clear the 0.95 score-recall floor — the
+  same floor ``assert_overlap_floor`` enforces on a live sweep;
+* the committed build-time exponent must stay sublinear-ish (<= 1.5 on the
+  log-log fit) with the curve measured up to at least n = 100 000, so a
+  regression that reintroduces quadratic candidate generation cannot land by
+  simply re-running the bench;
+* a *fresh* parity sweep must still clear the committed floor, catching code
+  drift that the frozen JSON alone would miss.
+
+Absolute build-time milliseconds belong in ``BENCH_training.json`` diffs
+reviewed per PR, not in pass/fail assertions — machines differ; exponents and
+overlap do not.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.graphs.bench import MIN_SCALING_N, SUBLINEAR_EXPONENT
+from repro.graphs.parity import assert_overlap_floor, parity_sweep
+
+pytestmark = pytest.mark.graphs
+
+OVERLAP_FLOOR = 0.95
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    assert BASELINE_PATH.exists(), "BENCH_training.json missing — run `repro graph-bench`"
+    payload = json.loads(BASELINE_PATH.read_text())
+    assert "graph_scaling" in payload, (
+        "graph_scaling missing from BENCH_training.json — run `repro graph-bench`"
+    )
+    return payload["graph_scaling"]
+
+
+def test_committed_payload_shape(committed):
+    assert committed["schema_version"] == 1
+    assert committed["ok"] is True
+    for series in ("approx", "exact"):
+        assert len(committed[series]) >= 2
+        for point in committed[series]:
+            assert point["n"] > 0 and point["build_s"] > 0
+
+
+def test_committed_overlap_clears_floor(committed):
+    overlap = committed["overlap"]
+    assert overlap["ok"] is True
+    assert overlap["floor"] >= OVERLAP_FLOOR
+    assert overlap["min_case_score_recall"] >= OVERLAP_FLOOR
+    assert overlap["mean_score_recall"] >= OVERLAP_FLOOR
+
+
+def test_committed_scaling_is_sublinear_at_scale(committed):
+    # The bench only certifies an exponent when the grid reaches real scale;
+    # the tripwire demands both: scale reached AND exponent under the bar.
+    assert committed["max_n"] >= MIN_SCALING_N
+    assert committed["max_n"] >= 100_000, (
+        "graph-bench grid shrank below n=1e5 — the sublinear claim is untested"
+    )
+    assert committed["approx_exponent"] is not None
+    assert committed["approx_exponent"] <= SUBLINEAR_EXPONENT, (
+        f"inverted build exponent {committed['approx_exponent']:.2f} exceeds "
+        f"{SUBLINEAR_EXPONENT} — candidate generation regressed toward quadratic"
+    )
+
+
+def test_committed_exact_curve_is_superlinear(committed):
+    # Sanity on the comparison itself: the exact all-pairs build must show its
+    # quadratic character, else the grid is too small to mean anything.
+    assert committed["exact_exponent"] is not None
+    assert committed["exact_exponent"] > SUBLINEAR_EXPONENT
+
+
+def test_fresh_sweep_still_clears_committed_floor(committed):
+    payload = parity_sweep(floor=committed["overlap"]["floor"])
+    assert payload["aggregate"]["ok"], payload["aggregate"]
+    assert_overlap_floor(payload, floor=committed["overlap"]["floor"])

@@ -109,6 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
     tbench.add_argument("--json", action="store_true",
                         help="print the payload JSON instead of the summary")
 
+    gbench = commands.add_parser(
+        "graph-bench",
+        help="benchmark sublinear vs exact graph construction across node "
+        "counts and record the scaling + pool-overlap baseline",
+    )
+    gbench.add_argument("--n-grid", default="2000,8000,32000,100000",
+                        help="comma-separated node counts for the inverted build")
+    gbench.add_argument("--exact-grid", default="2000,4000,8000",
+                        help="comma-separated node counts for the exact build")
+    gbench.add_argument("--pool-size", type=int, default=100,
+                        help="fixed candidate-pool size across the grid")
+    gbench.add_argument("--repeats", type=int, default=2, help="repetitions (best-of)")
+    gbench.add_argument("--seed", type=int, default=0, help="synthetic-input seed")
+    gbench.add_argument("--output", default="BENCH_training.json",
+                        help="baseline to merge the graph_scaling entry into ('-' to skip)")
+    gbench.add_argument("--json", action="store_true",
+                        help="print the payload JSON instead of the summary")
+
     export = commands.add_parser(
         "export-bundle",
         help="train an AGNN variant and export a self-contained serving bundle",
@@ -354,6 +372,34 @@ def _command_train_bench(args) -> int:
     if args.output != "-":
         print(f"\nwrote {args.output}")
     return 0
+
+
+def _command_graph_bench(args) -> int:
+    from .graphs.bench import render_graph_bench, run_graph_bench
+
+    grids = {}
+    for name in ("n_grid", "exact_grid"):
+        raw = getattr(args, name)
+        try:
+            grids[name] = tuple(int(part) for part in str(raw).split(",") if part.strip())
+        except ValueError:
+            print(f"invalid --{name.replace('_', '-')}: {raw!r} (want comma-separated ints)")
+            return 2
+        if not grids[name]:
+            print(f"--{name.replace('_', '-')} must name at least one node count")
+            return 2
+    payload = run_graph_bench(
+        n_grid=grids["n_grid"],
+        exact_grid=grids["exact_grid"],
+        pool_size=args.pool_size,
+        repeats=args.repeats,
+        seed=args.seed,
+        output=None if args.output == "-" else args.output,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True) if args.json else render_graph_bench(payload))
+    if args.output != "-":
+        print(f"\nmerged graph_scaling into {args.output}")
+    return 0 if payload["ok"] else 1
 
 
 def _command_export_bundle(args) -> int:
@@ -620,6 +666,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _command_datasets,
         "telemetry-bench": _command_telemetry_bench,
         "train-bench": _command_train_bench,
+        "graph-bench": _command_graph_bench,
         "export-bundle": _command_export_bundle,
         "serve": _command_serve,
         "serving-bench": _command_serving_bench,

@@ -17,6 +17,7 @@ from typing import Literal, Optional
 __all__ = ["AGNNConfig"]
 
 GraphStrategy = Literal["dynamic", "knn", "copurchase"]
+CandidateStrategy = Literal["exact", "inverted"]
 Aggregator = Literal["gated", "gcn", "gat", "none"]
 ColdModule = Literal["evae", "vae", "dae", "mask", "dropout", "none"]
 
@@ -36,6 +37,10 @@ class AGNNConfig:
 
     # Graph construction (Sec. 3.3.1 / Table 4 replacements)
     graph_strategy: GraphStrategy = "dynamic"
+    # How the dynamic graph's pools are found: "exact" all-pairs ranking
+    # (bitwise-stable default) or "inverted" sublinear candidate blocking
+    # (repro.graphs.candidates; drift floored by repro.graphs.parity).
+    graph_candidate_strategy: CandidateStrategy = "exact"
     use_attribute_proximity: bool = True  # AGNN_PP turns this off
     use_preference_proximity: bool = True  # AGNN_AP turns this off
     knn_k: int = 10  # fixed-graph strategies
@@ -60,6 +65,11 @@ class AGNNConfig:
             raise ValueError("recon_weight must be non-negative")
         if not 0.0 <= self.mask_rate < 1.0:
             raise ValueError("mask_rate must be in [0, 1)")
+        if self.graph_candidate_strategy not in ("exact", "inverted"):
+            raise ValueError(
+                "graph_candidate_strategy must be 'exact' or 'inverted', "
+                f"got {self.graph_candidate_strategy!r}"
+            )
 
     @property
     def hidden(self) -> int:

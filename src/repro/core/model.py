@@ -142,6 +142,7 @@ class AGNN(Recommender):
                 use_attribute=cfg.use_attribute_proximity,
                 use_preference=cfg.use_preference_proximity,
                 min_pool=cfg.num_neighbors,
+                candidate_strategy=cfg.graph_candidate_strategy,
             )
         if cfg.graph_strategy == "knn":
             return build_knn_graph(task, side, k=cfg.knn_k)

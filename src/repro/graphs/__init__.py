@@ -1,13 +1,22 @@
 """Graph substrate: proximities, attribute graphs, bipartite helpers."""
 
 from .bipartite import normalised_bipartite, social_adjacency, user_item_lists
+from .candidates import CandidateIndex, build_candidate_graph, default_budgets
 from .construction import (
+    CANDIDATE_STRATEGIES,
     DynamicNeighborGraph,
     FixedNeighborGraph,
     NeighborGraph,
     build_attribute_graph,
     build_copurchase_graph,
+    build_graph_from_arrays,
     build_knn_graph,
+)
+from .parity import (
+    assert_overlap_floor,
+    parity_sweep,
+    pool_overlap,
+    render_parity,
 )
 from .proximity import (
     attribute_proximity,
@@ -21,6 +30,15 @@ __all__ = [
     "NeighborGraph",
     "DynamicNeighborGraph",
     "FixedNeighborGraph",
+    "CANDIDATE_STRATEGIES",
+    "CandidateIndex",
+    "build_candidate_graph",
+    "build_graph_from_arrays",
+    "default_budgets",
+    "assert_overlap_floor",
+    "parity_sweep",
+    "pool_overlap",
+    "render_parity",
     "build_attribute_graph",
     "build_knn_graph",
     "build_copurchase_graph",

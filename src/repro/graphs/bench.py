@@ -1,0 +1,158 @@
+"""The graph-construction scaling benchmark (``repro graph-bench``).
+
+Times the sublinear candidate-pool build (:mod:`repro.graphs.candidates`)
+across a node-count grid reaching n = 10⁵ and the exact all-pairs builder on
+a smaller grid (the exact build is quadratic — timing it at 10⁵ would take
+longer than the rest of the benchmark combined), fits log–log scaling
+exponents to both, and runs the pool-overlap parity sweep.  The payload is
+merged under the ``"graph_scaling"`` key of ``BENCH_training.json`` so the
+``benchmarks/test_graph_baseline.py`` tripwire can hold future changes to
+the committed overlap floor and scaling exponent.
+
+A fixed pool size is used across the whole grid (rather than the paper's
+top-``p%`` rule) so per-``n`` timings measure the build strategy, not a pool
+that itself grows with ``n`` — at n = 10⁵ a 5% pool is 5000 candidates per
+node, which no serving path would configure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from .construction import build_graph_from_arrays
+from .parity import parity_sweep, synthetic_inputs
+
+__all__ = ["run_graph_bench", "render_graph_bench"]
+
+#: The approximate build must fit below this log–log exponent at scale; the
+#: exact all-pairs build sits near 2.  Between Python/BLAS fixed overheads at
+#: small n and cache effects at large n, a true O(n) build fits ~1.0–1.3.
+SUBLINEAR_EXPONENT = 1.5
+
+#: Exponent gating only applies once the grid actually reaches scale — below
+#: this, fixed overheads dominate and the fit is noise.
+MIN_SCALING_N = 50_000
+
+
+def _fit_exponent(entries: Sequence[Dict[str, Any]]) -> Optional[float]:
+    """Log–log slope of build time vs n (None below two grid points)."""
+    if len(entries) < 2:
+        return None
+    ns = np.array([entry["n"] for entry in entries], dtype=np.float64)
+    times = np.array([entry["build_s"] for entry in entries], dtype=np.float64)
+    slope = np.polyfit(np.log(ns), np.log(np.maximum(times, 1e-9)), 1)[0]
+    return float(slope)
+
+
+def _time_build(
+    attributes: np.ndarray,
+    ratings: np.ndarray,
+    pool_size: int,
+    strategy: str,
+    repeats: int,
+) -> float:
+    best = np.inf
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        build_graph_from_arrays(
+            attributes, ratings, pool_size, candidate_strategy=strategy
+        )
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def run_graph_bench(
+    n_grid: Sequence[int] = (2_000, 8_000, 32_000, 100_000),
+    exact_grid: Sequence[int] = (2_000, 4_000, 8_000),
+    pool_size: int = 100,
+    attr_dim: int = 60,
+    num_ratings: int = 120,
+    repeats: int = 2,
+    seed: int = 0,
+    output: Optional[str] = "BENCH_training.json",
+    floor: float = 0.95,
+) -> Dict[str, Any]:
+    """Run the scaling grid + parity sweep; merge into the training baseline.
+
+    ``output`` names an existing (or to-be-created) ``BENCH_training.json``;
+    the result lands under its ``"graph_scaling"`` key without disturbing the
+    training/determinism entries.  Pass ``None`` to skip writing.
+    """
+    approx_entries = []
+    for n in sorted(set(int(n) for n in n_grid)):
+        attributes, ratings = synthetic_inputs(
+            n, attr_dim=attr_dim, num_ratings=num_ratings, seed=seed
+        )
+        build_s = _time_build(attributes, ratings, pool_size, "inverted", repeats)
+        approx_entries.append({"n": n, "build_s": build_s})
+    exact_entries = []
+    for n in sorted(set(int(n) for n in exact_grid)):
+        attributes, ratings = synthetic_inputs(
+            n, attr_dim=attr_dim, num_ratings=num_ratings, seed=seed
+        )
+        build_s = _time_build(attributes, ratings, pool_size, "exact", repeats)
+        exact_entries.append({"n": n, "build_s": build_s})
+
+    overlap = parity_sweep(floor=floor)["aggregate"]
+    approx_exponent = _fit_exponent(approx_entries)
+    exact_exponent = _fit_exponent(exact_entries)
+    max_n = max(entry["n"] for entry in approx_entries)
+    scaling_ok = (
+        approx_exponent is None
+        or max_n < MIN_SCALING_N
+        or approx_exponent <= SUBLINEAR_EXPONENT
+    )
+    payload: Dict[str, Any] = {
+        "schema_version": 1,
+        "pool_size": int(pool_size),
+        "attr_dim": int(attr_dim),
+        "num_ratings": int(num_ratings),
+        "repeats": int(repeats),
+        "seed": int(seed),
+        "approx": approx_entries,
+        "exact": exact_entries,
+        "approx_exponent": approx_exponent,
+        "exact_exponent": exact_exponent,
+        "max_n": int(max_n),
+        "sublinear_exponent": SUBLINEAR_EXPONENT,
+        "overlap": overlap,
+        "ok": bool(overlap["ok"] and scaling_ok),
+    }
+    if output is not None:
+        merged: Dict[str, Any] = {}
+        if os.path.exists(output):
+            with open(output, "r", encoding="utf-8") as handle:
+                merged = json.load(handle)
+        merged["graph_scaling"] = payload
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return payload
+
+
+def render_graph_bench(payload: Dict[str, Any]) -> str:
+    """Human-readable scaling + overlap summary."""
+    lines = [f"graph-bench (pool_size={payload['pool_size']}, repeats={payload['repeats']})"]
+    for label, key in (("inverted", "approx"), ("exact", "exact")):
+        for entry in payload[key]:
+            lines.append(f"  {label:9s} n={entry['n']:>7d}: {entry['build_s'] * 1e3:10.1f} ms")
+    approx_e, exact_e = payload["approx_exponent"], payload["exact_exponent"]
+    lines.append(
+        "  exponents: inverted "
+        + (f"{approx_e:.2f}" if approx_e is not None else "n/a")
+        + " vs exact "
+        + (f"{exact_e:.2f}" if exact_e is not None else "n/a")
+        + f" (sublinear bar {payload['sublinear_exponent']:.2f} at n >= {MIN_SCALING_N})"
+    )
+    overlap = payload["overlap"]
+    lines.append(
+        f"  overlap: mean score recall {overlap['mean_score_recall']:.3f} "
+        f"(worst case {overlap['min_case_score_recall']:.3f}, floor {overlap['floor']:.2f})"
+    )
+    lines.append(f"  ok: {payload['ok']}")
+    return "\n".join(lines)

@@ -1,0 +1,341 @@
+"""Sublinear candidate-pool graph construction: blocking + exact rescoring.
+
+The paper's graph (Sec. 3.3.1) ranks, for every node, *all* other nodes by
+combined attribute/preference proximity — an inherently quadratic build that
+caps the node count far below "millions of users".  This module implements
+the scalable alternative: a *blocking* stage proposes a small candidate set
+per node, and exact :func:`~repro.graphs.proximity.combined_proximity`-style
+scoring runs only within those candidates.
+
+The blocking stage is an **inverted index** over the sparse binary signals
+the proximity itself is built from: multi-hot attribute columns and (when
+preference proximity is enabled) the binarised rating columns.  Two nodes can
+only have positive attribute cosine if they share an attribute, and positive
+preference cosine if they co-rated an item — so every node pair the exact
+builder could rank above "no relation at all" shares at least one posting
+list, and the index enumerates exactly those pairs.  A per-query scan budget
+and candidate cap keep the work per node independent of ``n``; what the caps
+cost in pool overlap is quantified by :mod:`repro.graphs.parity` and floored
+by the ``benchmarks/test_graph_baseline.py`` tripwire.
+
+Normalisation: the exact builder min–max normalises each proximity term over
+all n² entries before summing.  Computing those statistics is itself O(n²),
+so the approximate path estimates the ranges from a seeded sample of node
+pairs and applies the same degenerate-case semantics (range < 1e-12 → term
+zeroed, values clipped to [0, 1]).  Everything here is deterministic: the
+sampling RNG is seeded, and every top-k selection tie-breaks by (score
+descending, node id ascending).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..telemetry import increment, span
+from .proximity import _unit_rows
+
+__all__ = [
+    "CandidateIndex",
+    "build_candidate_graph",
+    "default_budgets",
+]
+
+
+def default_budgets(pool_size: int) -> Tuple[int, int]:
+    """(scan_budget, max_candidates) for a target pool size.
+
+    The scan budget bounds how many posting-list entries a query may touch;
+    the candidate cap bounds how many survive into exact scoring.  Both scale
+    with the pool (generous multiples, so truncation — not enumeration — is
+    the rare case) but not with ``n``: that is what makes the build sublinear.
+    """
+    pool_size = max(int(pool_size), 1)
+    return max(32 * pool_size, 1024), max(8 * pool_size, 256)
+
+
+class CandidateIndex:
+    """Inverted index over sparse binary feature rows.
+
+    ``features`` is any (n, f) array; an entry is "active" when non-zero.
+    Posting list ``f`` holds the ids (ascending) of nodes with feature ``f``
+    active.  Queries enumerate postings rarest-feature-first until the scan
+    budget is exhausted, rank the collected ids by how many query features
+    they share (ties broken by ascending id), and cap the result.
+
+    The index is growable: :meth:`add_row` appends a new node's id to the
+    postings of its active features, which is how serving-time onboarding
+    keeps later arrivals discoverable as candidates.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        scan_budget: int = 4096,
+        max_candidates: int = 1024,
+    ) -> None:
+        if scan_budget < 1 or max_candidates < 1:
+            raise ValueError("scan_budget and max_candidates must be positive")
+        features = np.asarray(features)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D (nodes, features) array")
+        self.num_nodes = int(features.shape[0])
+        self.num_features = int(features.shape[1])
+        self.scan_budget = int(scan_budget)
+        self.max_candidates = int(max_candidates)
+        # np.nonzero walks row-major, so a stable sort by column leaves each
+        # posting list sorted by ascending node id.
+        rows, cols = np.nonzero(features)
+        order = np.argsort(cols, kind="stable")
+        rows = rows[order].astype(np.int64, copy=False)
+        counts = np.bincount(cols, minlength=self.num_features)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._postings: List[np.ndarray] = [
+            rows[offsets[f] : offsets[f + 1]] for f in range(self.num_features)
+        ]
+        self._df = counts.astype(np.int64)
+
+    # ------------------------------------------------------------------ grow
+    def add_row(self, row: np.ndarray) -> int:
+        """Append one node's feature row; returns the id it was indexed under."""
+        row = np.asarray(row).reshape(-1)
+        if row.shape[0] != self.num_features:
+            raise ValueError(
+                f"feature row has {row.shape[0]} entries, index has {self.num_features}"
+            )
+        node_id = self.num_nodes
+        for f in np.flatnonzero(row):
+            self._postings[f] = np.append(self._postings[f], node_id)
+            self._df[f] += 1
+        self.num_nodes += 1
+        return node_id
+
+    # ---------------------------------------------------------------- queries
+    def candidates_for_features(
+        self,
+        active: np.ndarray,
+        exclude: Optional[int] = None,
+        scan_budget: Optional[int] = None,
+        max_candidates: Optional[int] = None,
+    ) -> np.ndarray:
+        """Candidate node ids (ascending) for a query with ``active`` features.
+
+        Postings are consumed rarest-first (document frequency ascending, then
+        feature id — deterministic), each one whole, until the scan budget is
+        reached.  Ids are ranked by shared-feature multiplicity descending
+        (ties: id ascending) before the cap is applied; the returned array is
+        id-sorted so downstream scoring is order-independent.
+        """
+        budget = self.scan_budget if scan_budget is None else int(scan_budget)
+        cap = self.max_candidates if max_candidates is None else int(max_candidates)
+        active = np.asarray(active, dtype=np.int64).reshape(-1)
+        if active.size == 0:
+            return np.empty(0, dtype=np.int64)
+        df = self._df[active]
+        chosen: List[np.ndarray] = []
+        total = 0
+        for f in active[np.lexsort((active, df))]:
+            posting = self._postings[f]
+            if posting.size == 0:
+                continue
+            remaining = budget - total
+            if posting.size > remaining:
+                # A posting alone can exceed the remaining budget (dense
+                # features grow O(n) postings); an even-stride subsample keeps
+                # coverage across the id space, stays sorted, and — unlike
+                # consuming the posting whole — keeps per-query work bounded
+                # by the budget, which is what makes the build sublinear.
+                idx = np.linspace(0, posting.size - 1, remaining).astype(np.int64)
+                posting = posting[np.unique(idx)]
+            chosen.append(posting)
+            total += posting.size
+            if total >= budget:
+                break
+        if not chosen:
+            return np.empty(0, dtype=np.int64)
+        if len(chosen) == 1:
+            # A single posting list is already sorted and duplicate-free.
+            cands, counts = chosen[0], None
+        else:
+            cands, counts = np.unique(np.concatenate(chosen), return_counts=True)
+        if exclude is not None:
+            keep = cands != exclude
+            cands = cands[keep]
+            counts = counts[keep] if counts is not None else None
+        if cands.size > cap:
+            if counts is None:
+                cands = cands[:cap]
+            else:
+                top = np.lexsort((cands, -counts))[:cap]
+                cands = np.sort(cands[top])
+        return cands.astype(np.int64, copy=False)
+
+    def candidates_for_row(
+        self,
+        row: np.ndarray,
+        exclude: Optional[int] = None,
+        scan_budget: Optional[int] = None,
+        max_candidates: Optional[int] = None,
+    ) -> np.ndarray:
+        """Candidates for a raw feature row (active = non-zero entries)."""
+        row = np.asarray(row).reshape(-1)
+        if row.shape[0] != self.num_features:
+            raise ValueError(
+                f"feature row has {row.shape[0]} entries, index has {self.num_features}"
+            )
+        return self.candidates_for_features(
+            np.flatnonzero(row), exclude=exclude,
+            scan_budget=scan_budget, max_candidates=max_candidates,
+        )
+
+
+# --------------------------------------------------------------- range sampling
+def _sampled_range(
+    unit: np.ndarray,
+    rng: np.random.Generator,
+    sample_pairs: int,
+    restrict: Optional[np.ndarray] = None,
+) -> Optional[Tuple[float, float]]:
+    """Seeded estimate of a similarity term's (min, max) over node pairs.
+
+    Mirrors :func:`~repro.graphs.proximity.min_max_normalise`'s degenerate
+    semantics: fewer than two eligible nodes, or an estimated range below
+    1e-12, returns ``None`` (the term is zeroed).  Self-pairs are *included*,
+    matching the exact builder, whose statistics run over the full similarity
+    matrix — diagonal (self-cosine ≈ 1) and all: that diagonal is what pins
+    the exact maximum, so excluding it here would systematically rescale the
+    term and flip ranks near the pool boundary.
+    """
+    ids = np.arange(unit.shape[0]) if restrict is None else np.asarray(restrict)
+    if ids.size < 2:
+        return None
+    i = ids[rng.integers(0, ids.size, size=sample_pairs)]
+    j = ids[rng.integers(0, ids.size, size=sample_pairs)]
+    sims = np.einsum("ij,ij->i", unit[np.concatenate([i, ids])], unit[np.concatenate([j, ids])])
+    low, high = float(sims.min()), float(sims.max())
+    if high - low < 1e-12:
+        return None
+    return low, high
+
+
+# ------------------------------------------------------------------- the build
+def build_candidate_graph(
+    attributes: np.ndarray,
+    rating_vectors: Optional[np.ndarray] = None,
+    pool_size: int = 10,
+    use_attribute: bool = True,
+    use_preference: bool = True,
+    scan_budget: Optional[int] = None,
+    max_candidates: Optional[int] = None,
+    sample_pairs: int = 4096,
+    seed: int = 0,
+):
+    """The approximate dynamic graph: blocked candidates, exact rescoring.
+
+    Drop-in counterpart of the exact fused build (same inputs, same
+    :class:`~repro.graphs.construction.DynamicNeighborGraph` output, same
+    shifted-positive weight convention); the pools are approximate in exactly
+    the ways the module docstring describes.  Nodes whose blocking signals
+    match nothing (e.g. an all-zero attribute row when preference is off)
+    fall back to a deterministic low-id pool with uniform weights — the exact
+    builder hands such nodes an equally information-free pool.
+
+    Scoring is fused: each term's unit rows are pre-scaled by its
+    normalisation weight ``1 / (high − low)`` and stacked into one matrix, so
+    a node's candidate scores are a single gather + matvec.  Relative to the
+    exact builder's per-term ``clip((x − low)/(high − low), 0, 1)`` the
+    per-pair value drops the global ``−low`` offsets (rank-neutral: constant
+    within a node's candidate list, except the preference offset which is
+    added explicitly to history–history pairs) and the clip (which binds only
+    when a similarity falls outside the sampled range estimate — tail noise
+    the parity floor covers).
+    """
+    from .construction import DynamicNeighborGraph  # deferred: cyclic layering
+
+    if not use_attribute and not use_preference:
+        raise ValueError("at least one proximity type must be enabled")
+    if use_preference and rating_vectors is None:
+        raise ValueError("preference proximity requested but no rating vectors given")
+    attributes = np.asarray(attributes, dtype=np.float64)
+    n = attributes.shape[0]
+    if n < 2:
+        raise ValueError("need at least two nodes to build a graph")
+    pool_size = int(np.clip(pool_size, 1, n - 1))
+    if scan_budget is None or max_candidates is None:
+        default_scan, default_cap = default_budgets(pool_size)
+        scan_budget = default_scan if scan_budget is None else scan_budget
+        max_candidates = default_cap if max_candidates is None else max_candidates
+    max_candidates = max(int(max_candidates), pool_size)
+
+    blocking: List[np.ndarray] = []
+    if use_attribute:
+        blocking.append(attributes != 0)
+    if use_preference:
+        rating_vectors = np.asarray(rating_vectors, dtype=np.float64)
+        blocking.append(rating_vectors != 0)
+    features = np.hstack(blocking)
+
+    with span("graph.candidates.index"):
+        index = CandidateIndex(
+            features, scan_budget=scan_budget, max_candidates=max_candidates
+        )
+
+    rng = np.random.default_rng(seed)
+    attr_range = pref_range = None
+    fused_parts: List[np.ndarray] = []
+    if use_attribute:
+        attr_unit = _unit_rows(attributes)
+        attr_range = _sampled_range(attr_unit, rng, sample_pairs)
+        if attr_range is not None:
+            fused_parts.append(attr_unit / (attr_range[1] - attr_range[0]))
+    if use_preference:
+        has_history = rating_vectors.any(axis=1)
+        # _unit_rows maps history-less (all-zero) rows to zeros, so they
+        # contribute nothing to the fused dot product — the exact builder's
+        # has_history mask, for free.
+        pref_unit = _unit_rows(rating_vectors)
+        pref_range = _sampled_range(
+            pref_unit, rng, sample_pairs, restrict=np.flatnonzero(has_history)
+        )
+        if pref_range is not None:
+            fused_parts.append(pref_unit / (pref_range[1] - pref_range[0]))
+    else:
+        has_history = None
+    fused = np.hstack(fused_parts) if fused_parts else None
+    # −low/(high−low) is constant across a node's candidates for the
+    # attribute term (rank-neutral, dropped) but applies only to
+    # history–history pairs for the preference term, so it must be added
+    # per pair to keep the two pair classes comparable.
+    pref_offset = (
+        -pref_range[0] / (pref_range[1] - pref_range[0])
+        if pref_range is not None
+        else 0.0
+    )
+
+    pools: List[np.ndarray] = []
+    weights: List[np.ndarray] = []
+    scanned = 0
+    with span("graph.candidates.pool"):
+        for i in range(n):
+            cands = index.candidates_for_features(np.flatnonzero(features[i]), exclude=i)
+            scanned += int(cands.size)
+            if cands.size == 0:
+                fallback = np.arange(pool_size + 1, dtype=np.int64)
+                fallback = fallback[fallback != i][:pool_size]
+                pools.append(fallback)
+                weights.append(np.full(fallback.size, 1e-6))
+                continue
+            if fused is None:
+                vals = np.zeros(cands.size)
+            else:
+                vals = fused[cands] @ fused[i]
+                if pref_offset != 0.0 and has_history is not None and has_history[i]:
+                    vals = vals + pref_offset * has_history[cands]
+            order = np.lexsort((cands, -vals))[: min(pool_size, cands.size)]
+            top_vals = vals[order]
+            pools.append(cands[order])
+            weights.append(top_vals - top_vals.min() + 1e-6)
+    increment("graph.candidates.scanned", scanned)
+    increment("graph.candidates.nodes", n)
+    return DynamicNeighborGraph(pools=pools, weights=weights)

@@ -24,10 +24,19 @@ __all__ = [
     "NeighborGraph",
     "DynamicNeighborGraph",
     "FixedNeighborGraph",
+    "CANDIDATE_STRATEGIES",
+    "build_graph_from_arrays",
     "build_attribute_graph",
     "build_knn_graph",
     "build_copurchase_graph",
 ]
+
+#: How the dynamic graph's candidate pools are constructed.  ``"exact"`` ranks
+#: every node against every other (the paper's builder, bitwise-stable);
+#: ``"inverted"`` proposes candidates from an inverted index over the sparse
+#: blocking signals and rescores only those (sublinear — see
+#: :mod:`repro.graphs.candidates`, quantified by :mod:`repro.graphs.parity`).
+CANDIDATE_STRATEGIES = ("exact", "inverted")
 
 
 class NeighborGraph:
@@ -165,29 +174,38 @@ def _pool_from_proximity(
     return DynamicNeighborGraph(pools=pools, weights=weights)
 
 
-def build_attribute_graph(
-    task: RecommendationTask,
-    side: str,
-    pool_percent: float = 5.0,
+def build_graph_from_arrays(
+    attributes: np.ndarray,
+    rating_vectors: Optional[np.ndarray],
+    pool_size: int,
     use_attribute: bool = True,
     use_preference: bool = True,
-    min_pool: int = 10,
+    candidate_strategy: str = "exact",
 ) -> DynamicNeighborGraph:
-    """The paper's dynamic attribute graph for ``side`` in {"user", "item"}.
+    """Dynamic graph straight from attribute/rating arrays.
 
-    ``pool_percent`` is the threshold *p*: candidates are the top ``p%`` most
-    proximal nodes (at least ``min_pool`` so sampling stays meaningful on
-    small datasets).  Preference proximity uses training interactions only.
+    The array-level core of :func:`build_attribute_graph`, shared with the
+    parity harness and the scaling benchmark.  ``candidate_strategy="exact"``
+    runs the fused blockwise all-pairs build; ``"inverted"`` runs the
+    candidate-pool build from :mod:`repro.graphs.candidates`.
     """
-    if side not in ("user", "item"):
-        raise ValueError(f"side must be 'user' or 'item', got {side!r}")
-    matrix = task.train_rating_matrix()
-    if side == "user":
-        attributes = task.dataset.user_attributes
-        rating_vectors = matrix
-    else:
-        attributes = task.dataset.item_attributes
-        rating_vectors = matrix.T
+    if candidate_strategy not in CANDIDATE_STRATEGIES:
+        raise ValueError(
+            f"unknown candidate strategy {candidate_strategy!r}; "
+            f"expected one of {CANDIDATE_STRATEGIES}"
+        )
+    if candidate_strategy == "inverted":
+        # Deferred import: candidates imports DynamicNeighborGraph from here.
+        from .candidates import build_candidate_graph
+
+        with span("graph.candidates"):
+            return build_candidate_graph(
+                attributes,
+                rating_vectors if use_preference else None,
+                pool_size,
+                use_attribute=use_attribute,
+                use_preference=use_preference,
+            )
     # Fused build: proximity rows are normalised, summed, and consumed by the
     # pool extraction one block at a time — the dense n×n similarity matrices
     # and their normalisation temporaries are never materialised.
@@ -199,7 +217,6 @@ def build_attribute_graph(
             use_preference=use_preference,
         )
     n = builder.num_nodes
-    pool_size = max(int(round(n * pool_percent / 100.0)), min_pool)
     pool_size = int(np.clip(pool_size, 1, n - 1))
     with span("graph.pool"):
         pools: List[np.ndarray] = []
@@ -208,6 +225,44 @@ def build_attribute_graph(
             block = builder.block(start, start + builder.block_rows)
             _extend_pools_from_rows(block, pool_size, pools, weights)
         return DynamicNeighborGraph(pools=pools, weights=weights)
+
+
+def build_attribute_graph(
+    task: RecommendationTask,
+    side: str,
+    pool_percent: float = 5.0,
+    use_attribute: bool = True,
+    use_preference: bool = True,
+    min_pool: int = 10,
+    candidate_strategy: str = "exact",
+) -> DynamicNeighborGraph:
+    """The paper's dynamic attribute graph for ``side`` in {"user", "item"}.
+
+    ``pool_percent`` is the threshold *p*: candidates are the top ``p%`` most
+    proximal nodes (at least ``min_pool`` so sampling stays meaningful on
+    small datasets).  Preference proximity uses training interactions only.
+    ``candidate_strategy`` selects exact all-pairs ranking (the default,
+    bitwise-stable) or sublinear inverted-index blocking.
+    """
+    if side not in ("user", "item"):
+        raise ValueError(f"side must be 'user' or 'item', got {side!r}")
+    matrix = task.train_rating_matrix()
+    if side == "user":
+        attributes = task.dataset.user_attributes
+        rating_vectors = matrix
+    else:
+        attributes = task.dataset.item_attributes
+        rating_vectors = matrix.T
+    n = attributes.shape[0]
+    pool_size = max(int(round(n * pool_percent / 100.0)), min_pool)
+    return build_graph_from_arrays(
+        attributes,
+        rating_vectors if use_preference else None,
+        pool_size,
+        use_attribute=use_attribute,
+        use_preference=use_preference,
+        candidate_strategy=candidate_strategy,
+    )
 
 
 def build_knn_graph(

@@ -29,6 +29,7 @@ import numpy as np
 from ..data.dataset import RatingDataset
 from ..data.splits import RecommendationTask
 from ..graphs import DynamicNeighborGraph, FixedNeighborGraph, NeighborGraph
+from ..graphs.candidates import CandidateIndex, default_budgets
 from ..graphs.construction import _extend_pools_from_rows
 from ..nn.functional import cosine_similarity_matrix
 from ..obs import events as obs_events
@@ -137,7 +138,10 @@ def _splice_side(graph: NeighborGraph, attributes: np.ndarray, config) -> Neighb
     New nodes have attributes but no history, so their proximity is attribute
     cosine only — the same strict-cold-start fallback live onboarding uses
     (:func:`repro.serving.onboarding.splice_neighbours`), vectorised over the
-    whole block of arrivals.  Existing nodes' pools are untouched.
+    whole block of arrivals.  Existing nodes' pools are untouched.  With
+    ``config.graph_candidate_strategy == "inverted"`` each arrival scores only
+    the candidates an inverted attribute index proposes, so the splice never
+    touches all ``n`` rows per node.
     """
     n = attributes.shape[0]
     old_n = graph.num_nodes
@@ -146,18 +150,42 @@ def _splice_side(graph: NeighborGraph, attributes: np.ndarray, config) -> Neighb
     if n < old_n:
         raise ValueError(f"extended attribute matrix has {n} rows, graph has {old_n}")
     new_rows = attributes[old_n:]
-    similarity = cosine_similarity_matrix(new_rows, attributes)
-    # A node must not be its own candidate; peers among the arrivals may be.
-    similarity[np.arange(n - old_n), np.arange(old_n, n)] = -np.inf
 
     if isinstance(graph, DynamicNeighborGraph):
         pool_size = max(int(round(n * config.pool_percent / 100.0)), config.num_neighbors)
         pool_size = int(np.clip(pool_size, 1, n - 1))
         pools = list(graph.pools)
         weights = list(graph.weights)
+        if getattr(config, "graph_candidate_strategy", "exact") == "inverted":
+            scan_budget, max_candidates = default_budgets(pool_size)
+            index = CandidateIndex(
+                attributes != 0, scan_budget=scan_budget, max_candidates=max_candidates
+            )
+            for offset, row in enumerate(new_rows):
+                node = old_n + offset
+                cands = index.candidates_for_row(row, exclude=node)
+                if cands.size == 0:
+                    # Information-free arrival: the deterministic low-id
+                    # fallback pool build_candidate_graph uses.
+                    fallback = np.arange(pool_size + 1, dtype=np.int64)
+                    fallback = fallback[fallback != node][:pool_size]
+                    pools.append(fallback)
+                    weights.append(np.full(fallback.size, 1e-6))
+                    continue
+                sims = cosine_similarity_matrix(row[None, :], attributes[cands])[0]
+                order = np.lexsort((cands, -sims))[: min(pool_size, cands.size)]
+                top = sims[order]
+                pools.append(cands[order].astype(np.int64))
+                weights.append(top - top.min() + 1e-6)
+            return DynamicNeighborGraph(pools=pools, weights=weights)
+        similarity = cosine_similarity_matrix(new_rows, attributes)
+        # A node must not be its own candidate; peers among the arrivals may be.
+        similarity[np.arange(n - old_n), np.arange(old_n, n)] = -np.inf
         _extend_pools_from_rows(similarity, pool_size, pools, weights)
         return DynamicNeighborGraph(pools=pools, weights=weights)
     if isinstance(graph, FixedNeighborGraph):
+        similarity = cosine_similarity_matrix(new_rows, attributes)
+        similarity[np.arange(n - old_n), np.arange(old_n, n)] = -np.inf
         order = np.argsort(-similarity, axis=1)[:, : graph.matrix.shape[1]]
         return FixedNeighborGraph(matrix=np.vstack([graph.matrix, order]))
     raise TypeError(f"cannot splice graph type {type(graph).__name__}")

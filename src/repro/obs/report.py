@@ -96,6 +96,13 @@ def _bench_deltas(bench_dir: Path, observed: Dict[str, Any]) -> Dict[str, Any]:
             if fresh_rmse is not None and entry["committed_rmse"] is not None:
                 entry["observed_rmse"] = fresh_rmse
                 entry["rmse_matches_committed"] = bool(fresh_rmse == entry["committed_rmse"])
+            graph_scaling = committed.get("graph_scaling")
+            if graph_scaling:
+                entry["committed_graph_score_recall"] = graph_scaling.get(
+                    "overlap", {}
+                ).get("mean_score_recall")
+                entry["committed_graph_exponent"] = graph_scaling.get("approx_exponent")
+                entry["committed_graph_max_n"] = graph_scaling.get("max_n")
         elif filename == "BENCH_serving.json":
             serving = committed.get("meta", {}).get("serving", {})
             entry["committed_score_cold_p50_s"] = serving.get("score_cold_p50_s")
@@ -346,6 +353,12 @@ def render_report(report: Dict[str, Any]) -> str:
                 + ("" if entry.get("rmse_matches_committed") is None
                    else f"; rmse {'matches' if entry['rmse_matches_committed'] else 'DIFFERS FROM'} committed")
             )
+            if entry.get("committed_graph_score_recall") is not None:
+                lines.append(
+                    f"- {filename} (graph_scaling): mean score recall "
+                    f"{entry['committed_graph_score_recall']:.3f}, inverted-build exponent "
+                    f"{entry['committed_graph_exponent']:.2f} up to n={entry['committed_graph_max_n']}"
+                )
         elif "score_p50_delta_pct" in entry:
             lines.append(
                 f"- {filename}: score p50 {_fmt_seconds(entry['observed_score_p50_s'])} vs committed cold "

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..graphs.candidates import CandidateIndex, default_budgets
 from ..obs import events as obs_events
 from ..telemetry import increment, set_gauge, span
 from .bundle import ServingBundle
@@ -93,6 +94,11 @@ class InferenceEngine:
 
         self._raw: Dict[str, np.ndarray] = {}
         self._refined: Dict[str, np.ndarray] = {}
+        # Per-side inverted indexes for sublinear onboarding splices; built
+        # lazily on first onboard when the bundle's config opted in.
+        self._cand_index: Dict[str, Optional[CandidateIndex]] = {
+            side: None for side in _SIDES
+        }
         self._cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
         self._derive_embeddings()
         # Opt-in construction-time invariant sweep (REPRO_VERIFY=1); imported
@@ -294,6 +300,31 @@ class InferenceEngine:
             return top, scores[top]
 
     # ------------------------------------------------------------- onboarding
+    def _candidate_index(self, side: str) -> Optional[CandidateIndex]:
+        """The side's onboarding index, or None on the exact (default) path.
+
+        Built lazily from the current attribute matrix the first time an
+        inverted-strategy bundle onboards a node; :meth:`_add_node` keeps it
+        in sync afterwards, so later arrivals are discoverable as candidates.
+        """
+        config = self.model.config
+        if getattr(config, "graph_candidate_strategy", "exact") != "inverted":
+            return None
+        index = self._cand_index[side]
+        if index is None:
+            pool_size = max(
+                int(round(self.count(side) * config.pool_percent / 100.0)),
+                config.num_neighbors,
+            )
+            scan_budget, max_candidates = default_budgets(pool_size)
+            index = CandidateIndex(
+                self._attr[side] != 0,
+                scan_budget=scan_budget,
+                max_candidates=max_candidates,
+            )
+            self._cand_index[side] = index
+        return index
+
     def add_user(self, attributes) -> int:
         """Onboard a brand-new strict-cold-start user from attributes alone."""
         return self._add_node("user", attributes)
@@ -312,13 +343,16 @@ class InferenceEngine:
             # the node never trained.
             pref_row = model.generate_cold_preference(side, row[None])
             # Splice into the attribute graph: proximity against every known
-            # node, top-p% candidate pool, neighbourhood from the pool head.
+            # node (or, with an inverted-strategy bundle, only against the
+            # index's candidates), top-p% pool, neighbourhood from its head.
+            index = self._candidate_index(side)
             neighbour_ids, _, _ = splice_neighbours(
                 row,
                 self._attr[side],
                 pool_percent=model.config.pool_percent,
                 k=self._neigh[side].shape[1],
                 min_pool=model.config.num_neighbors,
+                index=index,
             )
             raw_row = model.raw_node_embeddings(
                 side, row[None], pref_row, np.zeros(1, dtype=np.int64)
@@ -328,6 +362,10 @@ class InferenceEngine:
             )
 
             new_id = self.count(side)
+            if index is not None:
+                # new_id == index.num_nodes: the index grows in lockstep with
+                # the attribute matrix, keeping this arrival discoverable.
+                index.add_row(row != 0)
             self._attr[side] = np.vstack([self._attr[side], row[None]])
             self._pref[side] = np.vstack([self._pref[side], pref_row])
             self._neigh[side] = np.vstack([self._neigh[side], neighbour_ids[None]])

@@ -26,6 +26,7 @@ from typing import Mapping, Optional, Tuple
 import numpy as np
 
 from ..data.schema import AttributeSchema
+from ..graphs.candidates import CandidateIndex
 from ..nn.functional import cosine_similarity_matrix
 
 __all__ = ["encode_attribute_row", "splice_neighbours"]
@@ -65,6 +66,8 @@ def splice_neighbours(
     k: int,
     min_pool: int,
     rng: Optional[np.random.Generator] = None,
+    index: Optional[CandidateIndex] = None,
+    exclude: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Neighbourhood for a history-less node: attribute proximity only.
 
@@ -74,16 +77,44 @@ def splice_neighbours(
     weights.  Deterministic serving takes the pool head; passing ``rng``
     re-enables the paper's proximity-weighted sampling.
 
+    With an ``index`` (a :class:`~repro.graphs.candidates.CandidateIndex`
+    over the same attribute rows) only the index's candidates are scored —
+    the sublinear onboarding path for ``graph_candidate_strategy="inverted"``.
+    ``exclude`` masks one existing id (used when ``row`` is already a row of
+    ``attributes``, e.g. the onboarding-parity oracle).
+
     Returns ``(neighbour_ids, pool_ids, pool_weights)``.
     """
     n = attributes.shape[0]
     if n == 0:
         raise ValueError("cannot splice a node into an empty graph")
-    similarity = cosine_similarity_matrix(row[None, :], attributes)[0]
-    pool_size = int(np.clip(max(round(n * pool_percent / 100.0), min_pool), 1, n))
-    pool = np.argpartition(-similarity, pool_size - 1)[:pool_size]
-    pool = pool[np.argsort(-similarity[pool], kind="stable")].astype(np.int64)
-    weights = similarity[pool] - similarity[pool].min() + 1e-6
+    limit = n if exclude is None else n - 1
+    if limit < 1:
+        raise ValueError("cannot splice a node into a graph with no other nodes")
+    pool_size = int(np.clip(max(round(n * pool_percent / 100.0), min_pool), 1, limit))
+    if index is not None:
+        cands = index.candidates_for_row(row, exclude=exclude)
+        if cands.size == 0:
+            # No shared attribute with anything: an information-free pool,
+            # mirroring build_candidate_graph's deterministic low-id fallback.
+            cands = np.arange(n, dtype=np.int64)
+            if exclude is not None:
+                cands = cands[cands != exclude]
+            cands = cands[:pool_size]
+            sims = np.zeros(cands.size)
+        else:
+            sims = cosine_similarity_matrix(row[None, :], attributes[cands])[0]
+        order = np.lexsort((cands, -sims))[: min(pool_size, cands.size)]
+        pool = cands[order].astype(np.int64)
+        top = sims[order]
+        weights = top - top.min() + 1e-6
+    else:
+        similarity = cosine_similarity_matrix(row[None, :], attributes)[0]
+        if exclude is not None:
+            similarity[exclude] = -np.inf
+        pool = np.argpartition(-similarity, pool_size - 1)[:pool_size]
+        pool = pool[np.argsort(-similarity[pool], kind="stable")].astype(np.int64)
+        weights = similarity[pool] - similarity[pool].min() + 1e-6
 
     if rng is not None:
         probs = weights / weights.sum()

@@ -1,0 +1,95 @@
+"""Property-based parity: BlockwiseProximity vs all-pairs combined_proximity.
+
+Randomised inputs (seeded and derandomised — CI never flakes) sweep node
+counts, feature widths, block sizes and the degenerate corners the fixtures
+never quite hit: constant attribute rows (range < 1e-12 → the term zeroes),
+all-empty rating vectors (no history anywhere → preference term zeroes), and
+single-history nodes (the mask keeps exactly one row's pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.proximity import BlockwiseProximity, combined_proximity
+
+pytestmark = pytest.mark.graphs
+
+SETTINGS = dict(max_examples=25, deadline=None, derandomize=True)
+
+
+def _inputs(seed: int, n: int, attr_dim: int, num_ratings: int, attr_density: float,
+            rating_density: float) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    attributes = (rng.random((n, attr_dim)) < attr_density).astype(np.float64)
+    ratings = np.where(
+        rng.random((n, num_ratings)) < rating_density,
+        rng.integers(1, 6, (n, num_ratings)),
+        0,
+    ).astype(np.float64)
+    return attributes, ratings
+
+
+def _assert_parity(attributes, ratings, block_rows, use_attribute=True, use_preference=True):
+    reference = combined_proximity(
+        attributes, ratings if use_preference else None,
+        use_attribute=use_attribute, use_preference=use_preference,
+    )
+    got = BlockwiseProximity(
+        attributes, ratings if use_preference else None,
+        use_attribute=use_attribute, use_preference=use_preference,
+        block_rows=block_rows,
+    ).materialise()
+    np.testing.assert_allclose(got, reference, rtol=1e-12, atol=1e-15)
+    np.testing.assert_array_equal(np.isneginf(got), np.isneginf(reference))
+
+
+class TestRandomisedParity:
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(3, 64),
+        attr_dim=st.integers(1, 20),
+        num_ratings=st.integers(1, 24),
+        attr_density=st.floats(0.02, 0.9),
+        rating_density=st.floats(0.0, 0.4),
+        block_rows=st.sampled_from([1, 3, 7, 16, 512]),
+    )
+    def test_random_inputs(self, seed, n, attr_dim, num_ratings, attr_density,
+                           rating_density, block_rows):
+        attributes, ratings = _inputs(seed, n, attr_dim, num_ratings, attr_density, rating_density)
+        _assert_parity(attributes, ratings, block_rows)
+
+    @settings(**SETTINGS)
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(3, 40),
+        block_rows=st.sampled_from([2, 5, 512]),
+        use_preference=st.booleans(),
+    )
+    def test_constant_attribute_rows(self, seed, n, block_rows, use_preference):
+        # Identical rows: attribute similarity is constant, max - min < 1e-12,
+        # and min_max_normalise's degenerate branch must zero the whole term.
+        attributes = np.ones((n, 6))
+        _, ratings = _inputs(seed, n, 6, 12, 0.5, 0.3)
+        _assert_parity(attributes, ratings, block_rows, use_preference=use_preference)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 2**16), n=st.integers(3, 40), block_rows=st.sampled_from([3, 512]))
+    def test_empty_rating_vectors(self, seed, n, block_rows):
+        # Nobody has history: the preference mask is empty and the term zeroes.
+        attributes, _ = _inputs(seed, n, 8, 6, 0.4, 0.0)
+        ratings = np.zeros((n, 6))
+        _assert_parity(attributes, ratings, block_rows)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 2**16), block_rows=st.sampled_from([2, 512]))
+    def test_single_history_node(self, seed, block_rows):
+        # Exactly one node with history: the masked preference range collapses
+        # (a single diagonal entry → max - min < 1e-12 → zeros).
+        attributes, ratings = _inputs(seed, 20, 8, 10, 0.4, 0.0)
+        ratings[:] = 0.0
+        ratings[seed % 20, seed % 10] = 3.0
+        _assert_parity(attributes, ratings, block_rows)

@@ -107,6 +107,21 @@ class TestParser:
         assert args.swaps == 6
         assert not args.check
 
+    def test_graph_bench_defaults(self):
+        args = build_parser().parse_args(["graph-bench"])
+        assert args.n_grid == "2000,8000,32000,100000"
+        assert args.exact_grid == "2000,4000,8000"
+        assert args.pool_size == 100
+        assert args.repeats == 2
+        assert args.seed == 0
+        assert args.output == "BENCH_training.json"
+        assert not args.json
+
+    def test_graph_bench_rejects_bad_grid(self):
+        from repro.cli import main
+
+        assert main(["graph-bench", "--n-grid", "2000,oops"]) == 2
+
 
 class TestModelFactory:
     def test_agnn_variant(self):
