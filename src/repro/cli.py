@@ -156,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pair budget per coalesced tick (batching mode)")
     serve.add_argument("--max-queue-depth", type=int, default=1024,
                        help="queued requests before shedding with 429 (batching mode)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serving processes; >1 starts a WorkerPool over "
+                       "mmap-shared bundle state (each worker runs its own "
+                       "in-process coalescing engine)")
 
     sbench = commands.add_parser(
         "serving-bench",
@@ -198,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pair budget per coalesced tick")
     lbench.add_argument("--max-queue-depth", type=int, default=4096,
                         help="queued requests before shedding")
+    lbench.add_argument("--pool-workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker-count sweep for the multi-process pool phase")
+    lbench.add_argument("--pool-concurrency", type=int, default=8,
+                        help="closed-loop callers driving each pool cell")
+    lbench.add_argument("--no-pool", action="store_true",
+                        help="skip the worker-pool sweep (single-process phases only)")
     lbench.add_argument("--seed", type=int, default=0, help="workload seed")
     lbench.add_argument("--check", action="store_true",
                         help="seconds-scale smoke invocation (shrinks the matrix; "
@@ -420,7 +430,13 @@ def _command_export_bundle(args) -> int:
     model = model_factory(args.model, scale)()
     history = model.fit(task, train_config)
     result = model.evaluate()
-    path = export_bundle(model, task, args.output, note=f"{args.model} {args.dataset}/{args.scenario}")
+    path = export_bundle(
+        model,
+        task,
+        args.output,
+        note=f"{args.model} {args.dataset}/{args.scenario}",
+        mapped=True,
+    )
 
     payload = {
         "bundle": str(path),
@@ -440,7 +456,41 @@ def _command_export_bundle(args) -> int:
 
 
 def _command_serve(args) -> int:
-    from .serving import BatchingEngine, InferenceEngine, load_bundle, make_server, serve_forever
+    from .serving import (
+        BatchingEngine,
+        InferenceEngine,
+        WorkerPool,
+        load_bundle,
+        make_server,
+        serve_forever,
+    )
+
+    if args.workers < 1:
+        print("--workers must be positive", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        pool = WorkerPool(
+            args.bundle,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            max_batch_pairs=args.max_batch_pairs,
+            max_queue_depth=args.max_queue_depth,
+            tick_interval=args.tick_interval,
+        )
+        server = make_server(
+            host=args.host, port=args.port, verbose=args.verbose, pool=pool
+        )
+        health = pool.healthz()
+        first = next((w for w in health["workers"] if w.get("responsive")), {})
+        print(
+            f"serving bundle {args.bundle} from {args.workers} workers "
+            f"(pids {pool.worker_pids()}) — {first.get('users', '?')} users, "
+            f"{first.get('items', '?')} items, mmap-shared state"
+        )
+        mode = f"worker pool ({args.workers} processes, per-worker coalescing)"
+        print(f"listening on http://{args.host}:{server.port}  [{mode}]  (Ctrl-C to stop)")
+        serve_forever(server)
+        return 0
 
     bundle = load_bundle(args.bundle)
     engine = InferenceEngine(bundle, cache_size=args.cache_size)
@@ -520,6 +570,8 @@ def _command_load_bench(args) -> int:
         tick_interval=args.tick_interval,
         max_batch_pairs=args.max_batch_pairs,
         max_queue_depth=args.max_queue_depth,
+        pool_worker_counts=() if args.no_pool else tuple(args.pool_workers),
+        pool_concurrency=args.pool_concurrency,
         seed=args.seed,
         output=None if args.output == "-" else args.output,
         check=args.check,

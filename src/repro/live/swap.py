@@ -90,15 +90,24 @@ def swap_bundle(
     """Build, validate, and atomically install a new bundle on ``target``.
 
     ``target`` is anything with a ``swap_engine(engine) -> old_engine`` method
-    (:class:`ServingHTTPServer` or :class:`BatchingEngine`).  Returns a
-    :class:`SwapReport`; raises :class:`SwapValidationError` (old engine still
-    live) when the candidate fails its probe.
+    (:class:`ServingHTTPServer` or :class:`BatchingEngine`), or a
+    :class:`~repro.serving.workers.WorkerPool` / pool-backed server, which
+    swaps *by bundle path*: every worker remaps the new bundle off-path,
+    probes it, and installs it behind its FIFO barrier — no request dropped,
+    no response mixing bundles.  Returns a :class:`SwapReport`; raises
+    :class:`SwapValidationError` (old engine still live) when the candidate
+    fails its probe.
     """
+    pool_target = getattr(target, "pool", None) or (
+        target if hasattr(target, "swap_bundle_path") and not hasattr(target, "swap_engine") else None
+    )
+    if pool_target is not None:
+        return _swap_bundle_pool(target, pool_target, bundle, validate_pairs)
     swap_method = getattr(target, "swap_engine", None)
     if swap_method is None:
         raise TypeError(
             f"swap target {type(target).__name__} has no swap_engine(); "
-            "expected a ServingHTTPServer or BatchingEngine"
+            "expected a ServingHTTPServer, BatchingEngine, or WorkerPool"
         )
     started = time.perf_counter()
     with span("live.swap"):
@@ -122,5 +131,45 @@ def swap_bundle(
         previous_fingerprint=previous.bundle.fingerprint,
         previous_version=previous.bundle.version,
         validated_pairs=validated,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _swap_bundle_pool(target, pool, bundle: ServingBundle, validate_pairs: int) -> SwapReport:
+    """Pool path of :func:`swap_bundle`: broadcast the bundle *directory*.
+
+    The pool validates the candidate once in the parent (same deterministic
+    probe as the engine path), then every worker remaps + probes off-path and
+    switches behind its own FIFO barrier.
+    """
+    started = time.perf_counter()
+    with span("live.swap"):
+        previous = {"fingerprint": "", "version": 0}
+        for worker in pool.healthz().get("workers", ()):
+            if worker.get("responsive"):
+                previous = {
+                    "fingerprint": worker["bundle_fingerprint"],
+                    "version": worker["bundle_version"],
+                }
+                break
+        swap = getattr(target, "swap_bundle_path", pool.swap_bundle_path)
+        try:
+            swap(bundle.path, validate_pairs=validate_pairs)
+        except SwapValidationError as exc:
+            increment("serve.swap.rejected")
+            obs_events.emit(
+                "serve.swap_rejected",
+                fingerprint=bundle.fingerprint,
+                version=bundle.version,
+                error=str(exc),
+            )
+            raise
+    return SwapReport(
+        fingerprint=bundle.fingerprint,
+        version=bundle.version,
+        parent_version=bundle.parent_version,
+        previous_fingerprint=previous["fingerprint"],
+        previous_version=previous["version"],
+        validated_pairs=validate_pairs,
         elapsed_s=time.perf_counter() - started,
     )

@@ -121,6 +121,13 @@ def _bench_deltas(bench_dir: Path, observed: Dict[str, Any]) -> Dict[str, Any]:
             entry["committed_throughput_gain_x"] = summary.get("throughput_gain_x")
             entry["committed_p99_gain_x"] = summary.get("p99_gain_x")
             entry["committed_parity_ok"] = committed.get("meta", {}).get("parity", {}).get("ok")
+            pool = committed.get("pool") or {}
+            if pool:
+                entry["committed_pool_workers"] = max(pool.get("worker_counts", [0]))
+                entry["committed_pool_scaling_x"] = pool.get("scaling_x")
+                entry["committed_pool_rss_growth_x"] = pool.get("rss_growth_x")
+                entry["committed_pool_parity_ok"] = pool.get("parity")
+                entry["committed_pool_cpu_count"] = pool.get("cpu_count")
             fresh_p50 = observed.get("score_p50_s")
             batched = (
                 committed.get("closed_loop", {})
@@ -375,6 +382,16 @@ def render_report(report: Dict[str, Any]) -> str:
                    else f"; fresh score p50 {_fmt_seconds(entry['observed_score_p50_s'])} "
                         f"({entry['load_p50_delta_pct']:+.1f}% vs committed batched p50)")
             )
+            if entry.get("committed_pool_scaling_x") is not None:
+                growth = entry.get("committed_pool_rss_growth_x")
+                growth_text = "n/a" if growth is None else f"{growth:.2f}x"
+                lines.append(
+                    f"- {filename} (pool): {entry['committed_pool_workers']} workers "
+                    f"{entry['committed_pool_scaling_x']:.2f}x throughput scaling, "
+                    f"mapped-pss growth {growth_text}, parity "
+                    f"{'ok' if entry.get('committed_pool_parity_ok') else 'NOT OK'} "
+                    f"(recorded on {entry.get('committed_pool_cpu_count')} cpu)"
+                )
         elif "committed_speedup_x" in entry and entry["committed_speedup_x"]:
             lines.append(
                 f"- {filename}: warm refresh {entry['committed_speedup_x']:.2f}x faster than "

@@ -15,9 +15,15 @@ this package turns it into a *service*:
   request-coalescing core — concurrent score/top-N/onboarding requests are
   queued and fused into per-tick vectorised calls, with bounded-queue
   backpressure (shed → HTTP 429) and per-tick telemetry;
+* :mod:`~repro.serving.mapped` — memory-mapped bundle state: the serving
+  arrays materialised once as ``.npy`` files and shared read-only across
+  processes via ``np.load(..., mmap_mode="r")``;
+* :mod:`~repro.serving.workers` — :class:`WorkerPool`: N ``spawn``-ed serving
+  processes over one mmap-shared bundle, with least-outstanding dispatch,
+  sequence-numbered onboarding/swap broadcasts, and crash respawn;
 * :mod:`~repro.serving.server` — a stdlib JSON HTTP front-end
   (``/score``, ``/topn``, ``/users``, ``/items``, ``/healthz``, ``/metrics``)
-  with draining shutdown;
+  with draining shutdown, single-process or pool-backed (``--workers N``);
 * :mod:`~repro.serving.bench` — the metered producer of ``BENCH_serving.json``;
 * :mod:`~repro.serving.loadgen` — the load generator behind ``repro
   load-bench`` (open/closed loop, concurrency ramp) and ``BENCH_load.json``.
@@ -35,6 +41,13 @@ from .bundle import (
 )
 from .engine import InferenceEngine
 from .batching import BatchingEngine, EngineOverloadedError
+from .mapped import (
+    BundleMappingError,
+    materialise_mapped,
+    mapped_is_fresh,
+    open_bundle_mapped,
+)
+from .workers import PoolStoppedError, WorkerCrashedError, WorkerPool
 from .onboarding import encode_attribute_row, splice_neighbours
 from .server import ServingHTTPServer, make_server, serve_forever
 from .bench import EXPECTED_SERVING_SPANS, run_serving_bench
@@ -49,6 +62,13 @@ __all__ = [
     "InferenceEngine",
     "BatchingEngine",
     "EngineOverloadedError",
+    "BundleMappingError",
+    "materialise_mapped",
+    "mapped_is_fresh",
+    "open_bundle_mapped",
+    "WorkerPool",
+    "WorkerCrashedError",
+    "PoolStoppedError",
     "encode_attribute_row",
     "splice_neighbours",
     "ServingHTTPServer",

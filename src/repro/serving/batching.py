@@ -115,6 +115,7 @@ class BatchingEngine:
         self._queued_pairs = 0  # running sum of queued request pairs (O(1) budget checks)
         self._cond = threading.Condition()
         self._stopping = False
+        self._shutdown_called = False
         self._thread: Optional[threading.Thread] = None
         self._ticks = 0
         self._requests_drained = 0
@@ -136,6 +137,7 @@ class BatchingEngine:
             if self.running:
                 return
             self._stopping = False
+            self._shutdown_called = False
             self._thread = threading.Thread(
                 target=self._run, name="repro-batching", daemon=True
             )
@@ -147,6 +149,10 @@ class BatchingEngine:
 
         With ``drain`` (default) everything already queued is still executed;
         otherwise pending futures fail with :class:`RuntimeError`.
+
+        Safe to call repeatedly and from any thread — including the drain
+        thread itself (a done-callback, say): a second call finds no queue and
+        no living thread and falls through, and a thread never joins itself.
         """
         with self._cond:
             self._stopping = True
@@ -157,13 +163,33 @@ class BatchingEngine:
             else:
                 pending = []
             self._cond.notify_all()
+            # Claim the thread under the lock so concurrent stop() calls
+            # cannot both try to join (or see a half-cleared handle).
+            thread = self._thread
+            self._thread = None
         for request in pending:
             request.future.set_exception(RuntimeError("batching engine stopped"))
-        thread = self._thread
         if thread is not None and thread is not threading.current_thread():
             thread.join(timeout)
-        self._thread = None
         obs_events.emit("serve.batching_stop", drained=drain)
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = 10.0) -> None:
+        """Idempotent terminal stop, safe from ``atexit`` and signal handlers.
+
+        Exactly one caller performs the actual :meth:`stop`; every later (or
+        re-entrant) call returns immediately.  The claim is a plain attribute
+        flip — atomic under the GIL, no lock taken — so the duplicate
+        deliveries that happen in practice (atexit after a SIGTERM handler,
+        repeated signals, an explicit close racing either) cost nothing and
+        cannot deadlock.  The one winning call still acquires the condition
+        lock inside :meth:`stop`; trigger it from the serving loop's unwind
+        path (as ``serve_forever`` does) rather than from inside a frame that
+        already holds it.
+        """
+        if self._shutdown_called:
+            return
+        self._shutdown_called = True
+        self.stop(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "BatchingEngine":
         self.start()

@@ -50,11 +50,18 @@ PathLike = Union[str, Path]
 #: Written by :func:`export_bundle`.  Version 2 added bundle lineage
 #: (``version`` / ``parent_version`` / ``lineage`` / ``metrics``) and the
 #: training ratings needed for incremental refresh (``repro.live``).
-MANIFEST_SCHEMA_VERSION = 2
+#: Version 3 added the mmap-shared serving state: export materialises a
+#: ``mapped/`` directory of ``.npy`` arrays (engine caches, graph pools,
+#: weights) that worker processes open read-only via
+#: :func:`~repro.serving.mapped.open_bundle_mapped`.
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Versions :func:`load_bundle` can read.  Version-1 bundles load with default
-#: lineage (generation 1, no parent) and no replay ratings.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: lineage (generation 1, no parent) and no replay ratings; version-1/-2
+#: bundles carry no mapped state — opening them mapped transparently upgrades
+#: (materialises) when the directory is writable and fails with a re-export
+#: message otherwise.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 _SIDES = ("user", "item")
 
@@ -81,6 +88,12 @@ class ServingBundle:
     #: short sha256 over manifest.json + model.npz — identifies *which* model a
     #: server is running (surfaced in /healthz and the serving events)
     fingerprint: str = ""
+    #: read-only mmap'd per-side engine arrays, set by
+    #: :func:`~repro.serving.mapped.open_bundle_mapped` (None on the plain
+    #: heap-loading path) — ``{"user": {"attr": ..., "refined": ..., ...}}``
+    mapped: Optional[Dict[str, Dict[str, np.ndarray]]] = None
+    #: the ``mapped/`` directory backing :attr:`mapped`, when set
+    mapped_dir: Optional[Path] = None
 
     @property
     def rating_scale(self) -> Tuple[float, float]:
@@ -152,13 +165,16 @@ def export_bundle(
     parent_version: Optional[int] = None,
     lineage: Optional[Dict] = None,
     metrics: Optional[Dict] = None,
+    mapped: bool = False,
 ) -> Path:
     """Write a fitted AGNN plus its serving state to directory ``path``.
 
     ``version``/``parent_version``/``lineage`` record where this bundle sits
     in a refresh chain (the :class:`~repro.live.BundleStore` sets them);
     ``metrics`` carries eval numbers (e.g. ``eval_rmse``) so promotion gates
-    can compare generations without re-running evaluation.
+    can compare generations without re-running evaluation.  ``mapped``
+    additionally materialises the mmap-shared serving arrays (the worker-pool
+    fast path) at export time; the pool materialises on demand otherwise.
     """
     if not isinstance(model, AGNN):
         raise TypeError(f"bundles serve AGNN models, got {type(model).__name__}")
@@ -219,6 +235,11 @@ def export_bundle(
             },
         }
         (path / "manifest.json").write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        if mapped:
+            # Imported here to avoid a module cycle (mapped imports bundle).
+            from .mapped import materialise_mapped
+
+            materialise_mapped(path, force=True)
     return path
 
 

@@ -45,6 +45,37 @@ __all__ = ["InferenceEngine"]
 _SIDES = ("user", "item")
 
 
+def _take_rows(matrix: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Gather ``matrix`` rows by id without copying when a view suffices.
+
+    Fancy indexing always copies; two request shapes dominate serving and
+    need no copy at all — important when the backing store is a read-only
+    mmap shared across worker processes:
+
+    * a constant id (the user side of top-N: one user against every item)
+      becomes a broadcast view of that single row;
+    * a contiguous ascending range (the item side of top-N: ``arange(n)``)
+      becomes a plain slice.
+
+    Views are returned read-only so no caller can write through to the
+    (possibly process-shared) store; everything else falls back to the
+    fancy-index gather, which owns its data.
+    """
+    n = ids.size
+    if n > 1:
+        first = int(ids[0])
+        last = int(ids[-1])
+        if first == last and not np.any(ids != first):
+            return np.broadcast_to(matrix[first], (n,) + matrix.shape[1:])
+        if last - first == n - 1 and bool((np.diff(ids) == 1).all()):
+            view = matrix[first : first + n]
+            if view.flags.writeable:
+                view = view.view()
+                view.flags.writeable = False
+            return view
+    return matrix[ids]
+
+
 class InferenceEngine:
     """Serve rating predictions and top-N retrieval from a model bundle."""
 
@@ -67,26 +98,37 @@ class InferenceEngine:
         self._cache_hits = 0
         self._cache_misses = 0
 
-        self._attr: Dict[str, np.ndarray] = {
-            side: bundle.attributes(side).copy() for side in _SIDES
-        }
-        self._neigh: Dict[str, np.ndarray] = {
-            side: bundle.neighbours[side].copy() for side in _SIDES
-        }
-        self._bias: Dict[str, np.ndarray] = {
-            "user": self.model.head.user_bias.value.data.copy(),
-            "item": self.model.head.item_bias.value.data.copy(),
-        }
+        mapped = getattr(bundle, "mapped", None)
+        if mapped is not None:
+            # Mapped bundle: adopt the read-only mmap arrays as-is.  No copy,
+            # no precompute — the parent process materialised them through a
+            # donor engine, so they are bitwise what we would derive here, and
+            # every sibling worker shares the same physical pages.  Growth
+            # (onboarding) replaces whole arrays via copy-on-grow, so the
+            # read-only store is never written through.
+            self._attr: Dict[str, np.ndarray] = {s: mapped[s]["attr"] for s in _SIDES}
+            self._neigh: Dict[str, np.ndarray] = {s: mapped[s]["neigh"] for s in _SIDES}
+            self._bias: Dict[str, np.ndarray] = {s: mapped[s]["bias"] for s in _SIDES}
+            self._pref: Dict[str, np.ndarray] = {s: mapped[s]["pref"] for s in _SIDES}
+        else:
+            self._attr = {side: bundle.attributes(side).copy() for side in _SIDES}
+            self._neigh = {side: bundle.neighbours[side].copy() for side in _SIDES}
+            self._bias = {
+                "user": self.model.head.user_bias.value.data.copy(),
+                "item": self.model.head.item_bias.value.data.copy(),
+            }
+            self._pref = {}
+            for side in _SIDES:
+                pref = self.model._encoder(side).preference.weight.data.copy()
+                cold = bundle.cold_nodes.get(side, np.empty(0, dtype=np.int64))
+                if len(cold):
+                    pref[cold] = self.model.generate_cold_preference(
+                        side, self._attr[side][cold]
+                    )
+                self._pref[side] = pref
         self._base_count: Dict[str, int] = {
             side: self._attr[side].shape[0] for side in _SIDES
         }
-        self._pref: Dict[str, np.ndarray] = {}
-        for side in _SIDES:
-            pref = self.model._encoder(side).preference.weight.data.copy()
-            cold = bundle.cold_nodes.get(side, np.empty(0, dtype=np.int64))
-            if len(cold):
-                pref[cold] = self.model.generate_cold_preference(side, self._attr[side][cold])
-            self._pref[side] = pref
 
         self._seen: Dict[int, Set[int]] = {}
         for user, item in zip(bundle.train_users.tolist(), bundle.train_items.tolist()):
@@ -100,7 +142,13 @@ class InferenceEngine:
             side: None for side in _SIDES
         }
         self._cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
-        self._derive_embeddings()
+        if mapped is not None:
+            self._raw = {s: mapped[s]["raw"] for s in _SIDES}
+            self._refined = {s: mapped[s]["refined"] for s in _SIDES}
+            for side in _SIDES:
+                set_gauge(f"serve.nodes.{side}", float(self.count(side)))
+        else:
+            self._derive_embeddings()
         # Opt-in construction-time invariant sweep (REPRO_VERIFY=1); imported
         # at call time to keep repro.serving importable without repro.verify.
         from ..verify.invariants import maybe_verify_engine
@@ -159,7 +207,9 @@ class InferenceEngine:
             for side in _SIDES:
                 n = self.count(side)
                 attr, pref, neigh = self._attr[side], self._pref[side], self._neigh[side]
-                raw = np.empty_like(pref)
+                # subok=False: pref may be a read-only np.memmap; the scratch
+                # buffers must be plain writable heap arrays.
+                raw = np.empty_like(pref, subok=False)
                 for start in range(0, n, self.batch_size):
                     ids = np.arange(start, min(start + self.batch_size, n), dtype=np.int64)
                     raw[ids] = self.model.raw_node_embeddings(side, attr, pref, ids)
@@ -189,7 +239,11 @@ class InferenceEngine:
                 k = self._neigh[side].shape[1]
                 base = self._base_count[side]
                 fresh = self.bundle.graphs[side].neighbours(k, rng)
-                self._neigh[side][:base] = fresh[:base]
+                # Rebuild rather than write in place: the current matrix may
+                # be a read-only mmap shared with sibling processes.
+                self._neigh[side] = np.concatenate(
+                    [fresh[:base], self._neigh[side][base:]], axis=0
+                )
             self._derive_embeddings()
 
     # ---------------------------------------------------------------- scoring
@@ -201,11 +255,19 @@ class InferenceEngine:
 
     def _compute_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Uncached score path: gather refined rows, run the prediction head."""
+        user_rows = _take_rows(self._refined["user"], users)
+        item_rows = _take_rows(self._refined["item"], items)
+        # Scoring must never hold a writable alias into the refined-embedding
+        # store: a view it could write through would corrupt state shared
+        # read-only across worker processes.  (Gathers either own their data
+        # or come back as explicitly read-only views.)
+        for rows, store in ((user_rows, self._refined["user"]), (item_rows, self._refined["item"])):
+            assert not rows.flags.writeable or not np.may_share_memory(rows, store)
         scores = self.model.pairwise_scores(
-            self._refined["user"][users],
-            self._refined["item"][items],
-            self._bias["user"][users],
-            self._bias["item"][items],
+            user_rows,
+            item_rows,
+            _take_rows(self._bias["user"], users),
+            _take_rows(self._bias["item"], items),
         )
         low, high = self.rating_scale
         return np.clip(scores, low, high)

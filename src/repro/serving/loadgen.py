@@ -22,15 +22,30 @@ refuses to compare paths that disagree.  Engines run with ``cache_size=0``:
 the LRU would otherwise answer the second pass from memory and the bench
 would measure the cache, not the serving path.
 
+A third phase sweeps the **multi-process pool** (schema v2): for each worker
+count in ``pool_worker_counts`` a :class:`~repro.serving.workers.WorkerPool`
+is stood up over the same bundle (mmap-shared state), checked for bitwise
+parity against the single-process oracle on *every* worker — before and after
+an onboarding broadcast — then driven with the closed-loop workload.  Memory
+sharing is measured from ``/proc/<pid>/smaps``: the per-mapping **Pss** of the
+bundle's ``mapped/`` files summed over all workers (Pss divides shared pages
+among their sharers, so N workers over one physical copy sum to ~the same
+number as one worker — unlike ``VmRSS``, which would count the shared pages N
+times).  The ``pool`` section records throughput scaling, the mapped-Pss
+growth ratio, parity, respawns, and the machine's ``cpu_count`` — the
+scaling tripwire in ``benchmarks/test_pool_baseline.py`` only binds when the
+recording machine actually had cores to scale onto.
+
 ``run_load_bench`` writes the ``BENCH_load.json`` baseline consumed by
-``benchmarks/test_load_baseline.py`` (the tripwire) and surfaced by
-``repro report``; ``check=True`` is the quick smoke invocation wired into the
-benchmark suite.
+``benchmarks/test_load_baseline.py`` + ``benchmarks/test_pool_baseline.py``
+(the tripwires) and surfaced by ``repro report``; ``check=True`` is the quick
+smoke invocation wired into the benchmark suite.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 import threading
 import time
@@ -46,7 +61,8 @@ from .engine import InferenceEngine
 
 __all__ = ["LOAD_SCHEMA_VERSION", "run_load_bench", "render_load_bench"]
 
-LOAD_SCHEMA_VERSION = 1
+#: v2 added the multi-process ``pool`` section
+LOAD_SCHEMA_VERSION = 2
 
 _MS = 1e3
 
@@ -191,6 +207,163 @@ def _batch_distribution(name: str) -> Dict[str, float]:
     }
 
 
+def _mapped_pss_kb(pid: int, mapped_dir: Path) -> Optional[float]:
+    """Sum the Pss of a process's mappings of the bundle's ``mapped/`` files.
+
+    Pss (proportional set size) charges each resident page 1/N-th to each of
+    its N sharers, so summing it across workers counts the physically shared
+    mapped arrays once — the honest measure of what mmap sharing saves.
+    Returns None when smaps is unavailable (non-Linux).
+    """
+    needle = str(mapped_dir)
+    total = 0.0
+    in_mapping = False
+    try:
+        with open(f"/proc/{pid}/smaps", "r") as handle:
+            for line in handle:
+                if "-" in line.split(" ", 1)[0] and ":" not in line.split(" ", 1)[0]:
+                    # mapping header: "addr-addr perms offset dev inode path"
+                    in_mapping = needle in line
+                elif in_mapping and line.startswith("Pss:"):
+                    total += float(line.split()[1])
+    except OSError:
+        return None
+    return total
+
+
+def _total_pss_kb(pid: int) -> Optional[float]:
+    try:
+        with open(f"/proc/{pid}/smaps_rollup", "r") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return float(line.split()[1])
+    except OSError:
+        pass
+    try:
+        total = 0.0
+        with open(f"/proc/{pid}/smaps", "r") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    total += float(line.split()[1])
+        return total
+    except OSError:
+        return None
+
+
+def _pool_phase(
+    bundle_dir: Path,
+    oracle: InferenceEngine,
+    users: np.ndarray,
+    items: np.ndarray,
+    worker_counts: Sequence[int],
+    concurrency: int,
+    duration_s: float,
+    pairs_per_request: int,
+    parity_pairs: int,
+    max_batch_pairs: int,
+    max_queue_depth: int,
+) -> Dict[str, Any]:
+    """Sweep worker counts: parity on every worker, throughput, shared-memory Pss."""
+    from .mapped import MAPPED_DIR_NAME
+    from .workers import WorkerPool
+
+    worker_counts = sorted(set(int(w) for w in worker_counts))
+    count = min(parity_pairs, len(users))
+    reference = oracle.predict_batch(users[:count], items[:count])
+    mapped_dir = bundle_dir / MAPPED_DIR_NAME
+
+    cells: Dict[str, Dict[str, Any]] = {}
+    onboard_parity = True
+    all_parity = True
+    for workers in worker_counts:
+        pool = WorkerPool(
+            bundle_dir,
+            workers=workers,
+            cache_size=0,
+            max_batch_pairs=max_batch_pairs,
+            max_queue_depth=max_queue_depth,
+        )
+        try:
+            # Parity gate per worker — and page warmup in the same stroke: the
+            # full parity slice touches the mapped arrays, so the Pss numbers
+            # below measure resident shared pages, not lazily unfaulted ones.
+            parity_ok = all(
+                np.array_equal(pool.score_on_worker(w, users[:count], items[:count]), reference)
+                for w in range(workers)
+            )
+            all_parity = all_parity and parity_ok
+
+            pids = [pid for pid in pool.worker_pids() if pid is not None]
+            mapped_pss = [_mapped_pss_kb(pid, mapped_dir) for pid in pids]
+            total_pss = [_total_pss_kb(pid) for pid in pids]
+            have_pss = all(v is not None for v in mapped_pss)
+
+            cell = _closed_loop(
+                pool.score, users, items, concurrency, duration_s, pairs_per_request
+            )
+            cell["workers"] = int(workers)
+            cell["parity_ok"] = bool(parity_ok)
+            cell["mapped_pss_kb"] = float(sum(mapped_pss)) if have_pss else None
+            cell["total_pss_kb"] = (
+                float(sum(v for v in total_pss if v is not None))
+                if any(v is not None for v in total_pss)
+                else None
+            )
+            cell["respawns"] = int(pool.stats()["respawns"])
+            cells[str(workers)] = cell
+
+            if workers == max(worker_counts):
+                # Onboarding broadcast parity at the widest pool: every worker
+                # must hold the same node set and score it bitwise like the
+                # oracle after add_item/add_user.
+                item_row = np.array(oracle._attr["item"][0], dtype=np.float64)
+                user_row = np.array(oracle._attr["user"][0], dtype=np.float64)
+                new_item = pool.add_item(item_row)
+                new_user = pool.add_user(user_row)
+                onboard_parity = (
+                    new_item == oracle.add_item(item_row)
+                    and new_user == oracle.add_user(user_row)
+                )
+                probe_u = np.append(users[:32], new_user)
+                probe_i = np.append(items[:32], new_item)
+                expect = oracle.predict_batch(probe_u, probe_i)
+                onboard_parity = onboard_parity and all(
+                    np.array_equal(pool.score_on_worker(w, probe_u, probe_i), expect)
+                    for w in range(workers)
+                )
+                all_parity = all_parity and onboard_parity
+        finally:
+            pool.shutdown()
+
+    lowest = str(min(worker_counts))
+    highest = str(max(worker_counts))
+    base = cells[lowest]
+    top = cells[highest]
+    scaling_x = (
+        top["throughput_rps"] / base["throughput_rps"] if base["throughput_rps"] else 0.0
+    )
+    rss_growth_x = (
+        top["mapped_pss_kb"] / base["mapped_pss_kb"]
+        if base.get("mapped_pss_kb") and top.get("mapped_pss_kb") is not None
+        else None
+    )
+    errors = sum(cell["errors"] for cell in cells.values())
+    respawns = sum(cell["respawns"] for cell in cells.values())
+    return {
+        "worker_counts": [int(w) for w in worker_counts],
+        "concurrency": int(concurrency),
+        "cpu_count": int(os.cpu_count() or 1),
+        "cells": cells,
+        "scaling_x": float(scaling_x),
+        "rss_growth_x": None if rss_growth_x is None else float(rss_growth_x),
+        "parity": bool(all_parity),
+        "onboard_parity": bool(onboard_parity),
+        "respawns": int(respawns),
+        "errors": int(errors),
+        "ok": bool(all_parity and errors == 0 and respawns == 0),
+    }
+
+
 def run_load_bench(
     dataset: str = "ML-100K",
     scenario: str = "item_cold",
@@ -206,6 +379,8 @@ def run_load_bench(
     tick_interval: float = 0.0,
     max_batch_pairs: int = 8192,
     max_queue_depth: int = 4096,
+    pool_worker_counts: Sequence[int] = (1, 2, 4),
+    pool_concurrency: int = 8,
     seed: int = 0,
     output: Optional[str] = "BENCH_load.json",
     check: bool = False,
@@ -230,34 +405,94 @@ def run_load_bench(
     if check:
         concurrencies = tuple(concurrencies[:2]) or (1, 4)
         duration_s = min(duration_s, 0.3)
+        if pool_worker_counts:
+            pool_worker_counts = tuple(sorted(set(pool_worker_counts)))[:2] or (1, 2)
 
-    if bundle_path is not None:
-        bundle = load_bundle(bundle_path)
-        epochs_trained = None
-    else:
-        from dataclasses import replace
+    # The pool phase spawns workers that open the bundle *directory*, so a
+    # trained throwaway bundle must outlive this whole function body — the
+    # tempdir is cleaned up in the final finally, not at load time.
+    scratch: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        if bundle_path is not None:
+            bundle_dir = Path(bundle_path)
+            bundle = load_bundle(bundle_dir)
+            epochs_trained = None
+        else:
+            from dataclasses import replace
 
-        from ..core import AGNN
-        from ..data import make_split
-        from ..experiments.configs import get_scale
-        from ..nn import init as nn_init
+            from ..core import AGNN
+            from ..data import make_split
+            from ..experiments.configs import get_scale
+            from ..nn import init as nn_init
 
-        scale = get_scale(scale_name)
-        train_config = scale.train if epochs is None else replace(scale.train, epochs=epochs)
-        data = scale.datasets[dataset]()
-        nn_init.seed(scale.seed)
-        task = make_split(data, scenario, scale.split_fraction, seed=scale.seed)
-        agnn_config = (
-            scale.agnn
-            if embedding_dim is None
-            else replace(scale.agnn, embedding_dim=embedding_dim)
+            scale = get_scale(scale_name)
+            train_config = scale.train if epochs is None else replace(scale.train, epochs=epochs)
+            data = scale.datasets[dataset]()
+            nn_init.seed(scale.seed)
+            task = make_split(data, scenario, scale.split_fraction, seed=scale.seed)
+            agnn_config = (
+                scale.agnn
+                if embedding_dim is None
+                else replace(scale.agnn, embedding_dim=embedding_dim)
+            )
+            model = AGNN(agnn_config, rng_seed=scale.seed)
+            history = model.fit(task, train_config)
+            epochs_trained = history.num_epochs
+            scratch = tempfile.TemporaryDirectory(prefix="repro-load-")
+            bundle_dir = export_bundle(
+                model, task, Path(scratch.name) / "bundle", note="load-bench"
+            )
+            bundle = load_bundle(bundle_dir)
+
+        return _run_load_bench_phases(
+            bundle=bundle,
+            bundle_dir=bundle_dir,
+            dataset=dataset,
+            scenario=scenario,
+            scale_name=scale_name,
+            epochs_trained=epochs_trained,
+            concurrencies=concurrencies,
+            duration_s=duration_s,
+            rate_rps=rate_rps,
+            pairs_per_request=pairs_per_request,
+            embedding_dim=embedding_dim,
+            parity_pairs=parity_pairs,
+            tick_interval=tick_interval,
+            max_batch_pairs=max_batch_pairs,
+            max_queue_depth=max_queue_depth,
+            pool_worker_counts=tuple(pool_worker_counts),
+            pool_concurrency=pool_concurrency,
+            seed=seed,
+            output=output,
+            check=check,
         )
-        model = AGNN(agnn_config, rng_seed=scale.seed)
-        history = model.fit(task, train_config)
-        epochs_trained = history.num_epochs
-        with tempfile.TemporaryDirectory(prefix="repro-load-") as tmp:
-            bundle = load_bundle(export_bundle(model, task, Path(tmp) / "bundle", note="load-bench"))
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
 
+
+def _run_load_bench_phases(
+    bundle,
+    bundle_dir: Path,
+    dataset: str,
+    scenario: str,
+    scale_name: str,
+    epochs_trained: Optional[int],
+    concurrencies: Sequence[int],
+    duration_s: float,
+    rate_rps: float,
+    pairs_per_request: int,
+    embedding_dim: Optional[int],
+    parity_pairs: int,
+    tick_interval: float,
+    max_batch_pairs: int,
+    max_queue_depth: int,
+    pool_worker_counts: Sequence[int],
+    pool_concurrency: int,
+    seed: int,
+    output: Optional[str],
+    check: bool,
+) -> Dict[str, Any]:
     metrics.reset()
     tracing.reset_spans()
     with metrics.enabled():
@@ -315,6 +550,22 @@ def run_load_bench(
         finally:
             batching.stop(drain=True)
 
+        pool_section: Dict[str, Any] = {}
+        if pool_worker_counts:
+            pool_section = _pool_phase(
+                bundle_dir,
+                engine,
+                users,
+                items,
+                pool_worker_counts,
+                pool_concurrency,
+                duration_s,
+                pairs_per_request,
+                parity_pairs,
+                max_batch_pairs,
+                max_queue_depth,
+            )
+
         counters = metrics.get_registry().counters()
         batch_telemetry = {
             "ticks": batching_stats["ticks"],
@@ -344,6 +595,10 @@ def run_load_bench(
             direct_top["p99_ms"] / batched_top["p99_ms"] if batched_top["p99_ms"] else 0.0
         ),
     }
+    if pool_section:
+        summary["pool_workers"] = int(max(pool_section["worker_counts"]))
+        summary["pool_scaling_x"] = pool_section["scaling_x"]
+        summary["pool_rss_growth_x"] = pool_section["rss_growth_x"]
 
     total_errors = sum(
         cell["errors"] for mode in closed.values() for cell in mode.values()
@@ -380,8 +635,13 @@ def run_load_bench(
         },
         "open_loop": open_loop,
         "batching": batch_telemetry,
+        "pool": pool_section,
         "summary": summary,
-        "ok": bool(parity_ok and total_errors == 0),
+        "ok": bool(
+            parity_ok
+            and total_errors == 0
+            and (not pool_section or pool_section["ok"])
+        ),
     }
 
     if output is not None:
@@ -426,6 +686,30 @@ def render_load_bench(payload: Dict[str, Any]) -> str:
                 f"  {mode:<8} p50 {cell['p50_ms']:.2f}ms  p99 {cell['p99_ms']:.2f}ms  "
                 f"completed {cell['requests']}  shed {cell['shed']}"
             )
+    pool = payload.get("pool") or {}
+    if pool:
+        lines.append("")
+        lines.append(
+            f"worker pool (closed loop, c={pool['concurrency']}, "
+            f"{pool['cpu_count']} cpu): parity {'ok' if pool['parity'] else 'FAILED'}, "
+            f"onboard parity {'ok' if pool['onboard_parity'] else 'FAILED'}, "
+            f"respawns {pool['respawns']}"
+        )
+        for workers in pool["worker_counts"]:
+            cell = pool["cells"][str(workers)]
+            pss = cell.get("mapped_pss_kb")
+            pss_text = f"{pss / 1024.0:.1f}MB mapped-pss" if pss is not None else "pss n/a"
+            lines.append(
+                f"  {workers} worker(s): {cell['throughput_rps']:>9.1f} req/s  "
+                f"p99 {cell['p99_ms']:.2f}ms  {pss_text}  errors {cell['errors']}"
+            )
+        growth = pool.get("rss_growth_x")
+        growth_text = f"{growth:.2f}x" if growth is not None else "n/a"
+        lines.append(
+            f"  scaling {pool['scaling_x']:.2f}x "
+            f"({min(pool['worker_counts'])}→{max(pool['worker_counts'])} workers), "
+            f"mapped-pss growth {growth_text}"
+        )
     batching = payload.get("batching") or {}
     if batching.get("batch_pairs"):
         pairs = batching["batch_pairs"]

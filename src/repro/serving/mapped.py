@@ -1,0 +1,264 @@
+"""Memory-mapped bundle state: one physical copy of the serving arrays.
+
+A multi-process worker pool (:mod:`repro.serving.workers`) wants N identical
+:class:`~repro.serving.engine.InferenceEngine` instances without N heap
+copies of the model state.  Everything an engine holds per side — attribute
+matrices, preference matrices, neighbour indices, raw and refined embedding
+caches, bias vectors — plus the candidate-pool graph arrays and the model
+weights is *derived deterministically from the bundle*, so it can be
+materialised once, written as plain ``.npy`` files, and mapped read-only into
+every worker with ``np.load(..., mmap_mode="r")``: the kernel keeps a single
+page-cache copy and shares it across processes.
+
+Two entry points:
+
+* :func:`materialise_mapped` — load the bundle, run the exact single-process
+  engine precompute (``InferenceEngine._derive_embeddings``, so the mapped
+  arrays are **bitwise** what a fresh engine would derive), and write the
+  ``mapped/`` directory atomically next to the bundle's archives.  The
+  directory records the bundle's content fingerprint; a refreshed bundle
+  invalidates it.
+* :func:`open_bundle_mapped` — return a :class:`ServingBundle` whose
+  ``mapped`` attribute carries the read-only arrays.  An engine built from it
+  skips the precompute entirely (startup is an ``np.load`` of headers) and
+  shares physical pages with every sibling process.  A bundle without mapped
+  state (schema v2 and earlier never wrote one) is transparently upgraded
+  when ``materialise=True`` (the default), and rejected with a clear
+  re-export message when the caller forbids writing (workers do: only the
+  pool parent materialises, so N workers never race on the files).
+
+Onboarding and neighbourhood resampling still work on a mapped engine: grow
+operations (``np.vstack``) allocate fresh writable arrays, so a worker that
+onboards a node pays copy-on-grow for that side only — the common read path
+never touches a writable page.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..telemetry import span
+from .bundle import ServingBundle, bundle_fingerprint, load_bundle
+
+__all__ = [
+    "MAPPED_FORMAT_VERSION",
+    "MAPPED_DIR_NAME",
+    "BundleMappingError",
+    "materialise_mapped",
+    "open_bundle_mapped",
+    "mapped_is_fresh",
+]
+
+PathLike = Union[str, Path]
+
+MAPPED_FORMAT_VERSION = 1
+MAPPED_DIR_NAME = "mapped"
+
+_SIDES = ("user", "item")
+
+#: per-side engine arrays written by :func:`materialise_mapped`
+_SIDE_ARRAYS = ("attr", "pref", "neigh", "raw", "refined", "bias")
+
+
+class BundleMappingError(RuntimeError):
+    """The bundle has no usable mapped state and the caller cannot create it."""
+
+
+def _mapped_dir(bundle_path: Path) -> Path:
+    return bundle_path / MAPPED_DIR_NAME
+
+
+def mapped_is_fresh(bundle_path: PathLike) -> bool:
+    """Whether ``bundle/mapped`` exists and matches the bundle's fingerprint."""
+    bundle_path = Path(bundle_path)
+    meta_path = _mapped_dir(bundle_path) / "mapped.json"
+    if not meta_path.is_file():
+        return False
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return (
+        meta.get("format_version") == MAPPED_FORMAT_VERSION
+        and meta.get("source_fingerprint") == bundle_fingerprint(bundle_path)
+    )
+
+
+def materialise_mapped(
+    bundle_path: PathLike,
+    force: bool = False,
+    batch_size: int = 2048,
+) -> Path:
+    """Write (or refresh) the bundle's ``mapped/`` directory; return its path.
+
+    The precompute goes through a throwaway single-process
+    :class:`InferenceEngine`, so every array is bitwise identical to what a
+    worker would have derived itself — this is what makes pooled responses
+    bitwise-comparable to the single-process oracle.  The directory is
+    written to a temp sibling and renamed into place, so readers never see a
+    half-written mapping.  A fresh mapping (matching fingerprint) is reused
+    unless ``force``.
+    """
+    # Imported here: engine imports this module's sibling `bundle`, and the
+    # serving package initialises `engine` after `bundle`.
+    from .engine import InferenceEngine
+
+    bundle_path = Path(bundle_path)
+    target = _mapped_dir(bundle_path)
+    if not force and mapped_is_fresh(bundle_path):
+        return target
+
+    with span("serve.materialise_mapped"):
+        bundle = load_bundle(bundle_path)
+        donor = InferenceEngine(bundle, cache_size=0, batch_size=batch_size)
+
+        tmp = bundle_path / f"{MAPPED_DIR_NAME}.tmp.{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        try:
+            arrays: Dict[str, str] = {}
+            for side in _SIDES:
+                side_arrays = {
+                    "attr": donor._attr[side],
+                    "pref": donor._pref[side],
+                    "neigh": donor._neigh[side],
+                    "raw": donor._raw[side],
+                    "refined": donor._refined[side],
+                    "bias": donor._bias[side],
+                }
+                for name, value in side_arrays.items():
+                    key = f"{side}_{name}"
+                    np.save(tmp / f"{key}.npy", np.ascontiguousarray(value))
+                    arrays[key] = f"{key}.npy"
+
+            # Candidate-pool graph arrays, flat — the same packing the bundle's
+            # graphs.npz uses, but one .npy per array so pools mmap as views.
+            from .bundle import _serialise_graph
+
+            graph_arrays: Dict[str, np.ndarray] = {}
+            graph_kinds = {
+                side: _serialise_graph(bundle.graphs[side], side, graph_arrays)
+                for side in _SIDES
+            }
+            for key, value in graph_arrays.items():
+                np.save(tmp / f"{key}.npy", np.ascontiguousarray(value))
+                arrays[key] = f"{key}.npy"
+
+            # Model weights, one .npy per parameter (dots escaped as in
+            # repro.io.save_model).  They are loaded through mmap too; the
+            # parameters themselves stay writable heap arrays (load_state_dict
+            # copies) because autograd must own them — they are the small part
+            # of a bundle, the embedding caches above are the big one.
+            weights_dir = tmp / "weights"
+            weights_dir.mkdir()
+            weights = {}
+            for name, value in bundle.model.state_dict().items():
+                escaped = name.replace(".", "__")
+                np.save(weights_dir / f"{escaped}.npy", value)
+                weights[name] = f"weights/{escaped}.npy"
+
+            meta = {
+                "format_version": MAPPED_FORMAT_VERSION,
+                "source_fingerprint": bundle_fingerprint(bundle_path),
+                "batch_size": int(batch_size),
+                "graph_kinds": graph_kinds,
+                "arrays": arrays,
+                "weights": weights,
+            }
+            (tmp / "mapped.json").write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+
+            if target.exists():
+                shutil.rmtree(target)
+            os.replace(tmp, target)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+    return target
+
+
+def _load_mapped_array(mapped_dir: Path, relative: str) -> np.ndarray:
+    array = np.load(mapped_dir / relative, mmap_mode="r", allow_pickle=False)
+    # np.load(mmap_mode="r") already yields a read-only memmap; assert rather
+    # than trust, because every engine invariant downstream relies on it.
+    assert not array.flags.writeable
+    return array
+
+
+def _graphs_from_mapped(meta: Dict, mapped_dir: Path):
+    """Rebuild the per-side candidate graphs as views over mmap arrays."""
+    from ..graphs import DynamicNeighborGraph, FixedNeighborGraph
+
+    graphs = {}
+    for side in _SIDES:
+        kind = meta["graph_kinds"][side]
+        if kind == "dynamic":
+            offsets = _load_mapped_array(mapped_dir, f"{side}_pool_offsets.npy")
+            indices = _load_mapped_array(mapped_dir, f"{side}_pool_indices.npy")
+            weights = _load_mapped_array(mapped_dir, f"{side}_pool_weights.npy")
+            pools = [indices[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]
+            pool_weights = [weights[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]
+            graphs[side] = DynamicNeighborGraph(pools=pools, weights=pool_weights)
+        elif kind == "fixed":
+            graphs[side] = FixedNeighborGraph(
+                matrix=_load_mapped_array(mapped_dir, f"{side}_fixed_matrix.npy")
+            )
+        else:
+            raise BundleMappingError(f"unknown mapped graph kind {kind!r}")
+    return graphs
+
+
+def open_bundle_mapped(path: PathLike, materialise: bool = True) -> ServingBundle:
+    """Load a bundle whose serving arrays are shared, read-only mmaps.
+
+    Returns a :class:`ServingBundle` with ``bundle.mapped`` set to the
+    per-side array dict; :class:`InferenceEngine` detects it and adopts the
+    arrays without copying or re-deriving anything.  ``materialise=False``
+    (worker processes) requires the mapped directory to already exist and
+    match the bundle fingerprint; a missing or stale mapping then raises
+    :class:`BundleMappingError` with the one-line fix.
+    """
+    path = Path(path)
+    if not mapped_is_fresh(path):
+        if not materialise:
+            raise BundleMappingError(
+                f"{path} has no up-to-date mapped state (pre-mmap bundle, or the "
+                "bundle changed since it was materialised); run "
+                "materialise_mapped() on it — `repro export-bundle` writes it "
+                "at export time — before opening it mapped"
+            )
+        materialise_mapped(path)
+
+    with span("serve.open_mapped"):
+        bundle = load_bundle(path)
+        mapped_dir = _mapped_dir(path)
+        meta = json.loads((mapped_dir / "mapped.json").read_text())
+
+        mapped: Dict[str, Dict[str, np.ndarray]] = {}
+        for side in _SIDES:
+            mapped[side] = {
+                name: _load_mapped_array(mapped_dir, meta["arrays"][f"{side}_{name}"])
+                for name in _SIDE_ARRAYS
+            }
+
+        # Weights round-trip through the mapped .npy files (page-cache shared
+        # reads); load_state_dict copies them into the model's own arrays.
+        state = {
+            name: _load_mapped_array(mapped_dir, relative)
+            for name, relative in meta["weights"].items()
+        }
+        bundle.model.load_state_dict(state)
+
+        bundle.user_attributes = mapped["user"]["attr"]
+        bundle.item_attributes = mapped["item"]["attr"]
+        bundle.neighbours = {side: mapped[side]["neigh"] for side in _SIDES}
+        bundle.graphs = _graphs_from_mapped(meta, mapped_dir)
+        bundle.mapped = mapped
+        bundle.mapped_dir = mapped_dir
+    return bundle

@@ -40,9 +40,16 @@ bump ``serve.errors`` — the server never drops the connection on a bug.
 
 Shutdown is *draining*: the server counts in-flight requests from the moment
 a connection is accepted, :meth:`ServingHTTPServer.shutdown` blocks until
-every accepted request has been answered (then stops the batching engine, if
-any), and only afterwards should the socket be closed — a request issued
-mid-shutdown is served, never reset.
+every accepted request has been answered (then stops the batching engine or
+worker pool, if any), and only afterwards should the socket be closed — a
+request issued mid-shutdown is served, never reset.
+
+With ``repro serve --workers N`` the server fronts a
+:class:`~repro.serving.workers.WorkerPool` instead of an in-process engine:
+scoring and onboarding dispatch to N processes over mmap-shared bundle state,
+``/healthz`` grows a ``workers`` section (per-worker pid, liveness,
+responsiveness, outstanding depth, bundle identity) and the pool's
+``serve.pool.*`` counters/gauges surface through ``/metrics.prom``.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 from ..telemetry import increment, record_timing, snapshot, span
 from .batching import BatchingEngine, EngineOverloadedError
 from .engine import InferenceEngine
+from .workers import PoolStoppedError, WorkerCrashedError, WorkerPool
 
 __all__ = ["ServingHTTPServer", "make_server", "serve_forever"]
 
@@ -125,6 +133,12 @@ class _Handler(BaseHTTPRequestHandler):
                 increment("serve.request_errors")
                 status = 429
                 payload = {"error": str(exc), "request_id": request_id, "retry": True}
+            except (WorkerCrashedError, PoolStoppedError) as exc:
+                # The worker died mid-request (after the pool's own retry) or
+                # the pool is draining: retryable from the client's side.
+                increment("serve.request_errors")
+                status = 503
+                payload = {"error": str(exc), "request_id": request_id, "retry": True}
             except (ValueError, IndexError, KeyError, TypeError) as exc:
                 increment("serve.request_errors")
                 status, payload = 400, {"error": str(exc), "request_id": request_id}
@@ -169,6 +183,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(handler, route=path.lstrip("/"))
 
     def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        pool = self.server.pool
+        if pool is not None:
+            health = pool.healthz()
+            degraded = health["healthy_workers"] < health["num_workers"]
+            return 200, {
+                "status": "degraded" if degraded else "ok",
+                **health,
+                **self.server.swap_state(),
+            }
         stats = self.server.engine.stats()
         return 200, {"status": "ok", **stats, **self.server.swap_state()}
 
@@ -186,7 +209,7 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_json()
         if "users" not in body or "items" not in body:
             raise _RequestError(400, "body must contain 'users' and 'items' id arrays")
-        backend = self.server.batching or self.server.engine
+        backend = self.server.pool or self.server.batching or self.server.engine
         scores = backend.score(body["users"], body["items"])
         return 200, {"scores": scores.tolist()}
 
@@ -194,7 +217,7 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_json()
         if "user" not in body:
             raise _RequestError(400, "body must contain 'user'")
-        backend = self.server.batching or self.server.engine
+        backend = self.server.pool or self.server.batching or self.server.engine
         items, scores = backend.top_n(
             int(body["user"]),
             k=int(body.get("k", 10)),
@@ -206,6 +229,11 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_json()
         if "attributes" not in body:
             raise _RequestError(400, "body must contain 'attributes'")
+        pool = self.server.pool
+        if pool is not None:
+            add = pool.add_user if side == "user" else pool.add_item
+            new_id = add(body["attributes"])
+            return 201, {side: new_id, "onboarded": pool.onboarded(side)}
         engine = self.server.engine
         if self.server.batching is not None:
             new_id = self.server.batching.onboard(side, body["attributes"])
@@ -223,13 +251,22 @@ class ServingHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: Tuple[str, int],
-        engine: InferenceEngine,
+        engine: Optional[InferenceEngine] = None,
         verbose: bool = False,
         batching: Optional[BatchingEngine] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
+        if engine is None and pool is None:
+            raise ValueError("a server needs an engine or a worker pool")
+        if pool is not None and batching is not None:
+            raise ValueError(
+                "pool and batching are mutually exclusive — each pool worker "
+                "runs its own in-process batching engine"
+            )
         super().__init__(address, _Handler)
         self.engine = engine
         self.batching = batching
+        self.pool = pool
         self.verbose = verbose
         self._request_counter = itertools.count(1)
         self._inflight = 0
@@ -247,6 +284,10 @@ class ServingHTTPServer(ThreadingHTTPServer):
         is then repointed — handlers read it once per request, so every
         request observes exactly one engine.  Returns the displaced engine.
         """
+        if self.pool is not None:
+            raise RuntimeError(
+                "a pool-backed server swaps by bundle path; use swap_bundle_path()"
+            )
         previous = self.engine
         if self.batching is not None:
             previous = self.batching.swap_engine(engine)
@@ -256,6 +297,15 @@ class ServingHTTPServer(ThreadingHTTPServer):
         self._swaps += 1
         self._last_swap_unix = time.time()
         return previous
+
+    def swap_bundle_path(self, path, validate_pairs: int = 32) -> Dict[str, Any]:
+        """Hot-swap a pool-backed server onto the bundle directory at ``path``."""
+        if self.pool is None:
+            raise RuntimeError("swap_bundle_path requires a pool-backed server")
+        info = self.pool.swap_bundle_path(path, validate_pairs=validate_pairs)
+        self._swaps += 1
+        self._last_swap_unix = time.time()
+        return info
 
     def swap_state(self) -> Dict[str, Any]:
         """Swap history surfaced in ``/healthz``."""
@@ -304,24 +354,30 @@ class ServingHTTPServer(ThreadingHTTPServer):
         super().shutdown()
         drained = self.wait_for_drain(drain_timeout)
         if self.batching is not None:
-            self.batching.stop(drain=True)
+            self.batching.shutdown(drain=True)
+        if self.pool is not None:
+            self.pool.shutdown(drain=True)
         return drained
 
 
 def make_server(
-    engine: InferenceEngine,
+    engine: Optional[InferenceEngine] = None,
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
     batching: Optional[BatchingEngine] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> ServingHTTPServer:
     """Bind a server (``port=0`` → ephemeral) without starting its loop.
 
     Pass a started :class:`BatchingEngine` wrapping ``engine`` to serve the
-    scoring routes through the coalescing queue; the server takes ownership
-    and stops it on shutdown.
+    scoring routes through the coalescing queue, or a :class:`WorkerPool` to
+    serve them from N processes over mmap-shared bundle state; the server
+    takes ownership of either and shuts it down with the socket.
     """
-    return ServingHTTPServer((host, port), engine, verbose=verbose, batching=batching)
+    return ServingHTTPServer(
+        (host, port), engine, verbose=verbose, batching=batching, pool=pool
+    )
 
 
 def serve_forever(server: ServingHTTPServer) -> None:
@@ -336,5 +392,7 @@ def serve_forever(server: ServingHTTPServer) -> None:
         # deadlock waiting for the loop) — just drain before closing.
         server.wait_for_drain(10.0)
         if server.batching is not None:
-            server.batching.stop(drain=True)
+            server.batching.shutdown(drain=True)
+        if server.pool is not None:
+            server.pool.shutdown(drain=True)
         server.server_close()

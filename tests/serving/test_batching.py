@@ -260,3 +260,58 @@ class TestValidationAndLifecycle:
         finally:
             batching.stop()
         assert not batching.running
+
+
+class TestIdempotentShutdown:
+    """Regression: shutdown() must be safe to call from atexit hooks, signal
+    unwinds, and context exits — any number of times, in any order with stop()."""
+
+    def test_shutdown_twice_is_a_noop(self, engine):
+        batching = BatchingEngine(engine, tick_interval=0.001)
+        assert np.isfinite(batching.score([0], [0])[0])
+        batching.shutdown()
+        assert not batching.running
+        batching.shutdown()  # must return immediately, not raise or deadlock
+        assert not batching.running
+
+    def test_shutdown_drains_queued_work(self, engine):
+        batching = BatchingEngine(engine, auto_start=False)
+        futures = [batching.submit_score([i], [i]) for i in range(4)]
+        batching.start()
+        batching.shutdown(drain=True)
+        assert all(np.isfinite(future.result(0)[0]) for future in futures)
+
+    def test_shutdown_without_drain_fails_pending(self, engine):
+        batching = BatchingEngine(engine, auto_start=False)
+        future = batching.submit_score([0], [0])
+        batching.shutdown(drain=False)
+        with pytest.raises(RuntimeError, match="stopped"):
+            future.result(0)
+
+    def test_shutdown_after_stop_is_a_noop(self, engine):
+        batching = BatchingEngine(engine)
+        batching.stop()
+        batching.shutdown()
+        assert not batching.running
+
+    def test_concurrent_shutdowns_race_safely(self, engine):
+        batching = BatchingEngine(engine, tick_interval=0.001)
+        barrier = threading.Barrier(4)
+
+        def closer():
+            barrier.wait()
+            batching.shutdown()
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not batching.running
+
+    def test_submit_after_shutdown_rejected(self, engine):
+        batching = BatchingEngine(engine)
+        batching.shutdown()
+        with pytest.raises(RuntimeError, match="stopped"):
+            batching.submit_score([0], [0])

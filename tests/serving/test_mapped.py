@@ -1,0 +1,209 @@
+"""Mapped bundle state: bitwise parity, read-only enforcement, migration."""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BundleMappingError,
+    InferenceEngine,
+    materialise_mapped,
+    mapped_is_fresh,
+    open_bundle_mapped,
+)
+from repro.serving.engine import _take_rows
+from repro.serving.mapped import MAPPED_DIR_NAME
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture(scope="module")
+def mapped_bundle(bundle_dir):
+    """The session bundle opened mapped (materialises ``mapped/`` once)."""
+    return open_bundle_mapped(bundle_dir)
+
+
+@pytest.fixture()
+def mapped_engine(mapped_bundle):
+    """A fresh engine over mmap state per test — onboarding mutates it."""
+    return InferenceEngine(mapped_bundle, cache_size=0)
+
+
+@pytest.fixture()
+def heap_engine(bundle):
+    """The single-process oracle: a plain heap engine over the same bundle."""
+    return InferenceEngine(bundle, cache_size=0)
+
+
+class TestMaterialise:
+    def test_writes_mapped_dir(self, bundle_dir, mapped_bundle):
+        mapped_dir = bundle_dir / MAPPED_DIR_NAME
+        assert (mapped_dir / "mapped.json").is_file()
+        meta = json.loads((mapped_dir / "mapped.json").read_text())
+        for relative in meta["arrays"].values():
+            assert (mapped_dir / relative).is_file()
+        for relative in meta["weights"].values():
+            assert (mapped_dir / relative).is_file()
+        assert mapped_is_fresh(bundle_dir)
+
+    def test_fresh_mapping_is_reused(self, bundle_dir, mapped_bundle):
+        meta_path = bundle_dir / MAPPED_DIR_NAME / "mapped.json"
+        before = meta_path.stat().st_mtime_ns
+        materialise_mapped(bundle_dir)  # no force: must not rewrite
+        assert meta_path.stat().st_mtime_ns == before
+
+    def test_force_rewrites(self, bundle_dir, mapped_bundle):
+        meta_path = bundle_dir / MAPPED_DIR_NAME / "mapped.json"
+        before = meta_path.stat().st_mtime_ns
+        materialise_mapped(bundle_dir, force=True)
+        assert meta_path.stat().st_mtime_ns != before
+        assert mapped_is_fresh(bundle_dir)
+
+    def test_changed_bundle_invalidates_mapping(self, bundle_dir, tmp_path):
+        copy = tmp_path / "copy"
+        shutil.copytree(bundle_dir, copy, ignore=shutil.ignore_patterns(MAPPED_DIR_NAME))
+        materialise_mapped(copy)
+        assert mapped_is_fresh(copy)
+        manifest = json.loads((copy / "manifest.json").read_text())
+        manifest["note"] = "refreshed"
+        (copy / "manifest.json").write_text(json.dumps(manifest))
+        assert not mapped_is_fresh(copy)
+        # the default open transparently re-materialises against the new content
+        reopened = open_bundle_mapped(copy)
+        assert mapped_is_fresh(copy)
+        assert reopened.mapped is not None
+
+    def test_unmapped_bundle_rejected_without_materialise(self, bundle_dir, tmp_path):
+        copy = tmp_path / "premap"
+        shutil.copytree(bundle_dir, copy, ignore=shutil.ignore_patterns(MAPPED_DIR_NAME))
+        with pytest.raises(BundleMappingError, match="materialise_mapped"):
+            open_bundle_mapped(copy, materialise=False)
+
+
+class TestReadOnlyState:
+    def test_all_mapped_arrays_are_read_only(self, mapped_bundle):
+        for side in ("user", "item"):
+            for name, array in mapped_bundle.mapped[side].items():
+                assert not array.flags.writeable, f"{side}/{name} is writable"
+
+    def test_engine_adopts_arrays_without_copying(self, mapped_engine, mapped_bundle):
+        for side in ("user", "item"):
+            assert mapped_engine._refined[side] is mapped_bundle.mapped[side]["refined"]
+            assert not mapped_engine._refined[side].flags.writeable
+
+    def test_scoring_leaves_store_read_only(self, mapped_engine):
+        mapped_engine.score([0, 1, 2], [3, 4, 5])
+        mapped_engine.top_n(0, k=5)
+        for side in ("user", "item"):
+            assert not mapped_engine._refined[side].flags.writeable
+
+    def test_resample_does_not_write_through(self, mapped_engine, mapped_bundle):
+        shared = mapped_bundle.mapped["item"]["neigh"]
+        before = np.array(shared)
+        mapped_engine.resample_neighbourhoods(seed=7)
+        np.testing.assert_array_equal(np.array(shared), before)
+
+
+class TestTakeRows:
+    def test_constant_id_is_broadcast_view(self):
+        matrix = np.arange(12.0).reshape(4, 3)
+        rows = _take_rows(matrix, np.array([2, 2, 2, 2, 2]))
+        assert np.may_share_memory(rows, matrix)
+        assert not rows.flags.writeable
+        np.testing.assert_array_equal(rows, matrix[[2] * 5])
+
+    def test_contiguous_range_is_slice_view(self):
+        matrix = np.arange(20.0).reshape(5, 4)
+        rows = _take_rows(matrix, np.arange(1, 4))
+        assert np.may_share_memory(rows, matrix)
+        assert not rows.flags.writeable
+        np.testing.assert_array_equal(rows, matrix[1:4])
+
+    def test_arbitrary_ids_copy(self):
+        matrix = np.arange(20.0).reshape(5, 4)
+        rows = _take_rows(matrix, np.array([3, 0, 4]))
+        assert not np.may_share_memory(rows, matrix)
+        np.testing.assert_array_equal(rows, matrix[[3, 0, 4]])
+
+    def test_views_over_readonly_memmap(self, mapped_bundle):
+        store = mapped_bundle.mapped["user"]["refined"]
+        view = _take_rows(store, np.arange(store.shape[0]))
+        assert not view.flags.writeable
+        copy = _take_rows(store, np.array([1, 0]))
+        np.testing.assert_array_equal(copy, np.array(store)[[1, 0]])
+
+
+class TestParityWithHeapEngine:
+    def test_scores_bitwise_equal(self, mapped_engine, heap_engine):
+        rng = np.random.default_rng(23)
+        users = rng.integers(0, heap_engine.num_users, size=64)
+        items = rng.integers(0, heap_engine.num_items, size=64)
+        np.testing.assert_array_equal(
+            mapped_engine.score(users, items), heap_engine.score(users, items)
+        )
+
+    def test_single_pair_bitwise_equal(self, mapped_engine, heap_engine):
+        np.testing.assert_array_equal(
+            mapped_engine.score([0], [0]), heap_engine.score([0], [0])
+        )
+
+    def test_topn_bitwise_equal(self, mapped_engine, heap_engine):
+        got_items, got_scores = mapped_engine.top_n(1, k=10)
+        want_items, want_scores = heap_engine.top_n(1, k=10)
+        np.testing.assert_array_equal(got_items, want_items)
+        np.testing.assert_array_equal(got_scores, want_scores)
+
+    def test_onboarding_pays_copy_on_grow_only(self, mapped_engine, heap_engine, bundle):
+        attrs = bundle.attributes("user")[0]
+        assert mapped_engine.add_user(attrs) == heap_engine.add_user(attrs)
+        new_id = mapped_engine.num_users - 1
+        np.testing.assert_array_equal(
+            mapped_engine.score([new_id] * 4, [0, 1, 2, 3]),
+            heap_engine.score([new_id] * 4, [0, 1, 2, 3]),
+        )
+        # the grown side is a fresh heap array; the untouched side stays mapped
+        assert mapped_engine._refined["user"].flags.writeable
+        assert not mapped_engine._refined["item"].flags.writeable
+
+
+class TestSchemaMigration:
+    """v2 bundles (pre-mmap) must load and upgrade transparently."""
+
+    @pytest.fixture()
+    def v2_bundle_dir(self, bundle_dir, tmp_path):
+        copy = tmp_path / "v2"
+        shutil.copytree(bundle_dir, copy, ignore=shutil.ignore_patterns(MAPPED_DIR_NAME))
+        manifest = json.loads((copy / "manifest.json").read_text())
+        manifest["schema_version"] = 2
+        (copy / "manifest.json").write_text(json.dumps(manifest))
+        return copy
+
+    def test_v2_loads_transparently(self, v2_bundle_dir, heap_engine):
+        from repro.serving import load_bundle
+
+        bundle = load_bundle(v2_bundle_dir)
+        engine = InferenceEngine(bundle, cache_size=0)
+        np.testing.assert_array_equal(
+            engine.score([0, 1], [2, 3]), heap_engine.score([0, 1], [2, 3])
+        )
+
+    def test_v2_upgrades_to_mapped_on_open(self, v2_bundle_dir, heap_engine):
+        bundle = open_bundle_mapped(v2_bundle_dir)
+        assert mapped_is_fresh(v2_bundle_dir)
+        engine = InferenceEngine(bundle, cache_size=0)
+        np.testing.assert_array_equal(
+            engine.score([0, 1], [2, 3]), heap_engine.score([0, 1], [2, 3])
+        )
+
+    def test_v2_without_materialise_has_clear_message(self, v2_bundle_dir):
+        with pytest.raises(BundleMappingError, match="repro export-bundle"):
+            open_bundle_mapped(v2_bundle_dir, materialise=False)
+
+    def test_unsupported_version_still_rejected(self, v2_bundle_dir):
+        manifest = json.loads((v2_bundle_dir / "manifest.json").read_text())
+        manifest["schema_version"] = 99
+        (v2_bundle_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="schema version"):
+            open_bundle_mapped(v2_bundle_dir)

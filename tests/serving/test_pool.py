@@ -1,0 +1,340 @@
+"""WorkerPool: multi-process parity, onboarding broadcast, swap, lifecycle.
+
+The acceptance gate for the whole subsystem is **bitwise parity with the
+single-process engine**: every pooled response — routed or pinned to a
+specific worker, before or after an onboarding broadcast or a hot swap —
+must carry exactly the bit pattern ``InferenceEngine`` would have produced.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    InferenceEngine,
+    PoolStoppedError,
+    WorkerPool,
+    export_bundle,
+    make_server,
+)
+
+pytestmark = [pytest.mark.serving, pytest.mark.pool]
+
+POOL_OPTS = dict(workers=2, cache_size=0, tick_interval=0.0, spawn_timeout=300.0)
+
+
+@pytest.fixture(scope="module")
+def shared_pool(bundle_dir):
+    """A read-only 2-worker pool shared across this module's parity tests."""
+    with WorkerPool(bundle_dir, **POOL_OPTS) as pool:
+        yield pool
+
+
+@pytest.fixture()
+def fresh_pool(bundle_dir):
+    """A per-test pool for anything that mutates state (onboard, swap)."""
+    with WorkerPool(bundle_dir, **POOL_OPTS) as pool:
+        yield pool
+
+
+@pytest.fixture()
+def oracle(bundle):
+    """The single-process reference every pooled response must match bitwise."""
+    return InferenceEngine(bundle, cache_size=0)
+
+
+class TestParity:
+    def test_pool_scores_bitwise_oracle(self, shared_pool, oracle):
+        rng = np.random.default_rng(29)
+        users = rng.integers(0, oracle.num_users, size=48)
+        items = rng.integers(0, oracle.num_items, size=48)
+        np.testing.assert_array_equal(
+            shared_pool.score(users, items), oracle.score(users, items)
+        )
+
+    def test_every_worker_bitwise_identical(self, shared_pool, oracle):
+        rng = np.random.default_rng(31)
+        users = rng.integers(0, oracle.num_users, size=32)
+        items = rng.integers(0, oracle.num_items, size=32)
+        want = oracle.score(users, items)
+        for index in range(shared_pool.num_workers):
+            np.testing.assert_array_equal(
+                shared_pool.score_on_worker(index, users, items), want
+            )
+
+    def test_topn_matches_oracle(self, shared_pool, oracle):
+        got_items, got_scores = shared_pool.top_n(2, k=7)
+        want_items, want_scores = oracle.top_n(2, k=7)
+        np.testing.assert_array_equal(got_items, want_items)
+        np.testing.assert_array_equal(got_scores, want_scores)
+
+    def test_concurrent_clients_all_bitwise(self, shared_pool, oracle):
+        n_threads, per_thread = 6, 8
+        rng = np.random.default_rng(37)
+        users = rng.integers(0, oracle.num_users, size=(n_threads, per_thread))
+        items = rng.integers(0, oracle.num_items, size=(n_threads, per_thread))
+        results = np.zeros((n_threads, per_thread))
+        barrier = threading.Barrier(n_threads)
+
+        def client(w):
+            barrier.wait()
+            for j in range(per_thread):
+                results[w, j] = shared_pool.score([users[w, j]], [items[w, j]])[0]
+
+        threads = [threading.Thread(target=client, args=(w,)) for w in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        want = oracle.score(users.ravel(), items.ravel()).reshape(n_threads, per_thread)
+        np.testing.assert_array_equal(results, want)
+
+
+class TestDispatchAndHealth:
+    def test_workers_are_distinct_processes(self, shared_pool):
+        import os
+
+        pids = shared_pool.worker_pids()
+        assert len(pids) == 2
+        assert None not in pids
+        assert len(set(pids)) == 2
+        assert os.getpid() not in pids
+
+    def test_healthz_reports_every_worker(self, shared_pool, bundle):
+        health = shared_pool.healthz()
+        assert health["num_workers"] == 2
+        assert health["healthy_workers"] == 2
+        assert health["respawns"] == 0
+        for worker in health["workers"]:
+            assert worker["responsive"]
+            assert worker["alive"]
+            assert worker["bundle_fingerprint"] == bundle.fingerprint
+            assert worker["users"] == bundle.user_attributes.shape[0]
+
+    def test_stats_counts_dispatches(self, shared_pool):
+        before = shared_pool.stats()["dispatched"]
+        shared_pool.score([0], [0])
+        stats = shared_pool.stats()
+        assert stats["dispatched"] == before + 1
+        assert stats["live_workers"] == 2
+        assert stats["workers"] == 2
+
+    def test_bad_request_raises_without_killing_worker(self, shared_pool):
+        with pytest.raises(IndexError):
+            shared_pool.score([10**6], [0])
+        assert shared_pool.healthz()["healthy_workers"] == 2
+        assert shared_pool.stats()["respawns"] == 0
+
+    def test_misaligned_score_rejected(self, shared_pool):
+        with pytest.raises(ValueError, match="align"):
+            shared_pool.score([0, 1], [0])
+
+
+class TestOnboardBroadcast:
+    def test_all_workers_agree_and_match_oracle(self, fresh_pool, oracle, bundle):
+        attrs = np.array(bundle.attributes("item")[0], dtype=np.float64)
+        new_id = fresh_pool.add_item(attrs)
+        assert new_id == oracle.add_item(attrs)
+        assert fresh_pool.onboarded("item") == 1
+        users = np.arange(5)
+        items = np.full(5, new_id)
+        want = oracle.score(users, items)
+        for index in range(fresh_pool.num_workers):
+            np.testing.assert_array_equal(
+                fresh_pool.score_on_worker(index, users, items), want
+            )
+
+    def test_user_onboard_with_schema_attributes(self, fresh_pool, oracle):
+        attrs = {"gender": 0, "age": 2, "occupation": 4}
+        new_id = fresh_pool.add_user(attrs)
+        assert new_id == oracle.add_user(attrs)
+        assert fresh_pool.onboarded("user") == 1
+        want = oracle.score([new_id], [0])
+        np.testing.assert_array_equal(fresh_pool.score([new_id], [0]), want)
+
+    def test_request_after_onboard_sees_new_node(self, fresh_pool, bundle):
+        """Barrier semantics: a score dispatched after the broadcast cannot
+        land on a worker that has not applied it (FIFO pipes + one lock)."""
+        new_id = fresh_pool.add_item(np.array(bundle.attributes("item")[1]))
+        for _ in range(8):  # hits both workers via round-robin
+            assert np.isfinite(fresh_pool.score([0], [new_id])[0])
+
+    def test_sequence_numbers_advance(self, fresh_pool, bundle):
+        fresh_pool.add_item(np.array(bundle.attributes("item")[0]))
+        fresh_pool.add_item(np.array(bundle.attributes("item")[1]))
+        assert fresh_pool.stats()["state_seq"] == 2
+        for worker in fresh_pool.healthz()["workers"]:
+            assert worker["state_seq"] == 2
+
+
+@pytest.fixture(scope="module")
+def bundle_dir_b(fitted_model, ics_task, tmp_path_factory):
+    """A second-generation bundle (distinct fingerprint) to swap onto."""
+    path = tmp_path_factory.mktemp("serving-swap") / "bundle-b"
+    return export_bundle(fitted_model, ics_task, path, note="test-bundle-b")
+
+
+class TestHotSwap:
+    def test_swap_installs_on_every_worker(self, fresh_pool, bundle_dir_b, oracle):
+        from repro.serving import load_bundle
+
+        new_fingerprint = load_bundle(bundle_dir_b).fingerprint
+        old_fingerprint = fresh_pool.healthz()["workers"][0]["bundle_fingerprint"]
+        assert new_fingerprint != old_fingerprint
+
+        info = fresh_pool.swap_bundle_path(bundle_dir_b)
+        assert info["fingerprint"] == new_fingerprint
+        health = fresh_pool.healthz()
+        assert health["healthy_workers"] == 2
+        for worker in health["workers"]:
+            assert worker["bundle_fingerprint"] == new_fingerprint
+        # same weights, new bundle: scores must still be bitwise the oracle
+        np.testing.assert_array_equal(
+            fresh_pool.score([0, 1], [2, 3]), oracle.score([0, 1], [2, 3])
+        )
+
+    def test_no_request_dropped_during_swap(self, fresh_pool, bundle_dir_b, oracle):
+        stop = threading.Event()
+        errors = []
+        served = []
+        want = oracle.score([3], [4])[0]
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    served.append(fresh_pool.score([3], [4])[0])
+                except Exception as exc:  # any drop or mixed response is a failure
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            fresh_pool.swap_bundle_path(bundle_dir_b)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert served
+        assert all(value == want for value in served)
+
+    def test_swap_resets_onboard_log(self, fresh_pool, bundle_dir_b, bundle):
+        fresh_pool.add_item(np.array(bundle.attributes("item")[0]))
+        assert fresh_pool.onboarded("item") == 1
+        fresh_pool.swap_bundle_path(bundle_dir_b)
+        assert fresh_pool.onboarded("item") == 0
+
+    def test_live_swap_bundle_delegates_to_pool(self, fresh_pool, bundle_dir_b):
+        from repro.live import swap_bundle
+        from repro.serving import load_bundle
+
+        candidate = load_bundle(bundle_dir_b)
+        report = swap_bundle(fresh_pool, candidate)
+        assert report.fingerprint == candidate.fingerprint
+        for worker in fresh_pool.healthz()["workers"]:
+            assert worker["bundle_fingerprint"] == candidate.fingerprint
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent(self, bundle_dir):
+        pool = WorkerPool(bundle_dir, **POOL_OPTS)
+        assert np.isfinite(pool.score([0], [0])[0])
+        pool.shutdown()
+        pool.shutdown()  # must return immediately, not deadlock or raise
+        with pytest.raises(PoolStoppedError):
+            pool.score([0], [0])
+
+    def test_context_manager_shuts_down(self, bundle_dir):
+        with WorkerPool(bundle_dir, **POOL_OPTS) as pool:
+            assert pool.healthz()["healthy_workers"] == 2
+        with pytest.raises(PoolStoppedError):
+            pool.score([0], [0])
+
+    def test_rejects_nonpositive_workers(self, bundle_dir):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(bundle_dir, workers=0)
+
+
+class TestPoolServer:
+    """The HTTP front-end dispatching into the pool instead of a local engine."""
+
+    @pytest.fixture()
+    def pool_server(self, bundle_dir):
+        import threading as _threading
+
+        with WorkerPool(bundle_dir, **POOL_OPTS) as pool:
+            server = make_server(pool=pool, port=0)
+            thread = _threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                yield server, pool
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+
+    def _get(self, server, path):
+        import json
+        import urllib.request
+
+        url = f"http://127.0.0.1:{server.port}{path}"
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+
+    def _post(self, server, path, payload):
+        import json
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{path}",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read().decode("utf-8"))
+
+    def test_healthz_exposes_worker_liveness(self, pool_server, bundle):
+        server, pool = pool_server
+        status, body = self._get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["healthy_workers"] == 2
+        pids = {worker["pid"] for worker in body["workers"]}
+        assert pids == set(pool.worker_pids())
+        for worker in body["workers"]:
+            assert worker["bundle_version"] == bundle.version
+
+    def test_score_bitwise_oracle(self, pool_server, oracle):
+        server, _pool = pool_server
+        status, body = self._post(server, "/score", {"users": [0, 1], "items": [2, 3]})
+        assert status == 200
+        np.testing.assert_array_equal(body["scores"], oracle.score([0, 1], [2, 3]))
+
+    def test_onboard_via_pool(self, pool_server, oracle):
+        server, pool = pool_server
+        status, body = self._post(
+            server, "/users", {"attributes": {"gender": 1, "age": 3, "occupation": 5}}
+        )
+        assert status == 201
+        assert body["user"] == oracle.num_users
+        assert body["onboarded"] == 1
+        assert pool.onboarded("user") == 1
+
+    def test_make_server_rejects_pool_plus_batching(self, bundle_dir, engine):
+        from repro.serving import BatchingEngine
+
+        batching = BatchingEngine(engine, auto_start=False)
+        with pytest.raises(ValueError, match="batching"):
+            make_server(engine, port=0, batching=batching, pool=object())
+
+    def test_make_server_requires_engine_or_pool(self):
+        with pytest.raises(ValueError, match="engine"):
+            make_server(port=0)

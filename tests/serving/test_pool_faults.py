@@ -1,0 +1,132 @@
+"""Fault isolation: a SIGKILLed worker never takes the pool down with it.
+
+The pool's crash contract, pinned here:
+
+* siblings keep serving throughout — their in-flight requests are untouched;
+* read-only requests that were on the dead worker re-dispatch transparently;
+* the pool respawns back to full strength, and the replacement replays the
+  sequence-numbered state log so it converges to its siblings' node set;
+* post-respawn responses are still bitwise the single-process oracle.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import InferenceEngine, WorkerPool
+
+pytestmark = [pytest.mark.serving, pytest.mark.pool]
+
+POOL_OPTS = dict(workers=2, cache_size=0, tick_interval=0.0, spawn_timeout=300.0)
+
+
+def wait_until(predicate, timeout=120.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture()
+def pool(bundle_dir):
+    with WorkerPool(bundle_dir, **POOL_OPTS) as pool:
+        yield pool
+
+
+@pytest.fixture()
+def oracle(bundle):
+    return InferenceEngine(bundle, cache_size=0)
+
+
+def test_sigkill_mid_load_siblings_unaffected(pool, oracle):
+    """Kill one worker under sustained traffic: zero client-visible errors."""
+    stop = threading.Event()
+    errors = []
+    served = []
+    want = oracle.score([1], [2])[0]
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                served.append(pool.score([1], [2], timeout=120)[0])
+            except Exception as exc:
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        time.sleep(0.2)  # let traffic land on both workers
+        victim = pool.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        assert wait_until(
+            lambda: pool.stats()["respawns"] >= 1
+            and pool.stats()["live_workers"] == 2
+        ), f"pool never recovered: {pool.stats()}"
+        time.sleep(0.2)  # post-respawn traffic
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+
+    assert not errors, f"client saw {errors[0]!r} during the crash"
+    assert served
+    assert all(value == want for value in served)
+    health = pool.healthz()
+    assert health["healthy_workers"] == 2
+    assert victim not in {w.get("pid") for w in health["workers"]}
+
+
+def test_respawned_worker_is_bitwise_oracle(pool, oracle):
+    victim_index = 1
+    victim = pool.worker_pids()[victim_index]
+    os.kill(victim, signal.SIGKILL)
+    assert wait_until(
+        lambda: pool.stats()["respawns"] >= 1 and pool.stats()["live_workers"] == 2
+    )
+    rng = np.random.default_rng(41)
+    users = rng.integers(0, oracle.num_users, size=24)
+    items = rng.integers(0, oracle.num_items, size=24)
+    want = oracle.score(users, items)
+    for index in range(pool.num_workers):
+        np.testing.assert_array_equal(pool.score_on_worker(index, users, items), want)
+    assert pool.worker_pids()[victim_index] != victim
+
+
+def test_replacement_replays_onboard_log(pool, oracle, bundle):
+    """The replacement must converge to the siblings' node set via replay."""
+    attrs = np.array(bundle.attributes("item")[0], dtype=np.float64)
+    new_id = pool.add_item(attrs)
+    assert new_id == oracle.add_item(attrs)
+
+    os.kill(pool.worker_pids()[0], signal.SIGKILL)
+    assert wait_until(
+        lambda: pool.stats()["respawns"] >= 1 and pool.stats()["live_workers"] == 2
+    )
+
+    want = oracle.score([0, 1, 2], [new_id] * 3)
+    for index in range(pool.num_workers):
+        np.testing.assert_array_equal(
+            pool.score_on_worker(index, [0, 1, 2], [new_id] * 3), want
+        )
+    health = pool.healthz(timeout=60.0)
+    assert health["healthy_workers"] == 2
+    for worker in health["workers"]:
+        assert worker["onboarded_items"] == 1
+
+
+def test_respawn_counted_and_reported(pool):
+    os.kill(pool.worker_pids()[0], signal.SIGKILL)
+    assert wait_until(
+        lambda: pool.stats()["respawns"] >= 1 and pool.stats()["live_workers"] == 2
+    )
+    stats = pool.stats()
+    assert stats["respawns"] == 1
+    assert pool.healthz()["respawns"] == 1

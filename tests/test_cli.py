@@ -83,6 +83,31 @@ class TestParser:
         assert args.concurrency == [2, 8]
         assert args.check
 
+    def test_serve_workers_default_single_process(self):
+        args = build_parser().parse_args(["serve", "--bundle", "bundles/x"])
+        assert args.workers == 1
+
+    def test_serve_workers_flag(self):
+        args = build_parser().parse_args(["serve", "--bundle", "bundles/x", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_load_bench_pool_defaults(self):
+        args = build_parser().parse_args(["load-bench"])
+        assert args.pool_workers == [1, 2, 4]
+        assert args.pool_concurrency == 8
+        assert not args.no_pool
+
+    def test_load_bench_pool_flags(self):
+        args = build_parser().parse_args(
+            ["load-bench", "--pool-workers", "1", "8", "--pool-concurrency", "16"]
+        )
+        assert args.pool_workers == [1, 8]
+        assert args.pool_concurrency == 16
+
+    def test_load_bench_no_pool(self):
+        args = build_parser().parse_args(["load-bench", "--no-pool"])
+        assert args.no_pool
+
     def test_refresh_defaults(self):
         args = build_parser().parse_args(["refresh", "--store", "stores/live"])
         assert args.store == "stores/live"
