@@ -14,6 +14,7 @@ Examples:
     python -m repro.cli serving-bench --output BENCH_serving.json
     python -m repro.cli load-bench --output BENCH_load.json
     python -m repro.cli load-bench --check --output -
+    python -m repro.cli trace --bundle bundles/agnn --workers 2 --output trace.json
     python -m repro.cli refresh --store bundles/store
     python -m repro.cli refresh-bench --output BENCH_refresh.json
     python -m repro.cli verify --fuzz-iterations 200
@@ -216,6 +217,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline path ('-' to skip writing)")
     lbench.add_argument("--json", action="store_true",
                         help="print the payload JSON instead of the table")
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="drive a bundle through the pool-backed HTTP server and export a "
+        "Chrome trace-event JSON (open in Perfetto or chrome://tracing)",
+    )
+    trace_cmd.add_argument("--bundle", required=True,
+                           help="bundle directory from export-bundle")
+    trace_cmd.add_argument("--workers", type=int, default=2,
+                           help="serving processes in the WorkerPool")
+    trace_cmd.add_argument("--requests", type=int, default=8,
+                           help="scoring requests to drive through the fleet")
+    trace_cmd.add_argument("--pairs", type=int, default=16,
+                           help="candidate pairs scored per request")
+    trace_cmd.add_argument("--seed", type=int, default=0, help="workload seed")
+    trace_cmd.add_argument("--output", default="trace.json",
+                           help="Chrome trace path ('-' prints to stdout)")
 
     refresh = commands.add_parser(
         "refresh",
@@ -582,6 +600,70 @@ def _command_load_bench(args) -> int:
     return 0 if payload["ok"] else 1
 
 
+def _command_trace(args) -> int:
+    import threading
+    import urllib.request
+
+    import numpy as np
+
+    from .serving import WorkerPool, make_server
+    from .telemetry import metrics as telemetry_metrics
+    from .telemetry import tracing
+
+    telemetry_metrics.reset()
+    tracing.reset_spans()
+    with telemetry_metrics.enabled():
+        with WorkerPool(args.bundle, workers=args.workers, cache_size=0) as pool:
+            health = pool.healthz()
+            shape = next((w for w in health["workers"] if w.get("responsive")), {})
+            num_users = int(shape.get("users", 1))
+            num_items = int(shape.get("items", 1))
+            server = make_server(pool=pool, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            base = f"http://127.0.0.1:{server.port}"
+            trace_ids = []
+            try:
+                rng = np.random.default_rng(args.seed)
+                for _ in range(args.requests):
+                    payload = json.dumps({
+                        "users": rng.integers(0, num_users, size=args.pairs).tolist(),
+                        "items": rng.integers(0, num_items, size=args.pairs).tolist(),
+                    }).encode("utf-8")
+                    request = urllib.request.Request(
+                        f"{base}/score", data=payload,
+                        headers={"Content-Type": "application/json"}, method="POST",
+                    )
+                    with urllib.request.urlopen(request, timeout=60) as response:
+                        response.read()
+                        trace_ids.append(response.headers.get("X-Trace-ID", ""))
+                with urllib.request.urlopen(f"{base}/trace.json", timeout=60) as response:
+                    raw = response.read().decode("utf-8")
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+
+    trace = json.loads(raw)
+    slices = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    pids = sorted({e["pid"] for e in slices})
+    if args.output == "-":
+        print(raw)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(raw)
+        print(
+            f"drove {args.requests} request(s) ({len(set(filter(None, trace_ids)))} "
+            f"traces) through {args.workers} worker(s)"
+        )
+        print(
+            f"wrote {args.output}: {len(slices)} span slices across "
+            f"{len(pids)} processes, {trace['metadata']['span_dropped']} dropped "
+            "— open in https://ui.perfetto.dev or chrome://tracing"
+        )
+    return 0
+
+
 def _command_refresh(args) -> int:
     from dataclasses import replace
 
@@ -723,6 +805,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _command_serve,
         "serving-bench": _command_serving_bench,
         "load-bench": _command_load_bench,
+        "trace": _command_trace,
         "refresh": _command_refresh,
         "refresh-bench": _command_refresh_bench,
         "verify": _command_verify,

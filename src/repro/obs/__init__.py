@@ -21,7 +21,7 @@ bitwise-neutral: monitors and events read the clock and the model, never any
 RNG, and the determinism suite pins monitored == unmonitored predictions.
 """
 
-from . import events, monitors, prometheus, report, runtime
+from . import events, fleet, monitors, prometheus, report, runtime, trace
 from .events import (
     ENV_VAR,
     EventLog,
@@ -50,9 +50,11 @@ from .monitors import (
     TrainingHealthError,
     default_monitors,
 )
-from .prometheus import parse_prometheus, render_prometheus
+from .fleet import chrome_trace, merge_snapshots, render_fleet, worker_snapshot
+from .prometheus import parse_prometheus, render_prometheus, render_prometheus_multi
 from .report import build_report, render_report, run_smoke_report
 from .runtime import FitObserver, maybe_fit_observer
+from .trace import TraceContext, current_context, trace_scope
 
 __all__ = [
     "ENV_VAR",
@@ -80,15 +82,25 @@ __all__ = [
     "default_monitors",
     "DEFAULT_EVERY_N_STEPS",
     "render_prometheus",
+    "render_prometheus_multi",
     "parse_prometheus",
+    "TraceContext",
+    "current_context",
+    "trace_scope",
+    "worker_snapshot",
+    "merge_snapshots",
+    "render_fleet",
+    "chrome_trace",
     "build_report",
     "render_report",
     "run_smoke_report",
     "FitObserver",
     "maybe_fit_observer",
     "events",
+    "fleet",
     "monitors",
     "prometheus",
     "report",
     "runtime",
+    "trace",
 ]

@@ -150,23 +150,41 @@ class EventLog:
 
     ``path=None`` keeps events in memory only (the common test configuration);
     with a path every event is additionally appended to the file as one JSON
-    line, flushed per event so a crashed run still leaves its trail.
+    line.  File emission is **line-atomic**: the file is opened ``O_APPEND``
+    and each event goes out as a single ``os.write`` of one complete line, so
+    concurrent writers (threads, or forked/spawned processes that inherited
+    the same path) never interleave partial lines.
+
+    ``per_process=True`` additionally suffixes the path with ``.<pid>`` —
+    the configuration :func:`get_event_log` uses for ``REPRO_OBS_LOG``, so a
+    worker pool launched with observability on writes N sibling files instead
+    of racing one.  :func:`read_events` stitches the siblings back together.
     """
 
-    def __init__(self, path: Optional[os.PathLike] = None, capacity: int = 50_000) -> None:
+    def __init__(
+        self,
+        path: Optional[os.PathLike] = None,
+        capacity: int = 50_000,
+        per_process: bool = False,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
-        self.path = Path(path) if path is not None else None
+        self.base_path = Path(path) if path is not None else None
+        self.per_process = bool(per_process)
+        if self.base_path is not None and self.per_process:
+            self.path: Optional[Path] = Path(f"{self.base_path}.{os.getpid()}")
+        else:
+            self.path = self.base_path
         self.capacity = capacity
         self._lock = threading.Lock()
         self._events: List[Dict[str, Any]] = []
         self._dropped = 0
         self._seq = 0
         self._run_id: Optional[str] = None
-        self._handle = None
+        self._fd: Optional[int] = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._fd = os.open(str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
 
     # ------------------------------------------------------------------ state
     @property
@@ -191,7 +209,12 @@ class EventLog:
         """Record one event; returns the event dict that was stored."""
         with self._lock:
             self._seq += 1
-            event: Dict[str, Any] = {"seq": self._seq, "ts": time.time(), "kind": str(kind)}
+            event: Dict[str, Any] = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "kind": str(kind),
+                "pid": os.getpid(),
+            }
             if self._run_id is not None:
                 event["run_id"] = self._run_id
             for name, value in fields.items():
@@ -202,9 +225,9 @@ class EventLog:
                 self._events.pop(0)
                 self._events.append(event)
                 self._dropped += 1
-            if self._handle is not None:
-                self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-                self._handle.flush()
+            if self._fd is not None:
+                line = json.dumps(event, sort_keys=True) + "\n"
+                os.write(self._fd, line.encode("utf-8"))
         return event
 
     def start_run(self, manifest: Dict[str, Any]) -> str:
@@ -225,9 +248,9 @@ class EventLog:
 
     def close(self) -> None:
         with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
 
 
 # ----------------------------------------------------------------- global sink
@@ -236,12 +259,19 @@ _default_lock = threading.Lock()
 
 
 def get_event_log() -> EventLog:
-    """The process-wide event log (created lazily; honours ``REPRO_OBS_LOG``)."""
+    """The process-wide event log (created lazily; honours ``REPRO_OBS_LOG``).
+
+    The env-configured path is opened ``per_process``: pool workers inherit
+    ``REPRO_OBS_LOG`` from the parent, and without the ``.<pid>`` suffix N
+    processes would append to one file and interleave lines.  Logs created
+    explicitly via :class:`EventLog` / :func:`configure` keep their exact
+    path (single-process callers expect the file where they asked for it).
+    """
     global _default_log
     with _default_lock:
         if _default_log is None:
             path = os.environ.get(LOG_PATH_ENV_VAR) or None
-            _default_log = EventLog(path=path)
+            _default_log = EventLog(path=path, per_process=path is not None)
         return _default_log
 
 
@@ -319,8 +349,7 @@ def build_run_manifest(
     return manifest
 
 
-def read_events(path: os.PathLike) -> List[Dict[str, Any]]:
-    """Parse a JSONL event file back into event dicts (skips corrupt lines)."""
+def _read_one_file(path: Path) -> List[Dict[str, Any]]:
     events: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
@@ -334,3 +363,35 @@ def read_events(path: os.PathLike) -> List[Dict[str, Any]]:
             if isinstance(event, dict):
                 events.append(event)
     return events
+
+
+def read_events(path: os.PathLike, stitch: bool = True) -> List[Dict[str, Any]]:
+    """Parse a JSONL event file back into event dicts (skips corrupt lines).
+
+    With ``stitch`` (the default) per-process sibling files — ``<path>.<pid>``
+    as written by a multi-process run — are folded in and the combined stream
+    is ordered by wall-clock ``ts`` (then per-file ``seq``), so a report over
+    a pool run sees one coherent timeline.  Pass ``stitch=False`` to read
+    exactly one file.
+    """
+    base = Path(path)
+    files: List[Path] = []
+    if base.exists():
+        files.append(base)
+    if stitch:
+        siblings = sorted(
+            sibling
+            for sibling in base.parent.glob(base.name + ".*")
+            if sibling.suffix[1:].isdigit()
+        )
+        files.extend(siblings)
+    if not files:
+        # Preserve the single-file contract: a missing path raises.
+        raise FileNotFoundError(str(base))
+    if len(files) == 1:
+        return _read_one_file(files[0])
+    merged: List[Dict[str, Any]] = []
+    for file in files:
+        merged.extend(_read_one_file(file))
+    merged.sort(key=lambda e: (e.get("ts", 0.0), e.get("seq", 0)))
+    return merged

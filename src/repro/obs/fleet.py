@@ -1,0 +1,228 @@
+"""Fleet-wide observability: merge per-process telemetry into one view.
+
+The multi-process serving pool leaves telemetry scattered across N worker
+processes plus the parent — each with its own
+:class:`~repro.telemetry.metrics.MetricsRegistry` and span record ring.  This
+module defines:
+
+* :func:`worker_snapshot` — the picklable bundle a worker returns over its
+  control pipe when the parent broadcasts ``collect_telemetry``: counters,
+  gauges, full histogram states (exact count/total/max + windowed samples)
+  and the most recent raw span records, plus the span-drop count;
+* :func:`registry_from_snapshot` / :func:`merge_snapshots` — rebuild
+  registries from snapshots and fold many into one aggregate (counters sum,
+  histogram windows concatenate, maxima take the max);
+* :func:`render_fleet` — one Prometheus exposition with the aggregate
+  families unlabelled and each process's series repeated under a
+  ``worker="N"`` label (``worker="parent"`` for the pool owner), so
+  dashboards get both the fleet totals and the per-worker breakdown;
+* :func:`chrome_trace` — Chrome trace-event JSON (the format Perfetto and
+  ``chrome://tracing`` load) from span records of any number of processes,
+  with ``pid``/``tid`` mapping and per-process metadata rows.
+
+Gauges are deliberately *not* aggregated: a mean of pool sizes or a sum of
+cache byte gauges is rarely the number anyone wants, so gauges appear only
+in the per-worker labelled sections.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
+from ..telemetry.metrics import MetricsRegistry
+from .prometheus import render_prometheus_multi
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "worker_snapshot",
+    "registry_from_snapshot",
+    "merge_snapshots",
+    "render_fleet",
+    "chrome_trace",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def worker_snapshot(max_spans: int = 5000) -> Dict[str, Any]:
+    """This process's telemetry as one picklable dict (pipe/queue safe).
+
+    Span records are capped at the ``max_spans`` most recent; anything the
+    cap (or the ring buffer before it) discarded is visible in
+    ``span_dropped`` so harvesters can tell "quiet worker" from "saturated
+    worker".
+    """
+    registry = telemetry_metrics.get_registry()
+    exported = tracing.export_spans(include_dropped=True)
+    records = exported["records"]
+    dropped = exported["dropped"]
+    if len(records) > max_spans:
+        dropped += len(records) - max_spans
+        records = records[-max_spans:]
+    return {
+        "version": SNAPSHOT_VERSION,
+        "pid": os.getpid(),
+        "counters": registry.counters(),
+        "gauges": registry.gauges(),
+        "histograms": {
+            name: hist.state() for name, hist in registry.histograms().items()
+        },
+        "spans": records,
+        "span_dropped": dropped,
+    }
+
+
+def registry_from_snapshot(snapshot: Dict[str, Any]) -> MetricsRegistry:
+    """A standalone registry holding one snapshot's metrics."""
+    registry = MetricsRegistry()
+    _fold_snapshot(registry, snapshot)
+    return registry
+
+
+def _fold_snapshot(registry: MetricsRegistry, snapshot: Dict[str, Any]) -> None:
+    for name, value in snapshot.get("counters", {}).items():
+        registry.counter(name).increment(int(value))
+    for name, value in snapshot.get("gauges", {}).items():
+        registry.gauge(name).set(float(value))
+    for name, state in snapshot.get("histograms", {}).items():
+        registry.histogram(name).merge_state(state)
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+    """Fold many snapshots into one aggregate registry.
+
+    Counters and histogram count/total sum; histogram maxima take the max and
+    sample windows concatenate (capped at window capacity).  Gauges are
+    skipped — point-in-time values from different processes don't aggregate
+    meaningfully (see module docstring).
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            registry.counter(name).increment(int(value))
+        for name, state in snapshot.get("histograms", {}).items():
+            registry.histogram(name).merge_state(state)
+    return registry
+
+
+def render_fleet(
+    parent_registry: Optional[MetricsRegistry],
+    worker_snapshots: Sequence[Dict[str, Any]],
+) -> str:
+    """One exposition: unlabelled aggregate + per-process labelled series.
+
+    The aggregate section folds the parent registry (when given) together
+    with every worker snapshot; the labelled sections carry
+    ``worker="parent"`` and ``worker="0..N-1"`` (snapshot order).  Aggregate
+    counter totals therefore equal the sum of the labelled series of the same
+    family — the invariant the fleet tests pin.
+    """
+    all_snaps: List[Dict[str, Any]] = []
+    sections: List[Tuple[MetricsRegistry, Dict[str, str]]] = []
+    if parent_registry is not None:
+        parent_snap = {
+            "counters": parent_registry.counters(),
+            "gauges": parent_registry.gauges(),
+            "histograms": {
+                name: hist.state()
+                for name, hist in parent_registry.histograms().items()
+            },
+        }
+        all_snaps.append(parent_snap)
+        sections.append((registry_from_snapshot(parent_snap), {"worker": "parent"}))
+    all_snaps.extend(worker_snapshots)
+    for index, snap in enumerate(worker_snapshots):
+        sections.append((registry_from_snapshot(snap), {"worker": str(index)}))
+    aggregate = merge_snapshots(all_snaps)
+    aggregate.counter("fleet.processes").increment(len(all_snaps))
+    aggregate.counter("fleet.span_dropped").increment(
+        sum(int(s.get("span_dropped", 0)) for s in worker_snapshots)
+        + tracing.dropped_records()
+    )
+    return render_prometheus_multi([(aggregate, {})] + sections)
+
+
+def _span_event(record: Dict[str, Any]) -> Dict[str, Any]:
+    args: Dict[str, Any] = {
+        "span_id": record.get("span_id", ""),
+        "parent_span_id": record.get("parent_span_id", ""),
+        "trace_id": record.get("trace_id", ""),
+        "request_id": record.get("request_id", ""),
+        "ok": record.get("ok", True),
+    }
+    if record.get("attrs"):
+        args.update(record["attrs"])
+    duration_us = max(record.get("duration_s", 0.0) * 1e6, 0.001)
+    return {
+        "ph": "X",
+        "name": record.get("path") or record.get("name", "span"),
+        "cat": "span",
+        # Complete ("X") events carry their *start*; records hold completion
+        # wall-clock, so subtract the duration to place the slice correctly.
+        "ts": (record.get("ts", 0.0) - record.get("duration_s", 0.0)) * 1e6,
+        "dur": duration_us,
+        "pid": record.get("pid", 0),
+        "tid": record.get("tid", 0),
+        "args": args,
+    }
+
+
+def chrome_trace(
+    parent_spans: Sequence[Dict[str, Any]],
+    worker_snapshots: Sequence[Dict[str, Any]] = (),
+    trace_id: Optional[str] = None,
+    request_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
+
+    Each span record becomes a complete (``ph:"X"``) event on its real
+    ``pid``/``tid`` row; metadata events name the parent and worker
+    processes.  Optional ``trace_id`` / ``request_id`` filters narrow the
+    timeline to one request flow; untraced spans (background refresh, drain
+    ticks with no requests) are kept only when no filter is given.
+    """
+    def keep(record: Dict[str, Any]) -> bool:
+        if trace_id is not None and record.get("trace_id", "") != trace_id:
+            return False
+        if request_id is not None and record.get("request_id", "") != request_id:
+            return False
+        return True
+
+    events: List[Dict[str, Any]] = []
+    parent_pid = os.getpid()
+    pid_names: Dict[int, str] = {}
+    for record in parent_spans:
+        if keep(record):
+            events.append(_span_event(record))
+            pid_names.setdefault(record.get("pid", parent_pid), f"parent (pid {record.get('pid', parent_pid)})")
+    for index, snap in enumerate(worker_snapshots):
+        worker_pid = snap.get("pid", 0)
+        pid_names.setdefault(worker_pid, f"worker {index} (pid {worker_pid})")
+        for record in snap.get("spans", ()):
+            if keep(record):
+                events.append(_span_event(record))
+    events.sort(key=lambda e: e["ts"])
+    metadata = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        }
+        for pid, name in sorted(pid_names.items())
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro",
+            "span_dropped": int(
+                tracing.dropped_records()
+                + sum(int(s.get("span_dropped", 0)) for s in worker_snapshots)
+            ),
+        },
+    }

@@ -36,6 +36,7 @@ __all__ = [
     "ROUTE_LATENCY_PREFIX",
     "ROUTE_ERRORS_PREFIX",
     "render_prometheus",
+    "render_prometheus_multi",
     "parse_prometheus",
 ]
 
@@ -119,19 +120,20 @@ def _quantile_lines(
         lines.append(f"{name}{_labels_text(labels)} {_format_value(histogram.percentile(q))}")
 
 
-def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
-    """The full registry as Prometheus exposition text (trailing newline)."""
-    registry = registry if registry is not None else telemetry_metrics.get_registry()
-    lines: List[str] = []
-    typed: set = set()
-
+def _render_registry(
+    registry: MetricsRegistry,
+    base_labels: Dict[str, str],
+    lines: List[str],
+    typed: set,
+) -> None:
+    """Append one registry's families, each series tagged with ``base_labels``."""
     for name, value in registry.counters().items():
         if name.startswith(ROUTE_ERRORS_PREFIX):
             family = "repro_serve_route_errors_total"
-            labels = {"route": name[len(ROUTE_ERRORS_PREFIX):]}
+            labels = dict(base_labels, route=name[len(ROUTE_ERRORS_PREFIX):])
         else:
             family = _metric_name(name) + "_total"
-            labels = {}
+            labels = dict(base_labels)
         if family not in typed:
             lines.append(f"# TYPE {family} counter")
             typed.add(family)
@@ -142,22 +144,76 @@ def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
         if family not in typed:
             lines.append(f"# TYPE {family} gauge")
             typed.add(family)
-        lines.append(f"{family} {_format_value(value)}")
+        lines.append(f"{family}{_labels_text(dict(base_labels))} {_format_value(value)}")
 
     for name, histogram in sorted(registry.histograms().items()):
         if name.startswith(SPAN_PREFIX):
             family = "repro_span_duration_seconds"
-            labels = {"path": name[len(SPAN_PREFIX):]}
+            labels = dict(base_labels, path=name[len(SPAN_PREFIX):])
         elif name.startswith(ROUTE_LATENCY_PREFIX):
             family = "repro_serve_route_latency_seconds"
-            labels = {"route": name[len(ROUTE_LATENCY_PREFIX):]}
+            labels = dict(base_labels, route=name[len(ROUTE_LATENCY_PREFIX):])
             _quantile_lines("repro_serve_route_latency", histogram, labels, lines, typed)
         else:
             family = _metric_name(name) + "_seconds"
-            labels = {}
+            labels = dict(base_labels)
         _histogram_lines(family, histogram, labels, lines, typed)
 
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The full registry as Prometheus exposition text (trailing newline)."""
+    registry = registry if registry is not None else telemetry_metrics.get_registry()
+    lines: List[str] = []
+    typed: set = set()
+    _render_registry(registry, {}, lines, typed)
     return "\n".join(lines) + "\n"
+
+
+def render_prometheus_multi(
+    sections: List[Tuple[MetricsRegistry, Dict[str, str]]],
+) -> str:
+    """Several registries in one exposition, each under its own label set.
+
+    The ``typed`` set is shared across sections, so a family appearing in
+    multiple registries (e.g. the fleet aggregate unlabelled plus per-worker
+    ``worker="N"`` series) emits exactly one ``# TYPE`` line — same-name
+    families with different label sets are legal exposition and merge into
+    one family on the scrape side.
+    """
+    lines: List[str] = []
+    typed: set = set()
+    for registry, base_labels in sections:
+        _render_registry(registry, dict(base_labels), lines, typed)
+    return "\n".join(lines) + "\n"
+
+
+def _unescape_label(value: str) -> str:
+    """Invert :func:`_escape_label` with a left-to-right scan.
+
+    Chained ``str.replace`` is wrong here: in ``\\\\n`` the backslash is the
+    escaped character and the ``n`` is literal, which only a sequential scan
+    gets right.
+    """
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
 
 
 def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
@@ -184,7 +240,7 @@ def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], f
         if labels_text:
             consumed = 0
             for lab in label_re.finditer(labels_text):
-                labels.append((lab.group(1), lab.group(2).replace('\\"', '"').replace("\\\\", "\\")))
+                labels.append((lab.group(1), _unescape_label(lab.group(2))))
                 consumed = lab.end()
             remainder = labels_text[consumed:].strip().strip(",")
             if remainder:

@@ -128,6 +128,10 @@ def _bench_deltas(bench_dir: Path, observed: Dict[str, Any]) -> Dict[str, Any]:
                 entry["committed_pool_rss_growth_x"] = pool.get("rss_growth_x")
                 entry["committed_pool_parity_ok"] = pool.get("parity")
                 entry["committed_pool_cpu_count"] = pool.get("cpu_count")
+            trace_section = committed.get("tracing") or {}
+            if trace_section:
+                entry["committed_trace_overhead_x"] = trace_section.get("overhead_x")
+                entry["committed_trace_span_dropped"] = trace_section.get("span_dropped")
             fresh_p50 = observed.get("score_p50_s")
             batched = (
                 committed.get("closed_loop", {})
@@ -391,6 +395,12 @@ def render_report(report: Dict[str, Any]) -> str:
                     f"mapped-pss growth {growth_text}, parity "
                     f"{'ok' if entry.get('committed_pool_parity_ok') else 'NOT OK'} "
                     f"(recorded on {entry.get('committed_pool_cpu_count')} cpu)"
+                )
+            if entry.get("committed_trace_overhead_x") is not None:
+                lines.append(
+                    f"- {filename} (tracing): {entry['committed_trace_overhead_x']:.3f}x "
+                    f"traced/untraced p50, "
+                    f"{entry.get('committed_trace_span_dropped', 0)} spans dropped"
                 )
         elif "committed_speedup_x" in entry and entry["committed_speedup_x"]:
             lines.append(

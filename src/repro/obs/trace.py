@@ -1,0 +1,101 @@
+"""Distributed trace contexts for the serving stack.
+
+A :class:`TraceContext` is the identity a request carries across process and
+thread hops: the ``trace_id`` naming the end-to-end request flow, the
+``span_id`` of the hop's parent span, and the human-facing ``request_id``
+(the server's ``X-Request-ID``).  The context is *minted* once at HTTP
+ingress and then re-activated on the far side of every hop — the batching
+queue, the worker pipe — so spans recorded anywhere in the fleet share one
+``trace_id`` and parent correctly.
+
+The ambient storage lives in :mod:`repro.telemetry.tracing` (a
+``contextvars.ContextVar`` holding the plain wire triple), because the
+telemetry layer cannot import ``repro.obs``; this module is the typed,
+ergonomic wrapper the serving layer uses:
+
+    ctx = TraceContext.mint(request_id)        # at ingress
+    wire = ctx.to_wire()                       # picklable, pipe-safe
+    ...
+    with trace_scope(TraceContext.from_wire(wire)):   # on the far side
+        with span("serve.score"):
+            ...
+
+Wire format — a plain 3-tuple of strings ``(trace_id, parent_span_id,
+request_id)`` — is deliberately primitive: it pickles cheaply into the
+worker-pipe envelopes, needs no class on the receiving side, and stays
+stable across versions (see DESIGN.md §18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..telemetry import tracing
+
+__all__ = ["TraceContext", "trace_scope", "current_context"]
+
+Wire = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one end-to-end request flow at a particular hop."""
+
+    trace_id: str
+    span_id: str
+    request_id: str = ""
+
+    @classmethod
+    def mint(cls, request_id: str = "") -> "TraceContext":
+        """A fresh root context, minted at ingress (no parent span yet)."""
+        return cls(trace_id=tracing.new_trace_id(), span_id="", request_id=request_id)
+
+    @classmethod
+    def from_wire(cls, wire: Optional[Wire]) -> Optional["TraceContext"]:
+        """Rehydrate a pipe/queue envelope triple; ``None`` passes through."""
+        if wire is None:
+            return None
+        return cls(trace_id=wire[0], span_id=wire[1], request_id=wire[2])
+
+    def to_wire(self) -> Wire:
+        """The picklable triple carried in queue and pipe envelopes."""
+        return (self.trace_id, self.span_id, self.request_id)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context a child hop should carry right now, or ``None``.
+
+    The ``span_id`` slot reflects the innermost live span of the calling
+    thread, so enqueueing/sending at this point parents the remote spans
+    under the span doing the send.
+    """
+    return TraceContext.from_wire(tracing.current_trace())
+
+
+class trace_scope:
+    """Activate ``ctx`` for the block; spans opened inside inherit it.
+
+    ``None`` deactivates any inherited trace for the block — used by
+    background work (drain ticks with no requests, refresh threads) that
+    must not be attributed to whatever request happened to run last.
+
+    A plain class rather than ``@contextmanager``: this sits on the
+    per-request ingress path, where the generator protocol's extra frames
+    are measurable against the ≤5% tracing-overhead budget.
+    """
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: Optional[TraceContext]) -> None:
+        self._ctx = ctx
+        self._token = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        ctx = self._ctx
+        self._token = tracing.activate_trace(None if ctx is None else ctx.to_wire())
+        return ctx
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        tracing.deactivate_trace(self._token)
+        return False

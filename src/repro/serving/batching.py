@@ -59,7 +59,8 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs import events as obs_events
-from ..telemetry import increment, record_timing, set_gauge
+from ..telemetry import increment, record_timing, set_gauge, tracing
+from ..telemetry.tracing import span
 from .engine import InferenceEngine
 
 __all__ = ["BatchingEngine", "EngineOverloadedError"]
@@ -76,9 +77,15 @@ class EngineOverloadedError(RuntimeError):
 
 
 class _Request:
-    """One queued unit of work; ``future`` completes exactly once."""
+    """One queued unit of work; ``future`` completes exactly once.
 
-    __slots__ = ("kind", "payload", "future", "enqueued_at", "pairs")
+    ``trace`` is the distributed-trace wire triple active on the submitting
+    thread — ``(trace_id, parent_span_id, request_id)`` or ``None`` — so the
+    drain thread can re-activate the request's identity while executing it
+    and engine-side spans/fallbacks stay attributable to the HTTP request.
+    """
+
+    __slots__ = ("kind", "payload", "future", "enqueued_at", "pairs", "trace")
 
     def __init__(self, kind: str, payload: Tuple[Any, ...], enqueued_at: float, pairs: int) -> None:
         self.kind = kind
@@ -86,6 +93,7 @@ class _Request:
         self.future: "Future[Any]" = Future()
         self.enqueued_at = enqueued_at
         self.pairs = pairs
+        self.trace = tracing.current_trace()
 
 
 class BatchingEngine:
@@ -332,18 +340,39 @@ class BatchingEngine:
         for request in batch:
             record_timing("serve.batch.wait", max(now - request.enqueued_at, 0.0))
 
-        index = 0
-        while index < len(batch):
-            request = batch[index]
-            if request.kind == "score":
-                run = [request]
-                while index + len(run) < len(batch) and batch[index + len(run)].kind == "score":
-                    run.append(batch[index + len(run)])
-                self._execute_score_run(run)
-                index += len(run)
-            else:
-                self._execute_single(request)
-                index += 1
+        # One tick span covers the whole drain.  A tick belongs to every
+        # request it fused: with one distinct trace in the batch the tick
+        # span *joins* that trace (shares trace_id, parents to the ingress
+        # span); with several it stays trace-free and carries the flows as
+        # ``links`` — the standard many-parents batch-span shape.
+        traces = [r.trace for r in batch if r.trace is not None]
+        distinct = {t[0] for t in traces}
+        token = tracing.activate_trace(traces[0]) if len(distinct) == 1 else None
+        try:
+            with span("serve.batch.tick") as tick:
+                if traces:
+                    tick.annotate(
+                        requests=len(batch),
+                        links=[
+                            {"trace_id": t[0], "parent_span_id": t[1], "request_id": t[2]}
+                            for t in traces
+                        ],
+                    )
+                index = 0
+                while index < len(batch):
+                    request = batch[index]
+                    if request.kind == "score":
+                        run = [request]
+                        while index + len(run) < len(batch) and batch[index + len(run)].kind == "score":
+                            run.append(batch[index + len(run)])
+                        self._execute_score_run(run)
+                        index += len(run)
+                    else:
+                        self._execute_single(request)
+                        index += 1
+        finally:
+            if token is not None:
+                tracing.deactivate_trace(token)
 
     def _execute_score_run(self, run: List[_Request]) -> None:
         """One fused ``engine.score`` over a run of consecutive score requests."""
@@ -362,6 +391,11 @@ class BatchingEngine:
             # so only the culprit carries the error.
             self._fallbacks += 1
             increment("serve.batch.fallbacks")
+            obs_events.emit(
+                "serve.batch_fallback",
+                requests=len(run),
+                request_ids=[r.trace[2] for r in run if r.trace is not None],
+            )
             for request in run:
                 self._execute_single(request)
             return
@@ -372,6 +406,16 @@ class BatchingEngine:
             offset += count
 
     def _execute_single(self, request: _Request) -> None:
+        # Re-activate the request's own trace so engine-side spans carry its
+        # trace_id/request_id even when the tick span stayed trace-free.
+        token = tracing.activate_trace(request.trace) if request.trace is not None else None
+        try:
+            self._execute_single_traced(request)
+        finally:
+            if token is not None:
+                tracing.deactivate_trace(token)
+
+    def _execute_single_traced(self, request: _Request) -> None:
         try:
             if request.kind == "score":
                 result: Any = self.engine.score(*request.payload)

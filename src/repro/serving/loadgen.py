@@ -36,10 +36,17 @@ growth ratio, parity, respawns, and the machine's ``cpu_count`` — the
 scaling tripwire in ``benchmarks/test_pool_baseline.py`` only binds when the
 recording machine actually had cores to scale onto.
 
+A fourth phase (schema v3) measures **tracing overhead**: the same direct
+scoring workload with and without a per-request
+:class:`~repro.obs.trace.TraceContext` + ingress span, best-of-N p50s, plus
+span-loss accounting — the numbers ``benchmarks/test_trace_overhead.py``
+gates at ≤5% overhead and zero dropped spans.
+
 ``run_load_bench`` writes the ``BENCH_load.json`` baseline consumed by
-``benchmarks/test_load_baseline.py`` + ``benchmarks/test_pool_baseline.py``
-(the tripwires) and surfaced by ``repro report``; ``check=True`` is the quick
-smoke invocation wired into the benchmark suite.
+``benchmarks/test_load_baseline.py`` + ``benchmarks/test_pool_baseline.py`` +
+``benchmarks/test_trace_overhead.py`` (the tripwires) and surfaced by
+``repro report``; ``check=True`` is the quick smoke invocation wired into the
+benchmark suite.
 """
 
 from __future__ import annotations
@@ -61,8 +68,9 @@ from .engine import InferenceEngine
 
 __all__ = ["LOAD_SCHEMA_VERSION", "run_load_bench", "render_load_bench"]
 
-#: v2 added the multi-process ``pool`` section
-LOAD_SCHEMA_VERSION = 2
+#: v2 added the multi-process ``pool`` section; v3 the ``tracing`` overhead
+#: section (traced vs untraced p50 + span-loss accounting)
+LOAD_SCHEMA_VERSION = 3
 
 _MS = 1e3
 
@@ -364,6 +372,79 @@ def _pool_phase(
     }
 
 
+#: candidate-set size for the tracing-overhead phase.  Tracing costs a small
+#: per-request *constant* (a context mint + one extra span), so the honest
+#: ratio gate measures it against a full reranking candidate pool — where
+#: scoring is the dominant term, as in production — rather than the 16-pair
+#: micro-slice the coalescing cells use to stress fusion.
+TRACE_PAIRS_PER_REQUEST = 1024
+
+
+def _tracing_phase(
+    engine: InferenceEngine,
+    users: np.ndarray,
+    items: np.ndarray,
+    pairs_per_request: int = TRACE_PAIRS_PER_REQUEST,
+    requests: int = 200,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Traced vs untraced p50 on the direct scoring path, request-interleaved.
+
+    *Untraced* is the pre-tracing status quo — telemetry on, no trace context,
+    no ingress span.  *Traced* mints a :class:`~repro.obs.trace.TraceContext`
+    per request and wraps the score in the ingress ``serve.request`` span,
+    exactly what the HTTP front door now does.  The two conditions alternate
+    request by request within each round, so machine drift (CPU frequency,
+    co-tenants, GC) lands on both distributions equally instead of being
+    misattributed to tracing; ``overhead_x`` is the smallest traced/untraced
+    p50 ratio over ``repeats`` rounds.  This is the number the
+    ``benchmarks/test_trace_overhead.py`` tripwire gates at ≤5%; span records
+    are reset first so ``span_dropped`` counts loss caused by *this phase*,
+    not earlier load cells filling the ring.
+    """
+    from ..obs.trace import TraceContext, trace_scope
+
+    slices = _request_slices(users, items, pairs_per_request)
+    n = max(1, int(requests))
+
+    def _round() -> tuple:
+        untraced = np.empty(n, dtype=np.float64)
+        traced = np.empty(n, dtype=np.float64)
+        for idx in range(n):
+            u, i = slices[idx % len(slices)]
+            t0 = time.perf_counter()
+            engine.score(u, i)
+            untraced[idx] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with trace_scope(TraceContext.mint(f"load-{idx}")):
+                with tracing.span("serve.request"):
+                    engine.score(u, i)
+            traced[idx] = time.perf_counter() - t0
+        return (
+            float(np.percentile(untraced, 50)),
+            float(np.percentile(traced, 50)),
+        )
+
+    _round()  # warmup: caches, lazy allocations
+    tracing.reset_spans()
+    best = min(
+        (_round() for _ in range(repeats)),
+        key=lambda r: (r[1] / r[0]) if r[0] else float("inf"),
+    )
+    spans_recorded = len(tracing.export_spans())
+    span_dropped = tracing.dropped_records()
+    return {
+        "requests": int(n),
+        "repeats": int(repeats),
+        "pairs_per_request": int(pairs_per_request),
+        "untraced_p50_ms": float(best[0] * _MS),
+        "traced_p50_ms": float(best[1] * _MS),
+        "overhead_x": float(best[1] / best[0]) if best[0] else 0.0,
+        "spans_recorded": int(spans_recorded),
+        "span_dropped": int(span_dropped),
+    }
+
+
 def run_load_bench(
     dataset: str = "ML-100K",
     scenario: str = "item_cold",
@@ -550,6 +631,14 @@ def _run_load_bench_phases(
         finally:
             batching.stop(drain=True)
 
+        tracing_section = _tracing_phase(
+            engine,
+            users,
+            items,
+            requests=60 if check else 300,
+            repeats=2 if check else 3,
+        )
+
         pool_section: Dict[str, Any] = {}
         if pool_worker_counts:
             pool_section = _pool_phase(
@@ -599,6 +688,7 @@ def _run_load_bench_phases(
         summary["pool_workers"] = int(max(pool_section["worker_counts"]))
         summary["pool_scaling_x"] = pool_section["scaling_x"]
         summary["pool_rss_growth_x"] = pool_section["rss_growth_x"]
+    summary["trace_overhead_x"] = tracing_section["overhead_x"]
 
     total_errors = sum(
         cell["errors"] for mode in closed.values() for cell in mode.values()
@@ -635,6 +725,7 @@ def _run_load_bench_phases(
         },
         "open_loop": open_loop,
         "batching": batch_telemetry,
+        "tracing": tracing_section,
         "pool": pool_section,
         "summary": summary,
         "ok": bool(
@@ -709,6 +800,16 @@ def render_load_bench(payload: Dict[str, Any]) -> str:
             f"  scaling {pool['scaling_x']:.2f}x "
             f"({min(pool['worker_counts'])}→{max(pool['worker_counts'])} workers), "
             f"mapped-pss growth {growth_text}"
+        )
+    trace_section = payload.get("tracing") or {}
+    if trace_section:
+        lines.append("")
+        lines.append(
+            f"tracing: p50 {trace_section['traced_p50_ms']:.2f}ms traced vs "
+            f"{trace_section['untraced_p50_ms']:.2f}ms untraced "
+            f"({trace_section['overhead_x']:.3f}x), "
+            f"{trace_section['spans_recorded']} spans recorded, "
+            f"{trace_section['span_dropped']} dropped"
         )
     batching = payload.get("batching") or {}
     if batching.get("batch_pairs"):

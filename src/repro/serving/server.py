@@ -20,7 +20,12 @@ GET    /healthz      ``{"status": "ok", "users": M, "items": N,
                      "cache_hit_rate": ...}``
 GET    /metrics      the full telemetry snapshot (``repro.telemetry.snapshot``)
 GET    /metrics.prom the telemetry registry in Prometheus text exposition
-                     format — per-route latency histograms, error counters
+                     format — per-route latency histograms, error counters;
+                     pool-backed servers serve the *fleet-merged* view
+                     (aggregate families + per-worker ``worker="N"`` series)
+GET    /trace.json   Chrome trace-event JSON over parent + workers (open in
+                     Perfetto); ``?trace_id=`` / ``?request_id=`` narrow it
+                     to one request flow
 POST   /score        ``{"users": [...], "items": [...]}`` → ``{"scores": [...]}``
 POST   /topn         ``{"user": u, "k": 10, "exclude_seen": true}`` →
                      ``{"items": [...], "scores": [...]}``
@@ -31,7 +36,9 @@ POST   /items        symmetric → ``{"item": new_id}`` (201)
 
 Request-level observability: every request gets a per-process request id,
 echoed as the ``X-Request-ID`` response header and embedded in every error
-body.  Every request runs inside a ``serve.request`` span, bumps
+body, plus a freshly minted distributed :class:`~repro.obs.trace.TraceContext`
+(echoed as ``X-Trace-ID``) that follows the request through the batching
+queue and worker pipes.  Every request runs inside a ``serve.request`` span, bumps
 ``serve.requests``, and records its latency in the per-route
 ``serve.route_latency.<route>`` histogram.  Client errors bump
 ``serve.request_errors`` plus ``serve.route_errors.<route>``; *unexpected*
@@ -61,6 +68,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
 
+from ..obs.trace import TraceContext, trace_scope
 from ..telemetry import increment, record_timing, snapshot, span
 from .batching import BatchingEngine, EngineOverloadedError
 from .engine import InferenceEngine
@@ -88,7 +96,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: Union[Dict[str, Any], str], request_id: str = "") -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Union[Dict[str, Any], str],
+        request_id: str = "",
+        trace_id: str = "",
+    ) -> None:
         if isinstance(payload, str):
             body = payload.encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -100,6 +114,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if request_id:
             self.send_header("X-Request-ID", request_id)
+        if trace_id:
+            self.send_header("X-Trace-ID", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -121,7 +137,12 @@ class _Handler(BaseHTTPRequestHandler):
         request_id = self.server.next_request_id()
         increment("serve.requests")
         started = time.perf_counter()
-        with span("serve.request"):
+        # Ingress is where the distributed trace is minted: everything this
+        # request touches downstream — the batching queue, worker pipes,
+        # engine spans in other processes — inherits this identity.
+        ctx = TraceContext.mint(request_id)
+        with trace_scope(ctx), span("serve.request") as request_span:
+            request_span.annotate(route=route)
             try:
                 status, payload = handler()
             except _RequestError as exc:
@@ -152,7 +173,7 @@ class _Handler(BaseHTTPRequestHandler):
         record_timing(f"serve.route_latency.{route}", time.perf_counter() - started)
         if status >= 400:
             increment(f"serve.route_errors.{route}")
-        self._reply(status, payload, request_id=request_id)
+        self._reply(status, payload, request_id=request_id, trace_id=ctx.trace_id)
 
     # ------------------------------------------------------------------ routes
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
@@ -160,6 +181,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/healthz": self._get_healthz,
             "/metrics": self._get_metrics,
             "/metrics.prom": self._get_metrics_prom,
+            "/trace.json": self._get_trace_json,
         }
         path = self.path.split("?")[0]
         handler = routes.get(path)
@@ -203,7 +225,33 @@ class _Handler(BaseHTTPRequestHandler):
         # serving module should not require just to import.
         from ..obs.prometheus import render_prometheus
 
+        pool = self.server.pool
+        if pool is not None:
+            from ..obs.fleet import render_fleet
+            from ..telemetry import get_registry
+
+            return 200, render_fleet(get_registry(), pool.collect_telemetry())
         return 200, render_prometheus()
+
+    def _get_trace_json(self) -> Tuple[int, Dict[str, Any]]:
+        """Chrome trace-event JSON over the whole fleet (Perfetto-loadable).
+
+        Optional ``?trace_id=`` / ``?request_id=`` query parameters narrow
+        the timeline to one request flow.
+        """
+        from urllib.parse import parse_qs, urlparse
+
+        from ..obs.fleet import chrome_trace
+        from ..telemetry.tracing import export_spans
+
+        query = parse_qs(urlparse(self.path).query)
+        trace_id = query.get("trace_id", [None])[0]
+        request_id = query.get("request_id", [None])[0]
+        pool = self.server.pool
+        worker_snaps = pool.collect_telemetry() if pool is not None else []
+        return 200, chrome_trace(
+            export_spans(), worker_snaps, trace_id=trace_id, request_id=request_id
+        )
 
     def _post_score(self) -> Tuple[int, Dict[str, Any]]:
         body = self._read_json()

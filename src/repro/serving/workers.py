@@ -59,7 +59,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..obs import events as obs_events
-from ..telemetry import increment, record_timing, set_gauge, span
+from ..telemetry import increment, record_timing, set_gauge, span, tracing
 from .batching import BatchingEngine, EngineOverloadedError
 
 __all__ = ["WorkerPool", "WorkerCrashedError", "PoolStoppedError"]
@@ -159,15 +159,26 @@ def _worker_main(worker_id: int, bundle_path: str, conn, options: Dict[str, Any]
             if kind == "stop":
                 drain = bool(message[2])
                 break
+            # Every request envelope carries the distributed-trace wire triple
+            # at slot 2 (``None`` when the parent had no trace active); it is
+            # activated around the batching submit so worker-side spans join
+            # the originating request's trace.
+            trace = message[2]
+            trace_token = tracing.activate_trace(trace) if trace is not None else None
             try:
                 if kind == "score":
-                    users, items = message[2], message[3]
+                    users, items = message[3], message[4]
                     reply_when_done(req_id, batching.submit_score(users, items))
                 elif kind == "topn":
-                    user, k, exclude_seen = message[2], message[3], message[4]
+                    user, k, exclude_seen = message[3], message[4], message[5]
                     reply_when_done(req_id, batching.submit_top_n(user, k, exclude_seen))
+                elif kind == "telemetry":
+                    from ..obs.fleet import worker_snapshot
+
+                    max_spans = int(message[3])
+                    send(("res", req_id, True, worker_snapshot(max_spans=max_spans)))
                 elif kind == "onboard":
-                    seq, side, attributes = message[2], message[3], message[4]
+                    seq, side, attributes = message[3], message[4], message[5]
                     if seq <= last_seq:
                         raise RuntimeError(
                             f"worker {worker_id}: out-of-order state seq {seq} "
@@ -176,7 +187,7 @@ def _worker_main(worker_id: int, bundle_path: str, conn, options: Dict[str, Any]
                     last_seq = seq
                     reply_when_done(req_id, batching.submit_onboard(side, attributes))
                 elif kind == "swap":
-                    seq, path = message[2], message[3]
+                    seq, path = message[3], message[4]
                     if seq <= last_seq:
                         raise RuntimeError(
                             f"worker {worker_id}: out-of-order state seq {seq} "
@@ -227,6 +238,9 @@ def _worker_main(worker_id: int, bundle_path: str, conn, options: Dict[str, Any]
                     raise RuntimeError(f"unknown request kind {kind!r}")
             except BaseException as exc:
                 send(("res", req_id, False, _encode_exc(exc)))
+            finally:
+                if trace_token is not None:
+                    tracing.deactivate_trace(trace_token)
     finally:
         batching.shutdown(drain=drain)
         send(("bye", worker_id))
@@ -238,9 +252,15 @@ def _worker_main(worker_id: int, bundle_path: str, conn, options: Dict[str, Any]
 
 # ----------------------------------------------------------------- the parent
 class _Pending:
-    """A dispatched request the parent is waiting on."""
+    """A dispatched request the parent is waiting on.
 
-    __slots__ = ("kind", "payload", "future", "worker_index", "retries", "broadcast")
+    ``trace`` snapshots the dispatching thread's distributed-trace wire
+    triple at construction; it rides slot 2 of the pipe envelope so the
+    worker's spans join the originating request's trace.
+    """
+
+    __slots__ = ("kind", "payload", "future", "worker_index", "retries",
+                 "broadcast", "trace")
 
     def __init__(self, kind: str, payload: Tuple[Any, ...], worker_index: int) -> None:
         self.kind = kind
@@ -249,6 +269,7 @@ class _Pending:
         self.worker_index = worker_index
         self.retries = 0
         self.broadcast = False
+        self.trace = tracing.current_trace()
 
 
 class _Worker:
@@ -376,11 +397,11 @@ class WorkerPool:
         plan: List[Tuple[Any, ...]] = []
         if swap_to is not None:
             swap_seq, swap_path = swap_to
-            plan.append(("swap", -1, swap_seq, swap_path))
+            plan.append(("swap", -1, None, swap_seq, swap_path))
         for entry in entries:
             if entry["status"] == "failed":
                 continue
-            plan.append(("onboard", -1, entry["seq"], entry["side"], entry["attributes"]))
+            plan.append(("onboard", -1, None, entry["seq"], entry["side"], entry["attributes"]))
         for message in plan:
             worker.conn.send(message)
             if not worker.conn.poll(self.request_timeout):
@@ -553,7 +574,7 @@ class WorkerPool:
         pending.worker_index = worker.index
         worker.outstanding += 1
         set_gauge(f"serve.pool.depth.{worker.index}", float(worker.outstanding))
-        worker.conn.send((pending.kind, req_id) + pending.payload)
+        worker.conn.send((pending.kind, req_id, pending.trace) + pending.payload)
 
     def _dispatch_pending(self, pending: _Pending, exclude: Optional[int] = None,
                           wait: bool = True) -> None:
@@ -757,6 +778,34 @@ class WorkerPool:
             "bundle_path": str(self.bundle_path),
             "state_seq": self._seq,
         }
+
+    def collect_telemetry(self, timeout: float = 10.0, max_spans: int = 5000) -> List[Dict[str, Any]]:
+        """Harvest each live worker's telemetry snapshot over the pipe protocol.
+
+        Returns one :func:`repro.obs.fleet.worker_snapshot` dict per worker
+        that answered in time — counters, gauges, histogram states, recent
+        span records and the span-drop count.  Read-only and per-worker
+        fault-tolerant: a down or stalled worker is simply absent from the
+        result (its slot shows up in :meth:`healthz` instead), so one sick
+        process never blocks the fleet view.
+        """
+        with self._cond:
+            snapshot = list(self._workers)
+        futures: List["Future[Any]"] = []
+        for index, worker in enumerate(snapshot):
+            if worker is None:
+                continue
+            try:
+                futures.append(self._dispatch_to(index, "telemetry", (int(max_spans),)))
+            except (WorkerCrashedError, PoolStoppedError):
+                continue
+        snapshots: List[Dict[str, Any]] = []
+        for future in futures:
+            try:
+                snapshots.append(future.result(timeout))
+            except BaseException:
+                continue
+        return snapshots
 
     def stats(self) -> Dict[str, Any]:
         with self._cond:

@@ -37,7 +37,17 @@ from .metrics import (
 )
 from .profiler import AutogradProfiler, active_profiler
 from .report import render, snapshot, write_snapshot
-from .tracing import current_path, export_spans, reset_spans, span, span_summaries
+from .tracing import (
+    activate_trace,
+    current_path,
+    current_trace,
+    deactivate_trace,
+    dropped_records,
+    export_spans,
+    reset_spans,
+    span,
+    span_summaries,
+)
 
 __all__ = [
     "ENV_VAR",
@@ -49,7 +59,11 @@ __all__ = [
     "active_profiler",
     "span",
     "current_path",
+    "current_trace",
+    "activate_trace",
+    "deactivate_trace",
     "export_spans",
+    "dropped_records",
     "span_summaries",
     "reset_spans",
     "get_registry",

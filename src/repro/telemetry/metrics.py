@@ -230,6 +230,36 @@ class TimingHistogram:
             self._total = 0.0
             self._max = 0.0
 
+    def state(self) -> Dict[str, object]:
+        """Picklable snapshot — exact count/total/max plus windowed samples.
+
+        The inverse, :meth:`merge_state`, folds a snapshot (possibly from
+        another process) into this histogram: counts and totals add, the max
+        takes the max, and the sample windows concatenate up to ``capacity``
+        (the window is an unordered quantile reservoir, so concatenation is
+        the right merge).
+        """
+        with self._lock:
+            return {
+                "count": self._count,
+                "total_s": self._total,
+                "max_s": self._max,
+                "samples": list(self._buffer),
+            }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        samples = [float(s) for s in state.get("samples", ())]
+        with self._lock:
+            self._count += int(state.get("count", 0))
+            self._total += float(state.get("total_s", 0.0))
+            self._max = max(self._max, float(state.get("max_s", 0.0)))
+            for sample in samples:
+                if len(self._buffer) < self.capacity:
+                    self._buffer.append(sample)
+                else:
+                    self._buffer[self._next] = sample
+                    self._next = (self._next + 1) % self.capacity
+
 
 class MetricsRegistry:
     """Named metric store; get-or-create accessors are thread-safe."""

@@ -44,7 +44,11 @@ def snapshot(note: str = "", extra_meta: Optional[Dict[str, Any]] = None) -> Dic
         name: summary for name, summary in timings.items()
         if not name.startswith(tracing.SPAN_PREFIX)
     }
-    meta: Dict[str, Any] = {"enabled": metrics.is_enabled(), "note": note}
+    meta: Dict[str, Any] = {
+        "enabled": metrics.is_enabled(),
+        "note": note,
+        "span_dropped": tracing.dropped_records(),
+    }
     if extra_meta:
         meta.update(extra_meta)
     active = profiler.active_profiler()

@@ -14,32 +14,68 @@ distributions live in the global metrics registry (prefix ``span.``), giving
 every path a p50/p95/max for free; the raw recent records are kept in a
 bounded list for export and debugging.
 
+Every record additionally carries *trace context*: a process-unique
+``span_id``, the ``parent_span_id`` of the enclosing span (or of the remote
+parent that minted the active trace), the ``trace_id``/``request_id`` of the
+active distributed trace (if any), plus ``pid``/``tid`` and the wall-clock
+completion ``ts`` — enough to stitch records from N processes into one timeline
+(see :mod:`repro.obs.trace` and :mod:`repro.obs.fleet`).  The ambient trace
+lives in a :class:`contextvars.ContextVar` so it propagates naturally within
+a thread and can be re-activated explicitly after a queue or pipe hop:
+
+* :func:`activate_trace` / :func:`deactivate_trace` install a wire triple
+  ``(trace_id, parent_span_id, request_id)`` for the current context;
+* :func:`current_trace` returns that triple with ``parent_span_id`` replaced
+  by the innermost *live* span of this thread — the value a child hop should
+  carry so its spans parent correctly.
+
+Id generation never touches any numerical RNG (a few bytes of
+``os.urandom`` at import plus a per-process counter), keeping instrumented
+runs bitwise-identical to uninstrumented ones.
+
 Spans are exception-safe — the stack is popped and the duration recorded even
 when the body raises (the record is flagged ``ok=False``) — and they respect
 the global ``REPRO_TELEMETRY`` switch: disabled spans skip all bookkeeping.
+When the bounded record list saturates, further records are counted in
+:func:`dropped_records` *and* in the ``span.dropped`` registry counter, so
+silent trace truncation is visible in every metrics surface.
 """
 
 from __future__ import annotations
 
+import contextvars
 import functools
+import itertools
+import os
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import metrics
 
 __all__ = [
     "span",
     "current_path",
+    "current_span_id",
+    "current_trace",
+    "activate_trace",
+    "deactivate_trace",
+    "new_span_id",
+    "new_trace_id",
     "export_spans",
+    "dropped_records",
     "span_summaries",
     "reset_spans",
     "SPAN_PREFIX",
+    "DROPPED_COUNTER",
     "MAX_RECORDS",
 ]
 
 #: registry histogram prefix for span paths
 SPAN_PREFIX = "span."
+
+#: registry counter bumped for every raw record discarded past MAX_RECORDS
+DROPPED_COUNTER = "span.dropped"
 
 #: cap on retained raw records; aggregates in the registry are unaffected
 MAX_RECORDS = 20_000
@@ -49,8 +85,40 @@ _records_lock = threading.Lock()
 _records: List[Dict[str, Any]] = []
 _dropped = 0
 
+#: the active distributed trace as a wire triple
+#: ``(trace_id, parent_span_id, request_id)`` — ``None`` outside any trace
+_trace_var: "contextvars.ContextVar[Optional[Tuple[str, str, str]]]" = (
+    contextvars.ContextVar("repro_trace", default=None)
+)
 
-def _stack() -> List[str]:
+#: per-process id material: a random prefix (urandom, *not* any model RNG)
+#: plus a monotone counter; ``spawn`` workers re-import and get fresh bytes
+_ID_PREFIX = os.urandom(4).hex()
+_id_counter = itertools.count(1)
+
+#: one wall-clock read at import maps the perf_counter timeline onto epoch
+#: time, so span records share a consistent clock without a syscall per span;
+#: ``spawn`` workers re-import and calibrate their own offset
+_EPOCH_OFFSET = time.time() - time.perf_counter()
+_PID = os.getpid()
+
+
+def new_span_id() -> str:
+    """A process-unique 16-hex-char span id (no numerical RNG involved)."""
+    return f"{_ID_PREFIX}{next(_id_counter):08x}"
+
+
+def new_trace_id() -> str:
+    """A fresh 24-hex-char trace id, unique across processes.
+
+    Same scheme as span ids (import-time urandom prefix + counter): no
+    syscall on the per-request mint path, and uniqueness across processes
+    rides on the per-process prefix exactly as span ids already do.
+    """
+    return f"{_ID_PREFIX}{next(_id_counter):016x}"
+
+
+def _stack() -> List[Tuple[str, str]]:
     stack = getattr(_local, "stack", None)
     if stack is None:
         stack = _local.stack = []
@@ -59,7 +127,44 @@ def _stack() -> List[str]:
 
 def current_path() -> str:
     """The active span path for this thread ('' outside any span)."""
-    return "/".join(_stack())
+    return "/".join(name for name, _ in _stack())
+
+
+def current_span_id() -> str:
+    """The innermost live span id of this thread ('' outside any span)."""
+    stack = _stack()
+    return stack[-1][1] if stack else ""
+
+
+def activate_trace(wire: Optional[Tuple[str, str, str]]) -> "contextvars.Token":
+    """Install a wire triple ``(trace_id, parent_span_id, request_id)``.
+
+    Returns the token to hand back to :func:`deactivate_trace`.  Passing
+    ``None`` explicitly deactivates tracing for the scope (useful around
+    work that must not inherit a request's trace).
+    """
+    return _trace_var.set(wire)
+
+
+def deactivate_trace(token: "contextvars.Token") -> None:
+    """Restore the trace context captured by :func:`activate_trace`."""
+    _trace_var.reset(token)
+
+
+def current_trace() -> Optional[Tuple[str, str, str]]:
+    """The wire triple a child hop should carry, or ``None`` outside a trace.
+
+    The ``parent_span_id`` slot is the innermost live span of *this* thread
+    when one is open — so a queue submit or pipe send captures the span that
+    actually caused it — and the remote parent's span otherwise.
+    """
+    wire = _trace_var.get()
+    if wire is None:
+        return None
+    stack = _stack()
+    if stack:
+        return (wire[0], stack[-1][1], wire[2])
+    return wire
 
 
 class span:
@@ -67,25 +172,49 @@ class span:
 
     As a decorator it opens a fresh span per call, so a decorated function is
     safely re-entrant and records under whatever path is active at call time.
+    ``attrs`` (a shallow-copied dict) rides on the exported record —
+    :meth:`annotate` adds to it mid-span (e.g. ids only known after entry).
     """
 
-    __slots__ = ("name", "_active", "_path", "_start")
+    __slots__ = ("name", "_active", "_path", "_start", "_span_id",
+                 "_parent_id", "_trace", "_attrs")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
         if "/" in name:
             raise ValueError("span names must not contain '/' (reserved for paths)")
         self.name = name
         self._active = False
         self._path = ""
         self._start = 0.0
+        self._span_id = ""
+        self._parent_id = ""
+        self._trace: Optional[Tuple[str, str, str]] = None
+        self._attrs = dict(attrs) if attrs else None
+
+    def annotate(self, **attrs: Any) -> "span":
+        """Attach extra fields to this span's exported record (active spans only)."""
+        if self._active:
+            if self._attrs is None:
+                self._attrs = {}
+            self._attrs.update(attrs)
+        return self
 
     def __enter__(self) -> "span":
         if not metrics.is_enabled():
             self._active = False
             return self
         stack = _stack()
-        stack.append(self.name)
-        self._path = "/".join(stack)
+        trace = _trace_var.get()
+        if stack:
+            self._parent_id = stack[-1][1]
+        elif trace is not None:
+            self._parent_id = trace[1]
+        else:
+            self._parent_id = ""
+        self._trace = trace
+        self._span_id = new_span_id()
+        stack.append((self.name, self._span_id))
+        self._path = "/".join(name for name, _ in stack)
         self._active = True
         self._start = time.perf_counter()
         return self
@@ -93,11 +222,12 @@ class span:
     def __exit__(self, exc_type, exc_value, traceback) -> bool:
         if not self._active:
             return False
-        duration = time.perf_counter() - self._start
+        end = time.perf_counter()
+        duration = end - self._start
         self._active = False
         stack = _stack()
         # Pop our own frame even if an inner span leaked (defensive).
-        while stack and stack[-1] != self.name:
+        while stack and stack[-1][0] != self.name:
             stack.pop()
         if stack:
             stack.pop()
@@ -108,13 +238,30 @@ class span:
             "depth": self._path.count("/"),
             "duration_s": duration,
             "ok": exc_type is None,
+            # Completion wall-clock: the Chrome exporter subtracts duration to
+            # place the slice, so ts and duration must share one timeline.
+            "ts": _EPOCH_OFFSET + end,
+            "pid": _PID,
+            "tid": threading.get_ident(),
+            "span_id": self._span_id,
+            "parent_span_id": self._parent_id,
+            "trace_id": self._trace[0] if self._trace is not None else "",
+            "request_id": self._trace[2] if self._trace is not None else "",
         }
+        if self._attrs:
+            record["attrs"] = self._attrs
         global _dropped
+        dropped_now = False
         with _records_lock:
             if len(_records) < MAX_RECORDS:
                 _records.append(record)
             else:
                 _dropped += 1
+                dropped_now = True
+        if dropped_now:
+            # Outside the records lock (the counter has its own).  Saturation
+            # must be *visible*, not a silent truncation of the trace.
+            metrics.get_registry().counter(DROPPED_COUNTER).increment()
         return False
 
     def __call__(self, fn: Callable) -> Callable:
@@ -126,10 +273,18 @@ class span:
         return wrapped
 
 
-def export_spans() -> List[Dict[str, Any]]:
-    """Flat copy of the retained raw span records, in completion order."""
+def export_spans(include_dropped: bool = False):
+    """Flat copy of the retained raw span records, in completion order.
+
+    With ``include_dropped`` the return value is instead a dict
+    ``{"records": [...], "dropped": n}`` so consumers see how many records
+    were discarded after :data:`MAX_RECORDS` alongside what survived.
+    """
     with _records_lock:
-        return [dict(record) for record in _records]
+        records = [dict(record) for record in _records]
+        if include_dropped:
+            return {"records": records, "dropped": _dropped}
+        return records
 
 
 def dropped_records() -> int:
@@ -138,14 +293,22 @@ def dropped_records() -> int:
         return _dropped
 
 
-def span_summaries() -> Dict[str, Dict[str, float]]:
-    """Per-path duration summaries (count/total/p50/p95/max), path-keyed."""
+def span_summaries(include_dropped: bool = False) -> Dict[str, Dict[str, float]]:
+    """Per-path duration summaries (count/total/p50/p95/max), path-keyed.
+
+    With ``include_dropped`` the mapping gains a synthetic ``"(dropped)"``
+    entry carrying the saturation count, so consumers of the summary view see
+    ring-buffer truncation without a second call.
+    """
     timings = metrics.get_registry().timings()
-    return {
+    out = {
         name[len(SPAN_PREFIX):]: summary
         for name, summary in timings.items()
         if name.startswith(SPAN_PREFIX)
     }
+    if include_dropped:
+        out["(dropped)"] = {"count": float(dropped_records())}
+    return out
 
 
 def reset_spans() -> None:

@@ -69,6 +69,89 @@ class TestEventLog:
         path.write_text('{"kind": "ok", "seq": 1}\nnot json\n\n{"kind": "ok2", "seq": 2}\n')
         assert [e["kind"] for e in events.read_events(path)] == ["ok", "ok2"]
 
+    def test_events_stamp_emitting_pid(self):
+        import os
+
+        log = events.EventLog()
+        assert log.emit("x")["pid"] == os.getpid()
+
+
+class TestMultiProcessLog:
+    """The fix for interleaved JSONL from pool workers sharing REPRO_OBS_LOG."""
+
+    def test_per_process_log_suffixes_pid(self, tmp_path):
+        import os
+
+        base = tmp_path / "run.jsonl"
+        log = events.EventLog(path=base, per_process=True)
+        log.emit("hello")
+        log.close()
+        assert not base.exists()
+        assert (tmp_path / f"run.jsonl.{os.getpid()}").exists()
+
+    def test_env_configured_global_log_is_per_process(self, tmp_path, monkeypatch):
+        import os
+
+        base = tmp_path / "global.jsonl"
+        monkeypatch.setenv(events.LOG_PATH_ENV_VAR, str(base))
+        events.set_event_log(None)
+        try:
+            log = events.get_event_log()
+            assert log.per_process
+            assert log.path == base.parent / f"global.jsonl.{os.getpid()}"
+        finally:
+            events.set_event_log(events.EventLog())
+
+    def test_read_events_stitches_sibling_files_by_ts(self, tmp_path):
+        base = tmp_path / "run.jsonl"
+        base.write_text(
+            '{"kind": "parent_a", "seq": 1, "ts": 1.0, "pid": 1}\n'
+            '{"kind": "parent_b", "seq": 2, "ts": 4.0, "pid": 1}\n'
+        )
+        (tmp_path / "run.jsonl.100").write_text(
+            '{"kind": "worker_a", "seq": 1, "ts": 2.0, "pid": 100}\n'
+        )
+        (tmp_path / "run.jsonl.200").write_text(
+            '{"kind": "worker_b", "seq": 1, "ts": 3.0, "pid": 200}\n'
+        )
+        stitched = events.read_events(base)
+        assert [e["kind"] for e in stitched] == [
+            "parent_a", "worker_a", "worker_b", "parent_b",
+        ]
+        # Non-pid siblings (e.g. a .bak copy) are never stitched in.
+        (tmp_path / "run.jsonl.bak").write_text('{"kind": "stale", "ts": 0.0}\n')
+        assert all(e["kind"] != "stale" for e in events.read_events(base))
+
+    def test_read_events_stitch_false_reads_one_file(self, tmp_path):
+        base = tmp_path / "run.jsonl"
+        base.write_text('{"kind": "only", "seq": 1, "ts": 1.0}\n')
+        (tmp_path / "run.jsonl.99").write_text('{"kind": "other", "ts": 2.0}\n')
+        assert [e["kind"] for e in events.read_events(base, stitch=False)] == ["only"]
+
+    def test_stitch_works_without_base_file(self, tmp_path):
+        base = tmp_path / "run.jsonl"
+        (tmp_path / "run.jsonl.7").write_text('{"kind": "w", "ts": 1.0}\n')
+        assert [e["kind"] for e in events.read_events(base)] == ["w"]
+
+    def test_line_atomic_append_from_threads(self, tmp_path):
+        import threading
+
+        path = tmp_path / "run.jsonl"
+        log = events.EventLog(path=path)
+        threads = [
+            threading.Thread(
+                target=lambda i=i: [log.emit("t", worker=i, n=n) for n in range(50)]
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        back = events.read_events(path)
+        assert len(back) == 200  # every line parsed — nothing interleaved
+
     def test_jsonable_coerces_configs_and_arrays(self):
         import numpy as np
 

@@ -1,0 +1,145 @@
+"""TraceContext + context-aware spans: minting, scoping, propagation, loss.
+
+Unit coverage for the tracing foundation: the wire triple round-trip, the
+contextvar scope, parent/child span-id chains within and across simulated
+hops, and the span-loss accounting that replaced silent ring-buffer
+truncation.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import TraceContext, current_context, trace_scope
+from repro.telemetry import metrics, tracing
+
+pytestmark = [pytest.mark.obs, pytest.mark.trace]
+
+
+class TestTraceContext:
+    def test_mint_is_unique_and_carries_request_id(self):
+        a = TraceContext.mint("req-1")
+        b = TraceContext.mint("req-2")
+        assert a.trace_id != b.trace_id
+        assert a.request_id == "req-1"
+        assert a.span_id == ""
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext(trace_id="t1", span_id="s1", request_id="r1")
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+        assert TraceContext.from_wire(None) is None
+
+    def test_no_ambient_context_by_default(self):
+        assert current_context() is None
+        assert tracing.current_trace() is None
+
+    def test_scope_activates_and_restores(self):
+        ctx = TraceContext.mint("req-scope")
+        with trace_scope(ctx):
+            active = current_context()
+            assert active.trace_id == ctx.trace_id
+            assert active.request_id == "req-scope"
+        assert current_context() is None
+
+    def test_nested_none_scope_suppresses_trace(self):
+        with trace_scope(TraceContext.mint("req-outer")):
+            with trace_scope(None):
+                assert current_context() is None
+            assert current_context() is not None
+
+    def test_current_trace_parents_to_innermost_live_span(self):
+        ctx = TraceContext.mint("req-parent")
+        with trace_scope(ctx):
+            with tracing.span("outer"):
+                outer_id = tracing.current_span_id()
+                wire = tracing.current_trace()
+                assert wire == (ctx.trace_id, outer_id, "req-parent")
+
+
+class TestSpanRecords:
+    def test_records_carry_trace_and_process_identity(self):
+        ctx = TraceContext.mint("req-ids")
+        with trace_scope(ctx):
+            with tracing.span("a"):
+                with tracing.span("b"):
+                    pass
+        records = {r["name"]: r for r in tracing.export_spans()}
+        assert records["a"]["trace_id"] == ctx.trace_id
+        assert records["b"]["trace_id"] == ctx.trace_id
+        assert records["b"]["parent_span_id"] == records["a"]["span_id"]
+        assert records["a"]["request_id"] == "req-ids"
+        assert records["a"]["pid"] > 0
+        assert records["a"]["tid"] == threading.get_ident()
+        assert records["a"]["ts"] > 0
+
+    def test_remote_hop_parents_to_wire_span(self):
+        """A span on the far side of a hop parents to the sender's span."""
+        with trace_scope(TraceContext.mint("req-hop")):
+            with tracing.span("ingress"):
+                wire = tracing.current_trace()
+        # Simulate the receiving process/thread re-activating the wire triple.
+        token = tracing.activate_trace(wire)
+        try:
+            with tracing.span("remote"):
+                pass
+        finally:
+            tracing.deactivate_trace(token)
+        records = {r["name"]: r for r in tracing.export_spans()}
+        assert records["remote"]["parent_span_id"] == records["ingress"]["span_id"]
+        assert records["remote"]["trace_id"] == records["ingress"]["trace_id"]
+
+    def test_annotate_attaches_attrs(self):
+        with tracing.span("tick") as s:
+            s.annotate(requests=3)
+        (record,) = tracing.export_spans()
+        assert record["attrs"] == {"requests": 3}
+
+    def test_untraced_span_has_empty_trace_fields(self):
+        with tracing.span("plain"):
+            pass
+        (record,) = tracing.export_spans()
+        assert record["trace_id"] == ""
+        assert record["request_id"] == ""
+        assert record["parent_span_id"] == ""
+
+
+class TestSpanLossAccounting:
+    def test_dropped_records_are_counted_and_exported(self, monkeypatch):
+        monkeypatch.setattr(tracing, "MAX_RECORDS", 3)
+        for i in range(5):
+            with tracing.span("s"):
+                pass
+        exported = tracing.export_spans(include_dropped=True)
+        assert len(exported["records"]) == 3
+        assert exported["dropped"] == 2
+        assert tracing.dropped_records() == 2
+        assert metrics.get_registry().counters()[tracing.DROPPED_COUNTER] == 2
+
+    def test_summaries_can_surface_drop_count(self, monkeypatch):
+        monkeypatch.setattr(tracing, "MAX_RECORDS", 1)
+        for _ in range(3):
+            with tracing.span("s"):
+                pass
+        summaries = tracing.span_summaries(include_dropped=True)
+        assert summaries["(dropped)"]["count"] == 2.0
+        # Aggregates are unaffected by raw-record loss.
+        assert summaries["s"]["count"] == 3
+
+    def test_snapshot_exposes_span_dropped(self, monkeypatch):
+        from repro.telemetry import report
+
+        monkeypatch.setattr(tracing, "MAX_RECORDS", 1)
+        for _ in range(2):
+            with tracing.span("s"):
+                pass
+        snap = report.snapshot()
+        assert snap["meta"]["span_dropped"] == 1
+
+    def test_reset_clears_drop_count(self, monkeypatch):
+        monkeypatch.setattr(tracing, "MAX_RECORDS", 1)
+        for _ in range(2):
+            with tracing.span("s"):
+                pass
+        tracing.reset_spans()
+        assert tracing.dropped_records() == 0
+        assert tracing.export_spans() == []
